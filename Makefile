@@ -1,0 +1,27 @@
+# Development targets for the LAMS-DLC reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench report examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+report:
+	$(PYTHON) -m repro report --output evaluation_report.txt
+
+examples:
+	for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

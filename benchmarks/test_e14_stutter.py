@@ -1,0 +1,34 @@
+"""E14 — ablation: Stutter mode for SR-HDLC (paper Section 1 background).
+
+The paper motivates LAMS-DLC partly against the Stutter family
+(Stutter GBN [1], SR+ST / SR+GBN of Miller & Lin [3]): use the stalled
+window's idle line time to repeat unacknowledged frames.  We implement
+stutter as an SR-HDLC option and measure a lossy batch transfer with it
+on and off.
+
+Shape asserted: stutter strictly reduces completion time (the idle time
+really was recoverable) while inflating transmissions by orders of
+magnitude — the trade the paper's introduction describes, and the
+overhead LAMS-DLC avoids by never stalling in the first place.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.registry import e14_stutter
+
+
+def test_e14_stutter_ablation(run_once):
+    result = run_once(e14_stutter)
+    emit(result)
+    by_mode = {row["stutter"]: row for row in result.rows}
+    plain, stuttered = by_mode[False], by_mode[True]
+
+    assert plain["completed"] and stuttered["completed"]
+    assert plain["delivered"] == stuttered["delivered"] == 400
+
+    # Stutter converts idle time into speed...
+    assert stuttered["duration"] < plain["duration"]
+    # ...paid for in channel occupancy.
+    assert stuttered["iframes_sent"] > 5 * plain["iframes_sent"]

@@ -1,0 +1,45 @@
+"""E16 — Type-I hybrid ARQ/FEC (paper Section 1, references [13–15]).
+
+The paper surveys combined ARQ+FEC schemes whose "motivation is that
+the relatively low throughput of ARQ schemes is caused by
+retransmissions".  We evaluate the Type-I construction on the LAMS-DLC
+model across a codec-strength ladder and the channel-BER range.
+
+Shape asserted: at low channel BER, no coding wins (parity is pure
+overhead); at high channel BER, a codec wins; the optimal codec
+strength is monotone-nondecreasing in channel BER — the crossover
+structure the hybrid-ARQ literature predicts.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.registry import e16_hybrid_arq_fec
+
+
+LADDER_ORDER = ["none", "hamming74", "rep3", "hamming74+rep3", "rep5"]
+
+
+def test_e16_hybrid_arq_fec(run_once):
+    result = run_once(e16_hybrid_arq_fec)
+    emit(result, columns=["channel_ber", "codec", "rate", "residual_ber", "p_f", "goodput"])
+
+    by_ber: dict[float, dict[str, float]] = {}
+    for row in result.rows:
+        by_ber.setdefault(row["channel_ber"], {})[row["codec"]] = row["goodput"]
+
+    bers = sorted(by_ber)
+    winners = [max(by_ber[ber], key=by_ber[ber].get) for ber in bers]
+
+    # Clean channel: coding only hurts.
+    assert winners[0] == "none"
+    # Dirty channel: some codec wins.
+    assert winners[-1] != "none"
+    # Optimal strength never weakens as the channel degrades.
+    strengths = [LADDER_ORDER.index(winner) for winner in winners]
+    assert strengths == sorted(strengths)
+
+    # Sanity: goodput is a proper efficiency.
+    for row in result.rows:
+        assert 0.0 <= row["goodput"] <= 1.0

@@ -1,0 +1,58 @@
+"""E17 — frame-size optimisation (paper Section 1 NBDT / Section 2.3).
+
+"Absolute numbering … allows the frame size to be controlled for the
+optimal size" (on NBDT) and "the overhead in short frames is
+significant, which causes performance degradation" (Section 2.3).
+
+Shape asserted: goodput over payload size is unimodal around the
+optimum; the optimum shrinks as BER grows; the closed-form
+``sqrt(h/BER)`` approximation lands within a few percent of the exact
+integer optimum; and the paper's default 8,192-bit payload sits in the
+optimal region at the paper's nominal BER of 1e-6.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.analysis import framesize
+from repro.experiments.registry import e17_frame_size
+
+
+def test_e17_frame_size(run_once):
+    result = run_once(e17_frame_size)
+    emit(result)
+
+    by_ber: dict[float, list[dict]] = {}
+    for row in result.rows:
+        by_ber.setdefault(row["ber"], []).append(row)
+
+    optima = {ber: rows[0]["optimal_bits"] for ber, rows in by_ber.items()}
+
+    # The optimum shrinks with BER.
+    bers = sorted(optima)
+    assert [optima[ber] for ber in bers] == sorted(
+        (optima[ber] for ber in bers), reverse=True
+    )
+
+    # Unimodality: goodput rises toward the optimum, falls after it.
+    for ber, rows in by_ber.items():
+        rows.sort(key=lambda row: row["payload_bits"])
+        values = [row["goodput"] for row in rows]
+        peak_index = values.index(max(values))
+        assert values[: peak_index + 1] == sorted(values[: peak_index + 1])
+        assert values[peak_index:] == sorted(values[peak_index:], reverse=True)
+
+    # Closed-form approximation near the exact optimum.
+    for ber in bers:
+        exact = framesize.optimal_frame_size(80, ber)
+        approx = framesize.optimal_frame_size_approx(80, ber)
+        assert approx == pytest.approx(exact, rel=0.05)
+
+    # The paper's default payload is near-optimal at its nominal BER.
+    goodput_default = framesize.goodput_per_channel_bit(8192, 80, 1e-6)
+    goodput_best = framesize.goodput_per_channel_bit(
+        framesize.optimal_frame_size(80, 1e-6), 80, 1e-6
+    )
+    assert goodput_default > 0.999 * goodput_best

@@ -1,0 +1,39 @@
+"""E18 — the full protocol field (paper Section 1's genealogy, measured).
+
+The paper positions LAMS-DLC against a lineage: Go-Back-N, selective
+repeat (SR-HDLC), the Stutter family, and NBDT's multiphase/continuous
+modes.  All of them are implemented in this library; this benchmark
+runs every one under identical saturated load and random streams.
+
+Shape asserted (the paper's ordering arguments):
+
+- GBN < SR-HDLC (Section 2.3's discard waste);
+- SR-HDLC < NBDT-multiphase < NBDT-continuous (Section 1: NBDT's modes
+  exist to reclaim HDLC's idle time, continuous more than multiphase);
+- LAMS-DLC and NBDT-continuous both near line rate (neither stalls) —
+  LAMS-DLC's advantages over NBDT are the ones E13/E10 measure
+  (bounded memory, failure detection), not raw throughput.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.registry import e18_protocol_field
+
+
+def test_e18_protocol_field(run_once):
+    result = run_once(e18_protocol_field, duration=2.0)
+    emit(result)
+    eff = {row["protocol"]: row["efficiency"] for row in result.rows}
+
+    # The genealogy's ordering, end to end.
+    assert eff["gbn"] < eff["hdlc"]
+    assert eff["hdlc"] < eff["nbdt-multiphase"]
+    assert eff["nbdt-multiphase"] < eff["nbdt-continuous"]
+
+    # The two non-stalling protocols sit near the line rate...
+    assert eff["lams"] > 0.85
+    assert eff["nbdt-continuous"] > 0.85
+    # ...and far above everything windowed/phase-alternating.
+    assert eff["lams"] > 5 * eff["nbdt-multiphase"]

@@ -1,0 +1,43 @@
+"""E19 — validation matrix: model vs simulation across every preset.
+
+Extends E12's single-point validation to the full operating envelope
+(short_hop / nominal / long_haul / noisy × LAMS-DLC / SR-HDLC).
+
+Bands asserted:
+
+- LAMS-DLC: measured within 10% of the Section-4 prediction at *every*
+  preset — the paper's analysis of its own protocol is essentially
+  exact;
+- SR-HDLC: measured within a factor of 2.5 (the analysis's
+  one-frame-per-retransmission-period assumption is systematically
+  optimistic), and never *above* 1.2× the model;
+- the LAMS > HDLC ordering preserved in both worlds at every preset.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.registry import e19_validation_matrix
+
+
+def test_e19_validation_matrix(run_once):
+    result = run_once(e19_validation_matrix, duration=1.5)
+    emit(result)
+
+    by_key = {(row["preset"], row["protocol"]): row for row in result.rows}
+    presets = {row["preset"] for row in result.rows}
+
+    for preset_name in presets:
+        lams = by_key[(preset_name, "lams")]
+        hdlc = by_key[(preset_name, "hdlc")]
+
+        # LAMS analysis: tight agreement everywhere.
+        assert 0.90 < lams["ratio"] < 1.10, (preset_name, lams["ratio"])
+
+        # HDLC analysis: bounded optimism, no pessimism beyond noise.
+        assert 0.4 < hdlc["ratio"] < 1.2, (preset_name, hdlc["ratio"])
+
+        # Ordering preserved in both model and measurement.
+        assert lams["model"] > hdlc["model"]
+        assert lams["measured"] > hdlc["measured"]

@@ -1,0 +1,37 @@
+"""E1 — retransmission factor s̄ vs BER (paper Sections 2 and 4).
+
+Regenerates the comparison of the mean number of transmissions per
+delivered frame: NAK-only (``s̄ = 1/(1-P_F)``) vs positive-ack
+(``s̄ = 1/(1-(P_F+P_C-P_F P_C))``) vs piggybacked acks (``P_C = P_F``).
+
+Paper shape asserted: the pos-ack factor dominates the NAK-only factor
+at every BER, the piggyback factor dominates both, and all gaps widen
+as the BER grows.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.registry import e1_retransmission_factor
+
+
+def test_e1_retransmission_factor(run_once):
+    result = run_once(e1_retransmission_factor)
+    emit(result)
+
+    lams = result.column("s_bar_lams")
+    hdlc = result.column("s_bar_hdlc")
+    piggy = result.column("s_bar_piggyback")
+
+    # NAK-only never retransmits more than pos-ack; piggyback is worst.
+    for l, h, p in zip(lams, hdlc, piggy):
+        assert l <= h <= p
+
+    # The advantage widens with BER.
+    gaps = [p - l for l, p in zip(lams, piggy)]
+    assert gaps == sorted(gaps)
+    assert gaps[-1] > gaps[0]
+
+    # All factors start at ~1 for the cleanest channel.
+    assert lams[0] < 1.01

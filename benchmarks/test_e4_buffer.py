@@ -1,0 +1,68 @@
+"""E4 — transparent buffer size: B_LAMS finite, B_HDLC = ∞ (Section 4).
+
+Two parts:
+
+- **Model**: ``B_LAMS = s̄(R + (n̄_cp-½)I_cp)/t_f + t_proc/t_f`` over
+  distance and checkpoint interval, with ``B_HDLC = ∞`` alongside.
+- **Simulation**: constant 80%-of-line-rate offered load; LAMS-DLC's
+  sending buffer plateaus near the model's B_LAMS while SR-HDLC's grows
+  between the mid-run and end-of-run samples (no transparent size).
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import emit
+
+from repro.experiments.registry import e4_buffer_model, e4_buffer_simulation
+
+
+def test_e4_model_buffer_sizes(run_once):
+    result = run_once(e4_buffer_model)
+    emit(result)
+
+    rows = result.rows
+    # B_LAMS grows with distance (R) at fixed I_cp...
+    for i_cp in {row["i_cp"] for row in rows}:
+        series = sorted(
+            (row for row in rows if row["i_cp"] == i_cp),
+            key=lambda row: row["distance_km"],
+        )
+        values = [row["b_lams_frames"] for row in series]
+        assert values == sorted(values)
+    # ...and with I_cp at fixed distance.
+    for distance in {row["distance_km"] for row in rows}:
+        series = sorted(
+            (row for row in rows if row["distance_km"] == distance),
+            key=lambda row: row["i_cp"],
+        )
+        values = [row["b_lams_frames"] for row in series]
+        assert values == sorted(values)
+    # HDLC has no transparent size anywhere.
+    assert all(math.isinf(row["b_hdlc"]) for row in rows)
+
+
+def test_e4_simulated_divergence(run_once):
+    result = run_once(e4_buffer_simulation, duration=2.0)
+    emit(
+        result,
+        columns=[
+            "protocol", "load", "occupancy_mid", "occupancy_end",
+            "growth", "efficiency", "b_lams_model",
+        ],
+    )
+    by_protocol = {row["protocol"]: row for row in result.rows}
+    lams, hdlc = by_protocol["lams"], by_protocol["hdlc"]
+
+    # LAMS-DLC: plateau — growth is a rounding-noise fraction of the level.
+    assert abs(lams["growth"]) < 0.1 * max(1.0, lams["occupancy_end"])
+    # Its plateau sits within a small factor of the model's B_LAMS.
+    assert lams["occupancy_end"] < 3.0 * lams["b_lams_model"]
+
+    # SR-HDLC: strict, large growth — the unbounded buffer in action.
+    assert hdlc["growth"] > 10 * max(1.0, abs(lams["growth"]))
+    assert hdlc["occupancy_end"] > 2 * hdlc["occupancy_mid"] * 0.9
+
+    # And the throughput gap that causes it.
+    assert lams["efficiency"] > 5 * hdlc["efficiency"]

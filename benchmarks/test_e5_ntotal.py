@@ -1,0 +1,50 @@
+"""E5 — the N_total subperiod recursion (paper Section 4, high traffic).
+
+Regenerates the paper's recursion: subperiods of one mean holding time
+(``h = H_frame/t_f`` frame slots), new frames filling what the
+resurfacing retransmission load ``Σ N_j P_R^{i-j}`` leaves free.
+
+Paper shape asserted: the recursion's total converges to the closed
+form ``N·s̄``; the first subperiod carries no retransmission load; the
+load ramps up to its equilibrium share ``P_R·h`` within a few
+subperiods.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.analysis import lams as lams_model
+from repro.experiments.registry import e5_n_total
+from repro.workloads import preset
+
+
+def test_e5_recursion_vs_closed_form(run_once):
+    result = run_once(e5_n_total)
+    emit(result)
+    for row in result.rows:
+        assert row["n_total_recursive"] == pytest.approx(
+            row["n_total_closed"], rel=1e-6
+        )
+    # Subperiod count grows with N once N exceeds one holding time.
+    counts = result.column("subperiods")
+    assert counts == sorted(counts)
+
+
+def test_e5_transient_structure(run_once):
+    params = preset("noisy").model_parameters()
+    schedule = run_once(lams_model.subperiod_schedule, params, 50_000)
+    loads = schedule.retransmission_load
+    # First subperiod: nothing to retransmit yet.
+    assert loads[0] == 0.0
+    # Load ramps to the equilibrium share P_R * h and stays there while
+    # new frames remain.
+    h = lams_model.holding_time(params) / params.iframe_time
+    equilibrium = params.p_f * h
+    mid = len(loads) // 2
+    assert loads[mid] == pytest.approx(equilibrium, rel=0.05)
+    # The tail drains: final loads are tiny.
+    assert loads[-1] < 1.0
+    # Frame conservation.
+    assert sum(schedule.new_frames) == pytest.approx(50_000)

@@ -1,0 +1,81 @@
+"""E6 — high-traffic throughput efficiency η (paper Section 4).
+
+Regenerates the paper's headline comparison:
+
+    η_LAMS = N / (N_total t_f + s̄ R + δ_LAMS)
+    η_HDLC = N / (N_HDLC_total t_f + (m+1) s̄ R + (m+1) δ_HDLC)
+
+over offered traffic N and over BER.
+
+Paper shape asserted: "as the channel traffic increases, the throughput
+efficiency of LAMS-DLC will be much better than that of SR-HDLC" —
+η_LAMS increases toward 1 with N while η_HDLC stays pinned near its
+per-window ceiling; the ratio grows with N and widens with BER.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.registry import e6_throughput_vs_ber, e6_throughput_vs_n
+
+
+def test_e6_throughput_vs_n(run_once):
+    result = run_once(e6_throughput_vs_n)
+    emit(result)
+
+    eta_lams = result.column("eta_lams")
+    eta_hdlc = result.column("eta_hdlc")
+    ratios = result.column("ratio")
+
+    # LAMS-DLC efficiency increases with N toward (but below) 1.
+    assert eta_lams == sorted(eta_lams)
+    assert eta_lams[-1] > 0.9
+    assert all(value < 1.0 for value in eta_lams)
+
+    # HDLC's efficiency is flat: its per-window ceiling.
+    assert max(eta_hdlc) - min(eta_hdlc) < 0.25 * max(eta_hdlc)
+
+    # The win factor grows with traffic and ends up large.
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > 10.0
+
+
+def test_e6_window_sweep_paper_point(run_once):
+    """The paper's canonical comparison grants HDLC W = B_LAMS; LAMS-DLC
+    must still win there (by roughly 2x), and η_HDLC must increase with
+    W while staying below η_LAMS at every finite window."""
+    from repro.experiments.registry import e6_window_sweep
+
+    result = run_once(e6_window_sweep)
+    emit(result)
+    rows = sorted(result.rows, key=lambda row: row["window"])
+
+    etas = [row["eta_hdlc"] for row in rows]
+    assert etas == sorted(etas)  # bigger window, better HDLC
+
+    paper_point = next(row for row in rows if row["is_paper_point"])
+    # At W = B_LAMS the HDLC receive buffer alone (W frames of
+    # resequencing space) matches LAMS-DLC's entire footprint, and the
+    # paper charges it 2*B_LAMS total — yet LAMS-DLC stays ahead.
+    assert paper_point["eta_lams"] > 1.5 * paper_point["eta_hdlc"]
+    assert paper_point["eta_hdlc"] > 0.3  # HDLC is respectable here
+
+    # Even 4x the paper's window does not reach LAMS-DLC.
+    assert all(row["eta_hdlc"] < row["eta_lams"] for row in rows)
+
+
+def test_e6_throughput_vs_ber(run_once):
+    result = run_once(e6_throughput_vs_ber)
+    emit(result)
+
+    eta_lams = result.column("eta_lams")
+    eta_hdlc = result.column("eta_hdlc")
+
+    # Both protocols degrade with BER.
+    assert eta_lams == sorted(eta_lams, reverse=True)
+    assert eta_hdlc == sorted(eta_hdlc, reverse=True)
+
+    # LAMS-DLC wins at every operating point of the paper's envelope.
+    for l, h in zip(eta_lams, eta_hdlc):
+        assert l > h

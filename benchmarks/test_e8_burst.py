@@ -1,0 +1,39 @@
+"""E8 — burst errors and the cumulative-NAK coverage condition (§3.3).
+
+Simulates saturated transfers over a Gilbert–Elliott channel whose Bad
+state models laser-mispointing bursts, for burst lengths below and
+above the paper's coverage condition ``C_depth · W_cp > L_burst``.
+
+Paper shape asserted: LAMS-DLC's goodput stays high while bursts are
+covered and degrades gracefully beyond; SR-HDLC is far below LAMS-DLC
+at every burst length (its recovery is per-window and timeout-bound).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.registry import e8_burst_utilization
+
+
+def test_e8_burst_utilization(run_once):
+    result = run_once(e8_burst_utilization, duration=3.0)
+    emit(result)
+    rows = result.rows
+
+    lams = {row["mean_burst_s"]: row for row in rows if row["protocol"] == "lams"}
+    hdlc = {row["mean_burst_s"]: row for row in rows if row["protocol"] == "hdlc"}
+
+    # LAMS-DLC dominates SR-HDLC at every burst length.
+    for burst in lams:
+        assert lams[burst]["efficiency"] > 3 * hdlc[burst]["efficiency"]
+
+    # Covered bursts keep LAMS-DLC efficiency high.
+    covered = [row for row in lams.values() if row["covered"]]
+    uncovered = [row for row in lams.values() if not row["covered"]]
+    assert covered and uncovered, "grid must straddle the coverage condition"
+    assert min(row["efficiency"] for row in covered) > 0.85
+
+    # Efficiency decreases as bursts lengthen.
+    ordered = [lams[key]["efficiency"] for key in sorted(lams)]
+    assert ordered == sorted(ordered, reverse=True)

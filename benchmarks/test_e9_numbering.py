@@ -1,0 +1,51 @@
+"""E9 — required sequence-numbering size (paper Sections 2.3 and 3.3).
+
+Regenerates the structural comparison: LAMS-DLC's requirement is the
+constant ``⌈(R + W_cp/2 + C_depth·W_cp) / t_f⌉`` (renumbering bounds
+the holding time by the resolving period), while HDLC's requirement —
+one number per frame for an unbounded holding time — grows without
+bound as the coverage quantile approaches 1.
+
+Paper shape asserted: the LAMS requirement is BER-independent; the
+HDLC quantile requirement increases in both the quantile and the BER
+and overtakes the LAMS constant.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis import bounds
+from repro.experiments.registry import e9_numbering
+from repro.workloads import preset
+
+
+def test_e9_numbering_requirements(run_once):
+    result = run_once(e9_numbering)
+    emit(result)
+    rows = result.rows
+
+    # LAMS requirement is a BER-independent constant.
+    lams_values = {row["lams_required"] for row in rows}
+    assert len(lams_values) == 1
+
+    # HDLC requirement grows with the quantile at every BER...
+    for row in rows:
+        assert row["hdlc_q90"] <= row["hdlc_q999"] <= row["hdlc_q999999"]
+    # ...and with BER at a fixed high quantile.
+    q999999 = [row["hdlc_q999999"] for row in sorted(rows, key=lambda r: r["ber"])]
+    assert q999999 == sorted(q999999)
+
+    # At high coverage the HDLC requirement exceeds the LAMS constant.
+    lams_required = rows[0]["lams_required"]
+    assert rows[-1]["hdlc_q999999"] > lams_required
+
+
+def test_e9_bound_matches_config_validator(run_once):
+    """The analysis bound and the protocol config's validator agree."""
+    scenario = preset("long_haul")
+    params = scenario.model_parameters()
+    config = scenario.lams_config()
+    assert run_once(bounds.lams_required_numbering_size, params) == config.required_numbering_size(
+        scenario.round_trip_time, scenario.iframe_time
+    )

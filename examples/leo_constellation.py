@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""LEO constellation scenario: orbit-driven link with finite lifetime.
+
+The paper's defining environment (Section 2.1): low-altitude satellites
+whose inter-satellite laser links have time-varying distance, large RTT
+variance, and lifetimes of minutes.  This example:
+
+1. places two satellites on crossing 1000 km orbits,
+2. computes their visibility windows and RTT statistics (including the
+   ``alpha >= R_max - R`` timeout margin HDLC would need),
+3. runs LAMS-DLC over the *time-varying* link for one window with the
+   numbering space validated against the paper's Section-3.3 bound, and
+4. reports delivery accounting across the pass.
+
+Run:  python examples/leo_constellation.py
+"""
+
+from __future__ import annotations
+
+from repro.core import LamsDlcConfig, lams_dlc_pair
+from repro.simulator import (
+    BernoulliChannel,
+    FullDuplexLink,
+    IsolatedLinkGeometry,
+    Satellite,
+    Simulator,
+    StreamRegistry,
+)
+from repro.workloads.generators import ConstantRateSource
+
+BIT_RATE = 300e6
+IFRAME_BER = 1e-6
+CFRAME_BER = 1e-8
+
+
+def main() -> None:
+    sat_a = Satellite("alpha", altitude_km=1000, inclination_deg=60, raan_deg=0, phase_deg=0)
+    sat_b = Satellite("bravo", altitude_km=1000, inclination_deg=60, raan_deg=30, phase_deg=4)
+    geometry = IsolatedLinkGeometry(sat_a, sat_b)
+
+    print(f"orbital period: {sat_a.period_s/60:.1f} min")
+    stats = geometry.rtt_stats(0.0, 2 * sat_a.period_s, step_s=5.0)
+    print(f"RTT over two orbits: {stats['min']*1e3:.2f}–{stats['max']*1e3:.2f} ms "
+          f"(var {stats['variance']:.3e})")
+    print(f"HDLC would need alpha >= R_max - R = {stats['alpha_min']*1e3:.2f} ms "
+          "of timeout margin on this pair")
+
+    # Link lifetime: when the pair is within a 4,000 km laser range.
+    windows = geometry.windows(0.0, 2 * sat_a.period_s, max_range_km=4000.0, step_s=5.0)
+    if not windows:
+        raise SystemExit("no visibility window in the simulated span")
+    window = max(windows, key=lambda w: w.duration)
+    print(f"\nusing visibility window {window.start:.0f}s – {window.end:.0f}s "
+          f"({window.duration/60:.1f} min link lifetime)")
+
+    # Build the simulation starting at the window's opening instant.
+    sim = Simulator()
+    sim.run(until=window.start)  # advance the clock to pass start
+    link = FullDuplexLink(
+        sim, bit_rate=BIT_RATE, propagation_delay=geometry.delay_fn(),
+        name="isl", iframe_errors=BernoulliChannel(IFRAME_BER),
+        cframe_errors=BernoulliChannel(CFRAME_BER), streams=StreamRegistry(seed=42),
+    )
+    config = LamsDlcConfig(
+        checkpoint_interval=0.005,
+        cumulation_depth=3,
+        numbering_bits=16,
+        link_lifetime=window.duration,
+    )
+    # Validate the sequence space against the paper's bound for the
+    # *worst-case* RTT of the pass.
+    config.validate_for_link(round_trip_time=stats["max"], bit_rate=BIT_RATE)
+    print(f"numbering: 2^{config.numbering_bits} = {config.numbering_size} >= "
+          f"required {config.required_numbering_size(stats['max'], (config.iframe_bits)/BIT_RATE)}")
+
+    delivered: list = []
+    a, b = lams_dlc_pair(sim, link, config, deliver_b=delivered.append)
+    a.start(send=True, receive=False)
+    b.start(send=False, receive=True)
+
+    # Offer traffic at 60% of line rate for the first half of the pass.
+    iframe_time = config.iframe_bits / BIT_RATE
+    source = ConstantRateSource(sim, a, rate=0.6 / iframe_time)
+    source.start()
+    sim.schedule_at(window.start + min(20.0, window.duration / 2), source.stop)
+    sim.run(until=window.start + min(30.0, window.duration))
+
+    sender = a.sender
+    ids = [p[1] for p in delivered]
+    print(f"\npass results ({sim.now - window.start:.1f}s simulated):")
+    print(f"  offered   : {source.offered}")
+    print(f"  delivered : {len(ids)} (exactly once: {len(ids) == len(set(ids))})")
+    print(f"  unresolved: {sender.unresolved_count} (still recoverable)")
+    print(f"  retransmit: {sender.retransmissions}")
+    print(f"  holding   : {sender.mean_holding_time*1e3:.2f} ms "
+          "(tracks the time-varying RTT)")
+    print(f"  failures  : {'declared' if sender.failed else 'none'}")
+
+
+if __name__ == "__main__":
+    main()

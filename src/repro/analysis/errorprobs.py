@@ -1,0 +1,92 @@
+"""Retransmission probabilities (paper Section 2 and Section 4).
+
+The paper's core probabilistic argument: with positive-acknowledgement
+ARQ a frame is retransmitted when *either* the frame or its
+acknowledgement is corrupted, so
+
+    ``P_R >= P_F + P_C - P_F * P_C``
+
+(and with piggybacked acks, where ``P_C = P_F``, ``P_R = 2P_F - P_F²``),
+whereas a NAK-only scheme retransmits only on actual frame error:
+
+    ``P_R = P_F``.
+
+From ``P_R`` the geometric retransmission count gives the mean number
+of periods ``s̄ = 1/(1-P_R)``, and from ``P_C`` the mean number of
+checkpoint commands needed to acknowledge a frame,
+``n̄_cp = 1/(1-P_C)``.
+"""
+
+from __future__ import annotations
+
+from ..simulator.errormodel import frame_error_probability
+
+__all__ = [
+    "frame_error_probability",
+    "retransmission_probability_lams",
+    "retransmission_probability_posack",
+    "retransmission_probability_piggyback",
+    "mean_transmissions",
+    "mean_checkpoints_needed",
+    "geometric_period_pmf",
+]
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def retransmission_probability_lams(p_f: float) -> float:
+    """``P_R`` for the NAK-only LAMS-DLC scheme: just ``P_F``.
+
+    Valid because the probability that all ``C_depth`` checkpoint
+    commands covering a frame are lost is negligible (the paper's
+    footnote: ``P_C^C_depth < epsilon``).
+    """
+    _check_probability("p_f", p_f)
+    return p_f
+
+
+def retransmission_probability_posack(p_f: float, p_c: float) -> float:
+    """``P_R`` for a positive-ack scheme: ``P_F + P_C - P_F P_C``.
+
+    A frame is resent when the frame itself is corrupted or when its
+    acknowledgement is lost/corrupted (Section 2; re-derived for both
+    HDLC period types in Section 4, which reach the same expression).
+    """
+    _check_probability("p_f", p_f)
+    _check_probability("p_c", p_c)
+    return p_f + p_c - p_f * p_c
+
+
+def retransmission_probability_piggyback(p_f: float) -> float:
+    """``P_R`` with piggybacked acks (``P_C = P_F``): ``2P_F - P_F²``."""
+    _check_probability("p_f", p_f)
+    return 2.0 * p_f - p_f * p_f
+
+
+def mean_transmissions(p_r: float) -> float:
+    """``s̄ = E[S] = 1/(1-P_R)``: mean periods to deliver one frame.
+
+    ``S`` is geometric: ``Prob[S = k] = (1-P_R) P_R^(k-1)``.
+    """
+    if not 0.0 <= p_r < 1.0:
+        raise ValueError(f"p_r must be in [0, 1), got {p_r!r}")
+    return 1.0 / (1.0 - p_r)
+
+
+def mean_checkpoints_needed(p_c: float) -> float:
+    """``n̄_cp = 1/(1-P_C)``: mean checkpoint commands to ack a frame."""
+    if not 0.0 <= p_c < 1.0:
+        raise ValueError(f"p_c must be in [0, 1), got {p_c!r}")
+    return 1.0 / (1.0 - p_c)
+
+
+def geometric_period_pmf(p_r: float, k: int) -> float:
+    """``Prob[S = k] = (1-P_R) P_R^(k-1)`` — the paper's density of S."""
+    if not 0.0 <= p_r < 1.0:
+        raise ValueError(f"p_r must be in [0, 1), got {p_r!r}")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return (1.0 - p_r) * p_r ** (k - 1)

@@ -1,0 +1,52 @@
+"""Go-Back-N closed-form model (paper Section 2.3's discard argument).
+
+Section 2.3: "With the former protocol [GBN], an I-frame loss implies
+the loss of all I-frames immediately following it … In a network with a
+large ``D_link`` and ``T_data``, GBN DLCPs will clearly discard many
+uncorrupted I frames."  The discarded pipeline is one *link frame
+length* — ``R/t_f`` frames in flight plus the erroneous one.
+
+The standard continuous-operation result follows: each frame error
+forces the replay of ``K = R/t_f + 1`` slots, so the expected slots per
+delivered frame are
+
+    ``s̄_GBN = 1 + P_R · K / (1 - P_R)``
+
+and the goodput efficiency is its reciprocal.  This quantifies the
+background comparison the paper makes qualitatively (and which our
+executable GBN variant shows in simulation — see
+``tests/test_hdlc_protocol.py::TestGoBackN``).
+"""
+
+from __future__ import annotations
+
+from .errorprobs import retransmission_probability_posack
+from .params import ModelParameters
+
+__all__ = ["pipeline_frames", "s_bar_gbn", "throughput_efficiency_gbn"]
+
+
+def pipeline_frames(params: ModelParameters) -> float:
+    """``K = R/t_f + 1``: slots wasted per frame error (the go-back)."""
+    return params.round_trip_time / params.iframe_time + 1.0
+
+
+def s_bar_gbn(params: ModelParameters) -> float:
+    """Expected channel slots per delivered frame under Go-Back-N.
+
+    Geometric argument: a frame needs ``G`` attempts
+    (``P[G = g] = (1-P_R) P_R^(g-1)``); every failed attempt costs the
+    full pipeline ``K``, the final success costs one slot:
+    ``E[slots] = 1 + (s̄-1)·K`` with ``s̄-1 = P_R/(1-P_R)``.
+    """
+    p_r = retransmission_probability_posack(params.p_f, params.p_c)
+    return 1.0 + p_r * pipeline_frames(params) / (1.0 - p_r)
+
+
+def throughput_efficiency_gbn(params: ModelParameters) -> float:
+    """Continuous-operation goodput efficiency ``1 / s̄_GBN``.
+
+    Assumes an always-open window (``W`` at least the pipeline depth)
+    and REJ-based recovery; timeout recovery would only lower this.
+    """
+    return 1.0 / s_bar_gbn(params)

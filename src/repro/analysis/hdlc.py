@@ -1,0 +1,207 @@
+"""SR-HDLC closed-form performance model (paper Section 4).
+
+Implements the baseline side of every comparison:
+
+- ``s̄_HDLC = 1/(1-(P_F + P_C - P_F P_C))``             → :func:`s_bar`
+- ``d_trans = P_C t_out + (1-P_C)(R + 2t_proc + t_c)``   → :func:`transmission_delay`
+- ``d_retrn = t_out``; ``d_resol = R + 2t_proc + t_c``   → :func:`retransmission_delay`, :func:`resolve_delay`
+- ``D_trans(W) = W t_f + d_trans``                       → :func:`transmission_period`
+- ``D_retrn``                                            → :func:`retransmission_period`
+- ``D_low(W) = D_trans(W) + (s̄-1) D_retrn``             → :func:`total_delivery_time_low`
+- ``D_high(N) = m D_low(N_win) + D_low(r_w)``            → :func:`total_delivery_time_high`
+- ``η_HDLC``                                             → :func:`throughput_high`
+
+**A note on the paper's algebra** (recorded here and in
+EXPERIMENTS.md): the paper's displayed expansion of ``D_retrn^HDLC``
+multiplies ``alpha`` by ``(1 - P_F - P_C + P_F P_C)`` and
+``(2t_proc + t_c)`` by ``(P_F + P_C - P_F P_C)``.  That contradicts the
+paper's own verbal definitions two lines earlier: the *resolve* outcome
+(probability ``q = (1-P_F)(1-P_C)``) ends with an RR after
+``d_resol = R + 2t_proc + t_c`` — no timeout — while the *non-resolve*
+outcome (probability ``1-q``) ends with the timeout
+``d_retrn = t_out = R + alpha``.  The correct expansion therefore
+weights ``alpha`` by ``1-q`` and ``2t_proc + t_c`` by ``q``.  All
+functions take ``variant="derived"`` (default, follows the verbal
+definitions) or ``variant="paper"`` (reproduces the printed algebra);
+the qualitative comparisons hold under both.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .errorprobs import mean_transmissions, retransmission_probability_posack
+from .params import ModelParameters
+
+__all__ = [
+    "s_bar",
+    "transmission_delay",
+    "retransmission_delay",
+    "resolve_delay",
+    "transmission_period",
+    "retransmission_period",
+    "total_delivery_time_low",
+    "delta",
+    "holding_time",
+    "n_total_window",
+    "total_delivery_time_high",
+    "throughput_high",
+    "throughput_efficiency",
+]
+
+_VARIANTS = ("derived", "paper")
+
+
+def _check_variant(variant: str) -> None:
+    if variant not in _VARIANTS:
+        raise ValueError(f"variant must be one of {_VARIANTS}, got {variant!r}")
+
+
+def s_bar(params: ModelParameters) -> float:
+    """``s̄_HDLC = 1/(1 - (P_F + P_C - P_F P_C))``."""
+    return mean_transmissions(retransmission_probability_posack(params.p_f, params.p_c))
+
+
+def resolve_delay(params: ModelParameters) -> float:
+    """``d_resol = R + 2 t_proc + t_c`` — the final, successful RR."""
+    return params.round_trip_time + 2.0 * params.processing_time + params.cframe_time
+
+
+def transmission_delay(params: ModelParameters) -> float:
+    """``d_trans = P_C t_out + (1-P_C)(R + 2t_proc + t_c)``.
+
+    After the window's last frame: with probability ``P_C`` the
+    RR/SREJ response is lost and the sender waits out the full timeout;
+    otherwise the normal response round trip.
+    """
+    return params.p_c * params.timeout + (1.0 - params.p_c) * resolve_delay(params)
+
+
+def retransmission_delay(params: ModelParameters) -> float:
+    """``d_retrn = t_out`` — a retransmission period ends by timeout."""
+    return params.timeout
+
+
+def transmission_period(params: ModelParameters, n_frames: int | float) -> float:
+    """``D_trans^HDLC(W) = W t_f + d_trans``."""
+    if n_frames < 0:
+        raise ValueError("n_frames cannot be negative")
+    return n_frames * params.iframe_time + transmission_delay(params)
+
+
+def retransmission_period(params: ModelParameters, variant: str = "derived") -> float:
+    """Mean retransmission-period length ``D_retrn^HDLC``.
+
+    ``derived``:  ``t_f + q·d_resol + (1-q)·t_out``
+                  with ``q = (1-P_F)(1-P_C)``  — the verbal definition.
+    ``paper``:    the printed expansion with the ``q`` / ``1-q`` weights
+                  swapped between the ``alpha`` and ``2t_proc + t_c``
+                  terms.
+    """
+    _check_variant(variant)
+    q = (1.0 - params.p_f) * (1.0 - params.p_c)
+    overhead = 2.0 * params.processing_time + params.cframe_time
+    if variant == "derived":
+        return (
+            params.iframe_time
+            + params.round_trip_time
+            + (1.0 - q) * params.alpha
+            + q * overhead
+        )
+    return (
+        params.iframe_time
+        + params.round_trip_time
+        + q * params.alpha
+        + (1.0 - q) * overhead
+    )
+
+
+def total_delivery_time_low(
+    params: ModelParameters,
+    n_frames: int | float,
+    variant: str = "derived",
+) -> float:
+    """``D_low^HDLC(N) = D_trans(N) + (s̄-1) D_retrn`` for ``N <= W``."""
+    return transmission_period(params, n_frames) + (s_bar(params) - 1.0) * retransmission_period(
+        params, variant
+    )
+
+
+def delta(params: ModelParameters, variant: str = "derived") -> float:
+    """``δ_HDLC``: the per-window overhead beyond ``W t_f + s̄ R``.
+
+    ``derived``: ``D_low(W) - W t_f - s̄ R`` evaluated from the period
+    expressions (keeps every term).
+    ``paper``: the printed
+    ``((s̄-1)(1 - P_F - P_C + P_F P_C) - P_C) α``.
+    """
+    _check_variant(variant)
+    if variant == "paper":
+        q = (1.0 - params.p_f) * (1.0 - params.p_c)
+        return (
+            (s_bar(params) - 1.0) * q - params.p_c
+        ) * params.alpha
+    return (
+        total_delivery_time_low(params, params.window_size, variant)
+        - params.window_size * params.iframe_time
+        - s_bar(params) * params.round_trip_time
+    )
+
+
+def holding_time(params: ModelParameters) -> float:
+    """Mean sender holding time for SR-HDLC.
+
+    Not displayed in the paper ("can be calculated the same way as
+    LAMS-DLC"); following that recipe: a successful frame is held for
+    the normal response turnaround, a failed one adds a timeout wait
+    and recurses, so ``H = s̄ · (t_f + d_trans)`` with the timeout
+    replacing the response on failures:
+
+    ``H_succ = t_f + (1-P_C)(R + 2t_proc + t_c) + P_C t_out``
+    ``H_frame = H_succ / (1 - P_R)``.
+    """
+    h_succ = params.iframe_time + transmission_delay(params)
+    p_r = retransmission_probability_posack(params.p_f, params.p_c)
+    return h_succ / (1.0 - p_r)
+
+
+def n_total_window(params: ModelParameters) -> float:
+    """``N_win = N_total(W)``: transmissions to clear one window.
+
+    Each of the window's ``W`` frames needs ``s̄`` transmissions in
+    expectation.
+    """
+    return params.window_size * s_bar(params)
+
+
+def total_delivery_time_high(
+    params: ModelParameters, n_frames: int, variant: str = "derived"
+) -> float:
+    """``D_high^HDLC(N) = m · D_low(N_win) + D_low(r_w)``.
+
+    SR-HDLC cannot overlap windows: every window pays its own full
+    resolution cost, so high-traffic time is ``m = ⌊N/W⌋`` complete
+    windows plus the remainder.
+    """
+    if n_frames < 0:
+        raise ValueError("n_frames cannot be negative")
+    w = params.window_size
+    m, remainder = divmod(n_frames, w)
+    total = m * total_delivery_time_low(params, n_total_window(params), variant)
+    if remainder:
+        total += total_delivery_time_low(params, remainder * s_bar(params), variant)
+    return total
+
+
+def throughput_high(params: ModelParameters, n_frames: int, variant: str = "derived") -> float:
+    """``η_HDLC = N / D_high^HDLC(N)`` — frames/second."""
+    if n_frames <= 0:
+        raise ValueError("n_frames must be positive")
+    return n_frames / total_delivery_time_high(params, n_frames, variant)
+
+
+def throughput_efficiency(
+    params: ModelParameters, n_frames: int, variant: str = "derived"
+) -> float:
+    """Normalised efficiency ``η · t_f ∈ (0, 1]``."""
+    return throughput_high(params, n_frames, variant) * params.iframe_time

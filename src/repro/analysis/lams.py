@@ -1,0 +1,274 @@
+"""LAMS-DLC closed-form performance model (paper Section 4).
+
+Every function implements one displayed equation of the paper, using
+:class:`~repro.analysis.params.ModelParameters` for the symbols.  The
+exact (not just the paper's ``≈``) forms are used by default; the
+approximate forms are available behind ``approximate=True`` so the
+benchmark tables can print both.
+
+Equation inventory:
+
+- ``s̄_LAMS = 1/(1-P_F)``                                   → :func:`s_bar`
+- ``D_trans(N) = N t_f + t_c + t_proc + R + (n̄_cp - ½) I_cp``  → :func:`transmission_period`
+- ``D_retrn   =   t_f + t_c + t_proc + R + (n̄_cp - ½) I_cp``  → :func:`retransmission_period`
+- ``D_low(N)  = D_trans(N) + (s̄-1) D_retrn``                → :func:`total_delivery_time_low`
+- ``H_frame   = H_succ / (1-P_F)``                           → :func:`holding_time`
+- ``B_LAMS    = H_frame/t_f + t_proc/t_f``                   → :func:`transparent_buffer_size`
+- subperiod recursion for ``N_total(N)``                     → :func:`subperiod_schedule`, :func:`n_total`
+- ``η_LAMS = N / (N_total t_f + s̄ R + δ_LAMS)``             → :func:`throughput_high`
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errorprobs import (
+    mean_checkpoints_needed,
+    mean_transmissions,
+    retransmission_probability_lams,
+)
+from .params import ModelParameters
+
+__all__ = [
+    "s_bar",
+    "n_cp_bar",
+    "transmission_period",
+    "retransmission_period",
+    "total_delivery_time_low",
+    "holding_time",
+    "transparent_buffer_size",
+    "delta",
+    "SubperiodSchedule",
+    "subperiod_schedule",
+    "n_total",
+    "total_delivery_time_high",
+    "throughput_high",
+    "throughput_efficiency",
+]
+
+
+def s_bar(params: ModelParameters) -> float:
+    """``s̄_LAMS = 1/(1-P_F)`` — mean periods per delivered frame."""
+    return mean_transmissions(retransmission_probability_lams(params.p_f))
+
+
+def n_cp_bar(params: ModelParameters) -> float:
+    """``n̄_cp = 1/(1-P_C)`` — mean checkpoints to acknowledge a frame."""
+    return mean_checkpoints_needed(params.p_c)
+
+
+def _checkpoint_wait(params: ModelParameters) -> float:
+    """``(n̄_cp - ½) I_cp``: mean wait from arrival to an effective checkpoint.
+
+    ``I_cp/2`` for the uniformly distributed arrival phase, plus a full
+    ``I_cp`` per lost checkpoint (``(n̄_cp - 1) I_cp``).
+    """
+    return (n_cp_bar(params) - 0.5) * params.checkpoint_interval
+
+
+def transmission_period(params: ModelParameters, n_frames: int | float) -> float:
+    """``D_trans^LAMS(N) = N t_f + t_c + t_proc + R + (n̄_cp - ½) I_cp``."""
+    if n_frames < 0:
+        raise ValueError("n_frames cannot be negative")
+    return (
+        n_frames * params.iframe_time
+        + params.cframe_time
+        + params.processing_time
+        + params.round_trip_time
+        + _checkpoint_wait(params)
+    )
+
+
+def retransmission_period(params: ModelParameters) -> float:
+    """``D_retrn^LAMS = t_f + t_c + t_proc + R + (n̄_cp - ½) I_cp``.
+
+    Identical to the transmission period with a single frame — the
+    paper's assumption that each retransmission period carries on
+    average one I-frame.
+    """
+    return transmission_period(params, 1)
+
+
+def total_delivery_time_low(
+    params: ModelParameters, n_frames: int | float, approximate: bool = False
+) -> float:
+    """``D_low^LAMS(N) = D_trans(N) + (s̄-1) D_retrn`` (low traffic).
+
+    With ``approximate=True`` returns the paper's trailing
+    approximation ``N t_f + s̄ R + s̄ (n̄_cp - ½) I_cp``.
+    """
+    sbar = s_bar(params)
+    if approximate:
+        return (
+            n_frames * params.iframe_time
+            + sbar * params.round_trip_time
+            + sbar * _checkpoint_wait(params)
+        )
+    return transmission_period(params, n_frames) + (sbar - 1.0) * retransmission_period(params)
+
+
+def holding_time(params: ModelParameters, approximate: bool = False) -> float:
+    """Mean sender holding time ``H_frame^LAMS``.
+
+    The paper's recursion
+    ``H_frame = (1-P_F) H_succ + P_F (H_succ + H_frame)`` solves to
+    ``H_frame = H_succ / (1-P_F)`` with
+    ``H_succ = R + t_f + t_c + t_proc + (n̄_cp - ½) I_cp``.
+
+    (The paper's intermediate line for ``H_fail`` prints
+    ``(n̄_cp + ½) I_cp``; that contradicts its own definition
+    ``H_fail = H_succ + H_frame`` and its final result, so we follow
+    the recursion — see EXPERIMENTS.md, "paper typos".)
+    """
+    h_succ = (
+        params.round_trip_time
+        + params.iframe_time
+        + params.cframe_time
+        + params.processing_time
+        + _checkpoint_wait(params)
+    )
+    if approximate:
+        return s_bar(params) * (params.round_trip_time + _checkpoint_wait(params))
+    return h_succ / (1.0 - params.p_f)
+
+
+def transparent_buffer_size(params: ModelParameters, approximate: bool = False) -> float:
+    """``B_LAMS = H_frame/t_f + t_proc/t_f`` — sending + receiving buffers.
+
+    The finite "transparent" buffer size: frames flowing in at rate
+    ``1/t_f`` during one holding time, plus the receiver's
+    ``t_proc/t_f`` processing slack.  Its existence (vs
+    ``B_HDLC = ∞``) is the paper's headline buffer result.
+    """
+    if approximate:
+        return (
+            s_bar(params)
+            * (params.round_trip_time + _checkpoint_wait(params))
+            / params.iframe_time
+        )
+    return (
+        holding_time(params) / params.iframe_time
+        + params.processing_time / params.iframe_time
+    )
+
+
+def delta(params: ModelParameters) -> float:
+    """``δ_LAMS = s̄ (n̄_cp - ½) I_cp`` — the checkpoint-wait term of η."""
+    return s_bar(params) * _checkpoint_wait(params)
+
+
+# ---------------------------------------------------------------------------
+# High-traffic subperiod recursion
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SubperiodSchedule:
+    """Result of the Section-4 subperiod recursion.
+
+    ``new_frames[i]`` is ``N_i`` — new frames admitted in subperiod *i*
+    (each subperiod is one mean holding time, ``h = H_frame/t_f`` frame
+    slots long); ``retransmission_load[i]`` is the expected slots
+    consumed by resurfacing retransmissions ``Σ_j N_j P_R^(i-j)``.
+    """
+
+    new_frames: list[float]
+    retransmission_load: list[float]
+    total_transmissions: float
+
+    @property
+    def subperiod_count(self) -> int:
+        return len(self.new_frames)
+
+
+def subperiod_schedule(
+    params: ModelParameters,
+    n_frames: int,
+    tail_epsilon: float = 1e-9,
+    max_subperiods: int = 1_000_000,
+) -> SubperiodSchedule:
+    """Evaluate the paper's ``N_total`` recursion.
+
+    Subperiod capacity is ``h = H_frame / t_f`` frames.  In subperiod
+    ``i`` the expected retransmission load from earlier subperiods is
+    ``Σ_{j<i} N_j P_R^{i-j}`` (frames that failed every intervening
+    attempt resurface after each holding time); new frames fill the
+    remaining slots until all ``N`` have been admitted, then the
+    retransmission tail drains.
+    """
+    if n_frames < 0:
+        raise ValueError("n_frames cannot be negative")
+    p_r = retransmission_probability_lams(params.p_f)
+    h = holding_time(params) / params.iframe_time
+    if h < 1.0:
+        h = 1.0  # a subperiod always fits at least one frame
+    new_frames: list[float] = []
+    loads: list[float] = []
+    remaining = float(n_frames)
+    total = 0.0
+    # `pending[k]` tracks expected frames that have failed and will
+    # resurface k subperiods from now; equivalently we fold the P_R
+    # geometric decay into a single "resurfacing mass" per period.
+    resurfacing = 0.0
+    for _ in range(max_subperiods):
+        if remaining <= 0 and resurfacing <= tail_epsilon:
+            break
+        load = resurfacing
+        capacity = max(h - load, 0.0)
+        admitted = min(remaining, capacity)
+        new_frames.append(admitted)
+        loads.append(load)
+        remaining -= admitted
+        transmissions = admitted + load
+        total += transmissions
+        # Of everything transmitted this subperiod, a fraction P_R fails
+        # and resurfaces one holding time later.
+        resurfacing = transmissions * p_r
+    else:
+        raise RuntimeError("subperiod recursion failed to converge")
+    return SubperiodSchedule(
+        new_frames=new_frames,
+        retransmission_load=loads,
+        total_transmissions=total,
+    )
+
+
+def n_total(params: ModelParameters, n_frames: int, recursive: bool = False) -> float:
+    """``N_total(N)``: transmissions (incl. retransmissions) for N frames.
+
+    The closed form is ``N s̄`` — each frame is transmitted a geometric
+    number of times; ``recursive=True`` evaluates the paper's subperiod
+    recursion instead (the two agree in the limit; benchmark E5 shows
+    the recursion's transient structure).
+    """
+    if recursive:
+        return subperiod_schedule(params, n_frames).total_transmissions
+    return n_frames * s_bar(params)
+
+
+def total_delivery_time_high(params: ModelParameters, n_frames: int) -> float:
+    """``D_high^LAMS(N) = D_low(N_total)``: high-traffic delivery time.
+
+    LAMS-DLC overlaps retransmission with new transmission, so the high
+    traffic time is one long transmission period carrying ``N_total``
+    frames (paper: ``D_high^LAMS(N) = D_low^LAMS(N_total^LAMS)``).
+    """
+    total = n_total(params, n_frames)
+    sbar = s_bar(params)
+    return total * params.iframe_time + sbar * params.round_trip_time + delta(params)
+
+
+def throughput_high(params: ModelParameters, n_frames: int) -> float:
+    """``η_LAMS = N / (N_total t_f + s̄ R + δ_LAMS)`` — frames/second."""
+    if n_frames <= 0:
+        raise ValueError("n_frames must be positive")
+    return n_frames / total_delivery_time_high(params, n_frames)
+
+
+def throughput_efficiency(params: ModelParameters, n_frames: int) -> float:
+    """Normalised efficiency ``η · t_f ∈ (0, 1]``.
+
+    Frames delivered per frame-transmission-time of elapsed time —
+    1.0 means the link never idles and never repeats itself.
+    """
+    return throughput_high(params, n_frames) * params.iframe_time

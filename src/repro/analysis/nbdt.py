@@ -1,0 +1,95 @@
+"""Closed-form throughput model for the NBDT baseline.
+
+The paper describes NBDT qualitatively (Section 1); to place it on the
+same axes as the Section-4 models we derive the obvious mean-value
+expressions for both modes.
+
+**Continuous mode.**  Like LAMS-DLC, transmission never stalls, so the
+channel-slot cost per delivered frame is just the retransmission
+factor.  NBDT retransmits on frame error — gap-listed or trailing-
+detected — so ``P_R = P_F`` (a lost report delays but does not force a
+retransmission; the next report carries the same information, exactly
+like the cumulative NAK):
+
+    ``η_cont ≈ (1 - P_F)``
+
+plus a vanishing per-transfer constant; the holding time, however, runs
+to the *positive* acknowledgement:
+
+    ``H_cont ≈ s̄ · (R + (n̄_rep − ½)·T_rep + t_f)``
+
+with ``T_rep`` the report period (``report_every · t_f``) and
+``n̄_rep = 1/(1-P_C)`` — structurally identical to LAMS-DLC's
+``H_frame``.  The difference the paper cares about is not here but in
+what the holding *requires*: NBDT cannot release on an absent NAK, so
+any report outage extends every frame's residence (and it has no
+failure detection to bound the wait).
+
+**Multiphase mode.**  One phase of ``N`` frames costs
+``N·t_f + d_report`` with ``d_report = R + t_c + t_proc``, and the
+expected number of phases to clear N frames is ``1/(1-P_F)`` per frame
+geometric — evaluated phase-wise:
+
+    ``D(N) ≈ Σ_k (N·P_F^k · t_f + d_report)`` until ``N·P_F^k < 1``
+
+which the function below evaluates exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .params import ModelParameters
+
+__all__ = [
+    "continuous_efficiency",
+    "continuous_holding_time",
+    "multiphase_transfer_time",
+    "multiphase_efficiency",
+]
+
+
+def continuous_efficiency(params: ModelParameters) -> float:
+    """Asymptotic goodput efficiency of NBDT continuous mode."""
+    return 1.0 - params.p_f
+
+
+def continuous_holding_time(params: ModelParameters, report_period: float) -> float:
+    """Mean sender holding time under continuous mode.
+
+    A frame waits for the report that covers it (``report_period/2`` on
+    average, plus ``report_period`` per lost report) and the transit
+    back; failures chain geometrically as in the LAMS recursion.
+    """
+    if report_period <= 0:
+        raise ValueError("report_period must be positive")
+    n_rep = 1.0 / (1.0 - params.p_c)
+    per_attempt = (
+        params.round_trip_time
+        + params.iframe_time
+        + (n_rep - 0.5) * report_period
+    )
+    return per_attempt / (1.0 - params.p_f)
+
+
+def multiphase_transfer_time(params: ModelParameters, n_frames: int) -> float:
+    """Expected total time to clear *n_frames* in multiphase mode.
+
+    Phase k carries the expected survivors ``N·P_F^k``; each phase pays
+    a full report turnaround.  Phases continue until the expected
+    remainder drops below one frame.
+    """
+    if n_frames <= 0:
+        raise ValueError("n_frames must be positive")
+    d_report = params.round_trip_time + params.cframe_time + params.processing_time
+    total = 0.0
+    remaining = float(n_frames)
+    while remaining >= 1.0:
+        total += remaining * params.iframe_time + d_report
+        remaining *= params.p_f
+    return total
+
+
+def multiphase_efficiency(params: ModelParameters, n_frames: int) -> float:
+    """Normalised goodput efficiency of a multiphase transfer."""
+    return n_frames * params.iframe_time / multiphase_transfer_time(params, n_frames)

@@ -1,0 +1,119 @@
+"""Parameter bundle for the Section-4 closed-form model.
+
+One :class:`ModelParameters` instance carries every symbol the paper's
+analysis uses:
+
+=============  ======================================================
+symbol         field
+=============  ======================================================
+``R``          ``round_trip_time``
+``t_f``        ``iframe_time``
+``t_c``        ``cframe_time``
+``t_proc``     ``processing_time``
+``P_F``        ``p_f`` (I-frame error probability)
+``P_C``        ``p_c`` (control-frame error probability)
+``I_cp``       ``checkpoint_interval`` (= ``W_cp``)
+``C_depth``    ``cumulation_depth``
+``W``          ``window_size`` (SR-HDLC)
+``alpha``      ``alpha`` (timeout margin, ``t_out = R + alpha``)
+=============  ======================================================
+
+The :meth:`from_link` factory derives the timing fields from physical
+link parameters (rate, distance, frame sizes) and the error
+probabilities from a residual BER — the exact chain the simulator uses,
+so model and simulation are parameterised identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from ..simulator.errormodel import frame_error_probability
+from ..simulator.link import LIGHT_SPEED_KM_S
+
+__all__ = ["ModelParameters"]
+
+
+@dataclass(frozen=True)
+class ModelParameters:
+    """Inputs to every formula in the Section-4 analysis."""
+
+    round_trip_time: float
+    iframe_time: float
+    cframe_time: float
+    processing_time: float
+    p_f: float
+    p_c: float
+    checkpoint_interval: float
+    cumulation_depth: int = 3
+    window_size: int = 8
+    alpha: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.round_trip_time < 0:
+            raise ValueError("round_trip_time cannot be negative")
+        if self.iframe_time <= 0:
+            raise ValueError("iframe_time must be positive")
+        if self.cframe_time < 0 or self.processing_time < 0:
+            raise ValueError("times cannot be negative")
+        for name, p in (("p_f", self.p_f), ("p_c", self.p_c)):
+            if not 0.0 <= p < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {p!r}")
+        if self.checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive")
+        if self.cumulation_depth < 1:
+            raise ValueError("cumulation_depth must be >= 1")
+        if self.window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        if self.alpha < 0:
+            raise ValueError("alpha cannot be negative")
+
+    @property
+    def timeout(self) -> float:
+        """HDLC's ``t_out = R + alpha``."""
+        return self.round_trip_time + self.alpha
+
+    @classmethod
+    def from_link(
+        cls,
+        bit_rate: float,
+        distance_km: float,
+        iframe_bits: int = 8272,
+        cframe_bits: int = 96,
+        iframe_ber: float = 1e-6,
+        cframe_ber: float = 1e-8,
+        processing_time: float = 10e-6,
+        checkpoint_interval: float = 0.010,
+        cumulation_depth: int = 3,
+        window_size: int = 8,
+        alpha: float = 0.0,
+    ) -> "ModelParameters":
+        """Build parameters from physical link characteristics.
+
+        ``iframe_ber`` / ``cframe_ber`` are *residual* BERs after FEC
+        (assumption 4 gives control frames the stronger codec, hence the
+        much lower default).  ``P_F`` and ``P_C`` follow as the per-frame
+        error probabilities ``1 - (1-BER)^bits``.
+        """
+        if bit_rate <= 0:
+            raise ValueError("bit_rate must be positive")
+        if distance_km < 0:
+            raise ValueError("distance cannot be negative")
+        one_way = distance_km / LIGHT_SPEED_KM_S
+        return cls(
+            round_trip_time=2.0 * one_way,
+            iframe_time=iframe_bits / bit_rate,
+            cframe_time=cframe_bits / bit_rate,
+            processing_time=processing_time,
+            p_f=frame_error_probability(iframe_ber, iframe_bits),
+            p_c=frame_error_probability(cframe_ber, cframe_bits),
+            checkpoint_interval=checkpoint_interval,
+            cumulation_depth=cumulation_depth,
+            window_size=window_size,
+            alpha=alpha,
+        )
+
+    def with_(self, **changes: Any) -> "ModelParameters":
+        """A copy with the given fields replaced (sweep helper)."""
+        return replace(self, **changes)

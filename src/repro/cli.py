@@ -1,0 +1,279 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Six commands cover the library's everyday uses:
+
+- ``experiments list`` / ``experiments run <id>`` — the E1–E19 registry.
+- ``model`` — the Section-4 closed-form quantities at one operating point.
+- ``compare`` — model-level LAMS-DLC vs SR-HDLC at one operating point.
+- ``simulate`` — run an executable protocol (LAMS-DLC, SR-HDLC, GBN, or
+  NBDT) over a simulated link.
+- ``orbit`` — LEO pair geometry: visibility windows and RTT statistics.
+- ``report`` — regenerate the full evaluation as one document.
+
+Every command accepts ``--preset`` (short_hop / nominal / long_haul /
+noisy) plus overrides for the physical and protocol knobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import bounds, compare, delay
+from .analysis import hdlc as hdlc_model
+from .analysis import lams as lams_model
+from .experiments import experiment_ids, render_table, run_experiment
+from .experiments.runner import measure_batch_transfer, measure_saturated
+from .simulator.orbit import Satellite, rtt_statistics, visibility_windows
+from .workloads import preset
+from .workloads.scenarios import LinkScenario
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--preset", default="nominal",
+                        help="scenario preset (short_hop/nominal/long_haul/noisy)")
+    parser.add_argument("--bit-rate", type=float, default=None, help="bits/second")
+    parser.add_argument("--distance-km", type=float, default=None)
+    parser.add_argument("--iframe-ber", type=float, default=None)
+    parser.add_argument("--cframe-ber", type=float, default=None)
+    parser.add_argument("--checkpoint-interval", type=float, default=None,
+                        help="W_cp in seconds")
+    parser.add_argument("--cumulation-depth", type=int, default=None, help="C_depth")
+    parser.add_argument("--window-size", type=int, default=None, help="HDLC W")
+    parser.add_argument("--alpha", type=float, default=None,
+                        help="HDLC timeout margin t_out - R")
+
+
+def _scenario_from_args(args: argparse.Namespace) -> LinkScenario:
+    scenario = preset(args.preset)
+    overrides = {}
+    for field in ("bit_rate", "distance_km", "iframe_ber", "cframe_ber",
+                  "checkpoint_interval", "cumulation_depth", "window_size", "alpha"):
+        value = getattr(args, field)
+        if value is not None:
+            overrides[field] = value
+    return scenario.with_(**overrides) if overrides else scenario
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    if args.action == "list":
+        for eid in experiment_ids():
+            result_fn = run_experiment.__globals__["REGISTRY"][eid]
+            doc = (result_fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{eid:8s} {doc}")
+        return 0
+    result = run_experiment(args.id)
+    print(render_table(result.rows, title=f"[{result.experiment_id}] {result.title}"))
+    if result.notes:
+        print(f"\nnote: {result.notes}")
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args)
+    params = scenario.model_parameters()
+    n = args.frames
+    rows = [
+        {"quantity": "P_F (I-frame error prob)", "value": params.p_f},
+        {"quantity": "P_C (control error prob)", "value": params.p_c},
+        {"quantity": "s_bar LAMS", "value": lams_model.s_bar(params)},
+        {"quantity": "s_bar HDLC", "value": hdlc_model.s_bar(params)},
+        {"quantity": "H_frame LAMS (s)", "value": lams_model.holding_time(params)},
+        {"quantity": "B_LAMS (frames)", "value": lams_model.transparent_buffer_size(params)},
+        {"quantity": f"D_low LAMS(N={n}) (s)",
+         "value": lams_model.total_delivery_time_low(params, n)},
+        {"quantity": f"D_low HDLC(N={n}) (s)",
+         "value": hdlc_model.total_delivery_time_low(params, min(n, params.window_size))},
+        {"quantity": f"eta LAMS (N={n})",
+         "value": lams_model.throughput_efficiency(params, n)},
+        {"quantity": f"eta HDLC (N={n})",
+         "value": hdlc_model.throughput_efficiency(params, n)},
+        {"quantity": "numbering required (LAMS)",
+         "value": bounds.lams_required_numbering_size(params)},
+        {"quantity": "inconsistency gap bound (s)",
+         "value": bounds.lams_inconsistency_gap(params)},
+        {"quantity": "delay p50 LAMS (s)", "value": delay.lams_delay_quantile(params, 0.5)},
+        {"quantity": "delay p99.99 LAMS (s)",
+         "value": delay.lams_delay_quantile(params, 0.9999)},
+    ]
+    print(render_table(rows, title=f"Section-4 model at preset '{scenario.name}'"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args)
+    row = compare.comparison_row(scenario.model_parameters(), args.frames)
+    print(render_table([row], title=f"LAMS-DLC vs SR-HDLC at preset '{scenario.name}' "
+                                    f"(N={args.frames})"))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args)
+    if args.saturated:
+        result = measure_saturated(scenario, args.protocol, args.duration, seed=args.seed)
+    else:
+        result = measure_batch_transfer(
+            scenario, args.protocol, args.frames, seed=args.seed,
+            max_time=args.duration,
+        )
+    print(render_table([result], title=f"simulated {args.protocol} over "
+                                       f"preset '{scenario.name}'"))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .analysis.tuning import recommend_config
+
+    config, rationale = recommend_config(
+        bit_rate=args.bit_rate,
+        distance_km=args.distance_km,
+        iframe_ber=args.iframe_ber,
+        cframe_ber=args.cframe_ber,
+        mean_burst=args.mean_burst,
+        wait_budget=args.wait_budget,
+    )
+    rows = [
+        {"knob": "payload_bits", "value": config.iframe_payload_bits,
+         "rule": rationale["payload_rule"]},
+        {"knob": "checkpoint_interval_s", "value": config.checkpoint_interval,
+         "rule": rationale["checkpoint_rule"]},
+        {"knob": "cumulation_depth", "value": config.cumulation_depth,
+         "rule": rationale["cumulation_rule"]},
+        {"knob": "numbering_bits", "value": config.numbering_bits,
+         "rule": rationale["numbering_rule"]},
+        {"knob": "failure_detection_s",
+         "value": rationale["failure_detection_latency"], "rule": "C_depth * W_cp"},
+    ]
+    print(render_table(rows, title=f"recommended LAMS-DLC configuration "
+                                   f"({args.bit_rate/1e6:.0f} Mbps x "
+                                   f"{args.distance_km:.0f} km, "
+                                   f"BER {args.iframe_ber:g})"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report import generate_report
+
+    text = generate_report(experiment_ids=args.only)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_orbit(args: argparse.Namespace) -> int:
+    sat_a = Satellite("a", altitude_km=args.altitude, inclination_deg=args.inclination)
+    sat_b = Satellite(
+        "b", altitude_km=args.altitude, inclination_deg=args.inclination,
+        raan_deg=args.raan_b, phase_deg=args.phase_b,
+    )
+    stats = rtt_statistics(sat_a, sat_b, 0.0, args.span, step_s=args.step)
+    print(render_table(
+        [{"quantity": key, "value": value} for key, value in stats.items()],
+        title=f"RTT statistics over {args.span:.0f}s "
+              f"(altitude {args.altitude:.0f} km)",
+    ))
+    windows = visibility_windows(
+        sat_a, sat_b, 0.0, args.span, max_range_km=args.max_range, step_s=args.step
+    )
+    rows = [
+        {"start_s": w.start, "end_s": w.end, "duration_s": w.duration}
+        for w in windows
+    ]
+    print()
+    print(render_table(rows, title=f"visibility windows (max range "
+                                   f"{args.max_range:.0f} km)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LAMS-DLC ARQ protocol reproduction (Ward & Choi, 1991)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    exp = subparsers.add_parser("experiments", help="run the E1-E19 registry")
+    exp_sub = exp.add_subparsers(dest="action", required=True)
+    exp_sub.add_parser("list", help="list experiment ids")
+    exp_run = exp_sub.add_parser("run", help="run one experiment")
+    exp_run.add_argument("id", help="experiment id, e.g. E6")
+    exp.set_defaults(handler=_cmd_experiments)
+
+    model = subparsers.add_parser("model", help="closed-form quantities")
+    _add_scenario_arguments(model)
+    model.add_argument("--frames", type=int, default=50_000)
+    model.set_defaults(handler=_cmd_model)
+
+    cmp_parser = subparsers.add_parser("compare", help="LAMS vs HDLC (model)")
+    _add_scenario_arguments(cmp_parser)
+    cmp_parser.add_argument("--frames", type=int, default=50_000)
+    cmp_parser.set_defaults(handler=_cmd_compare)
+
+    sim_parser = subparsers.add_parser("simulate", help="run the executable protocol")
+    _add_scenario_arguments(sim_parser)
+    sim_parser.add_argument(
+        "--protocol",
+        choices=("lams", "hdlc", "gbn", "nbdt-continuous", "nbdt-multiphase"),
+        default="lams",
+    )
+    sim_parser.add_argument("--frames", type=int, default=5000)
+    sim_parser.add_argument("--duration", type=float, default=60.0,
+                            help="max (batch) or total (saturated) seconds")
+    sim_parser.add_argument("--saturated", action="store_true",
+                            help="saturated source instead of a finite batch")
+    sim_parser.add_argument("--seed", type=int, default=0)
+    sim_parser.set_defaults(handler=_cmd_simulate)
+
+    tune_parser = subparsers.add_parser(
+        "tune", help="recommend a LAMS-DLC configuration for a link"
+    )
+    tune_parser.add_argument("--bit-rate", type=float, required=True)
+    tune_parser.add_argument("--distance-km", type=float, required=True)
+    tune_parser.add_argument("--iframe-ber", type=float, default=1e-6)
+    tune_parser.add_argument("--cframe-ber", type=float, default=1e-8)
+    tune_parser.add_argument("--mean-burst", type=float, default=0.0,
+                             help="mean burst length in seconds")
+    tune_parser.add_argument("--wait-budget", type=float, default=0.10,
+                             help="checkpoint wait as a fraction of RTT")
+    tune_parser.set_defaults(handler=_cmd_tune)
+
+    report_parser = subparsers.add_parser(
+        "report", help="regenerate the full evaluation report"
+    )
+    report_parser.add_argument("--only", nargs="*", default=None,
+                               help="experiment ids to include (default: all)")
+    report_parser.add_argument("--output", default=None,
+                               help="write to a file instead of stdout")
+    report_parser.set_defaults(handler=_cmd_report)
+
+    orbit_parser = subparsers.add_parser("orbit", help="LEO pair geometry")
+    orbit_parser.add_argument("--altitude", type=float, default=1000.0)
+    orbit_parser.add_argument("--inclination", type=float, default=60.0)
+    orbit_parser.add_argument("--raan-b", type=float, default=30.0)
+    orbit_parser.add_argument("--phase-b", type=float, default=0.0)
+    orbit_parser.add_argument("--span", type=float, default=12_000.0)
+    orbit_parser.add_argument("--step", type=float, default=5.0)
+    orbit_parser.add_argument("--max-range", type=float, default=6000.0)
+    orbit_parser.set_defaults(handler=_cmd_orbit)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""LAMS-DLC: the paper's NAK-based ARQ data-link protocol.
+
+Public surface: :class:`LamsDlcConfig` (all protocol knobs),
+:class:`LamsDlcEndpoint` / :func:`lams_dlc_pair` (executable protocol),
+and the building blocks (frames, sequence space, send buffer, Stop-Go
+flow control) for anyone composing a custom stack.
+"""
+
+from .config import LamsDlcConfig
+from .flowcontrol import StopGoRateController
+from .frames import CheckpointFrame, IFrame, LamsFrame, RequestNakFrame
+from .protocol import LamsDlcEndpoint, lams_dlc_pair
+from .receiver import ErrorEntry, LamsReceiver
+from .sendbuf import OutstandingFrame, SendBuffer
+from .sender import LamsSender, PendingRetransmission
+from .seqspace import (
+    SequenceExhausted,
+    SequenceSpace,
+    cyclic_less_equal,
+    forward_distance,
+)
+
+__all__ = [
+    "CheckpointFrame",
+    "ErrorEntry",
+    "IFrame",
+    "LamsDlcConfig",
+    "LamsDlcEndpoint",
+    "LamsFrame",
+    "LamsReceiver",
+    "LamsSender",
+    "OutstandingFrame",
+    "PendingRetransmission",
+    "RequestNakFrame",
+    "SendBuffer",
+    "SequenceExhausted",
+    "SequenceSpace",
+    "StopGoRateController",
+    "cyclic_less_equal",
+    "forward_distance",
+    "lams_dlc_pair",
+]

@@ -1,0 +1,341 @@
+"""The LAMS-DLC receiver half (paper Sections 3.1–3.2).
+
+Responsibilities, straight from the protocol description:
+
+1. Deliver valid I-frames upward *immediately* — out of order is fine
+   (the relaxed in-sequence constraint); the destination resequences.
+2. Detect erroneous I-frames (corrupted payloads, and losses revealed
+   by sequence-number gaps) and log them.
+3. Every ``W_cp`` seconds, emit a Check-Point command carrying the
+   cumulative NAK list: each error entry is repeated in ``C_depth``
+   consecutive checkpoints, then expires.
+4. Answer a Request-NAK immediately with an Enforced-NAK listing every
+   error logged within the resolving period.
+5. Drive flow control: set the Stop-Go bit while the receive queue is
+   above its watermark, and — if truly overflowing — discard I-frames
+   *but log them as erroneous* so the cumulative NAK recovers them
+   (keeping the zero-loss guarantee even under congestion).
+
+The receiver sends checkpoint commands for as long as it is running,
+"so long as the link is active" — even during a suspected failure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..simulator.engine import Simulator
+from ..simulator.link import SimplexChannel
+from ..simulator.trace import Tracer
+from .config import LamsDlcConfig
+from .frames import CheckpointFrame, IFrame, RequestNakFrame
+from .seqspace import forward_distance
+
+__all__ = ["LamsReceiver", "ErrorEntry"]
+
+
+@dataclass
+class ErrorEntry:
+    """One erroneous I-frame awaiting recovery via cumulative NAKs."""
+
+    seq: int
+    detect_time: float
+    reports: int = 0
+
+
+class LamsReceiver:
+    """Receiver state machine for one direction of a LAMS-DLC link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: LamsDlcConfig,
+        control_channel: SimplexChannel,
+        expected_rtt: float,
+        name: str = "lams.rx",
+        tracer: Optional[Tracer] = None,
+        deliver: Optional[Callable[[Any], None]] = None,
+        delivery_interval: Optional[float] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.control_channel = control_channel
+        self.expected_rtt = expected_rtt
+        self.name = name
+        self.tracer = tracer or Tracer()
+        # Explicit None check: callables with __len__ (e.g. DeliveryLog)
+        # are falsy when empty and must not be replaced.
+        self.deliver = deliver if deliver is not None else (lambda packet: None)
+        self.delivery_interval = delivery_interval
+
+        self.cp_index = 0
+        self.frontier: Optional[int] = None
+        self._next_expected_seq: Optional[int] = None
+        self._error_log: dict[int, ErrorEntry] = {}
+        # Errors kept past cumulative expiry, for Enforced-NAK responses.
+        self._resolving_log: deque[ErrorEntry] = deque()
+        self._running = False
+        self._checkpoint_timer = sim.timer(self._emit_periodic_checkpoint)
+
+        # Receive queue: frames waiting for per-frame processing. With no
+        # delivery_interval the queue drains at one frame per t_proc.
+        self._receive_queue: deque[Any] = deque()
+        self._draining = False
+
+        # Zero-duplication extension: stable incarnation identities of
+        # recently delivered frames.  Duplicates only arise within the
+        # enforced-recovery horizon, so entries expire after a small
+        # multiple of the resolving period — bounded memory.
+        self._delivered_origins: dict[int, float] = {}
+        self._origin_prune_queue: deque[tuple[float, int]] = deque()
+
+        # Statistics.
+        self.iframes_received = 0
+        self.iframes_corrupted = 0
+        self.gap_losses_detected = 0
+        self.delivered = 0
+        self.discards = 0
+        self.duplicates_suppressed = 0
+        self.checkpoints_sent = 0
+        self.enforced_sent = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin periodic checkpoint emission."""
+        if self._running:
+            raise RuntimeError("receiver already started")
+        self._running = True
+        self._checkpoint_timer.start(self.config.checkpoint_interval)
+
+    def stop(self) -> None:
+        """Halt checkpoint emission (link teardown)."""
+        self._running = False
+        self._checkpoint_timer.cancel()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def resolving_retention(self) -> float:
+        """How long error entries stay available for Enforced-NAKs.
+
+        The resolving period bound of Section 3.3 — any error older than
+        this has either been recovered or the link has already failed.
+        """
+        return self.config.resolving_period(self.expected_rtt)
+
+    # -- frame input ----------------------------------------------------------
+
+    def on_iframe(self, frame: IFrame, corrupted: bool) -> None:
+        """Handle an arriving I-frame (possibly corrupted)."""
+        self.iframes_received += 1
+        if corrupted and not self.config.header_protected:
+            # Header unreadable: an effective loss. A later frame's gap
+            # or the sender's trailing-loss check will recover it.
+            self.iframes_corrupted += 1
+            self.tracer.emit(self.sim.now, self.name, "iframe_header_lost")
+            return
+
+        self._detect_gap(frame.seq)
+        self._next_expected_seq = (frame.seq + 1) % self.config.numbering_size
+        if self.frontier is None or frame.transmit_index > self.frontier:
+            self.frontier = frame.transmit_index
+
+        if corrupted:
+            self.iframes_corrupted += 1
+            self._log_error(frame.seq)
+            self.tracer.emit(self.sim.now, self.name, "iframe_corrupted", seq=frame.seq)
+            return
+
+        if self.config.zero_duplication and self._is_duplicate_incarnation(frame):
+            self.duplicates_suppressed += 1
+            self.tracer.emit(
+                self.sim.now, self.name, "duplicate_suppressed",
+                origin=frame.effective_origin,
+            )
+            return
+
+        self._enqueue_for_delivery(frame)
+
+    # -- zero-duplication extension -----------------------------------------------
+
+    @property
+    def _origin_retention(self) -> float:
+        """How long delivered incarnation ids are remembered.
+
+        Duplicates are produced only by enforced recovery, whose
+        retransmissions land within roughly one resolving period plus
+        one failure budget of the original delivery; 4x the resolving
+        period covers that with margin.
+        """
+        return 4.0 * self.resolving_retention
+
+    def _is_duplicate_incarnation(self, frame: IFrame) -> bool:
+        """Record-and-test the frame's stable incarnation identity."""
+        now = self.sim.now
+        horizon = now - self._origin_retention
+        while self._origin_prune_queue and self._origin_prune_queue[0][0] < horizon:
+            _, stale = self._origin_prune_queue.popleft()
+            self._delivered_origins.pop(stale, None)
+        origin = frame.effective_origin
+        if origin in self._delivered_origins:
+            return True
+        self._delivered_origins[origin] = now
+        self._origin_prune_queue.append((now, origin))
+        return False
+
+    def on_request_nak(self, frame: RequestNakFrame, corrupted: bool) -> None:
+        """Answer a (valid) Request-NAK immediately with an Enforced-NAK."""
+        if not self._running:
+            return  # a dead receiver answers nothing
+        if corrupted:
+            # An unreadable probe; the sender's failure timer covers this.
+            self.tracer.emit(self.sim.now, self.name, "request_nak_corrupted")
+            return
+        naks = self._resolving_period_errors()
+        self._send_checkpoint(naks=naks, enforced=True)
+        self.enforced_sent += 1
+        self.tracer.emit(self.sim.now, self.name, "enforced_nak", naks=len(naks))
+
+    # -- gap / error logging -----------------------------------------------------
+
+    def _detect_gap(self, seq: int) -> None:
+        """Log losses revealed by a jump in the (sequential) numbering.
+
+        LAMS-DLC issues sequence numbers in transmit order (including
+        renumbered retransmissions) and the channel is FIFO, so arriving
+        headers carry consecutive numbers; any jump means the skipped
+        frames were lost in transit.
+        """
+        if self._next_expected_seq is None:
+            # First frame of the conversation: by link-model assumption 1
+            # both ends start from sequence number zero, so a nonzero
+            # first arrival reveals the loss of everything before it.
+            gap = seq
+        else:
+            gap = forward_distance(self._next_expected_seq, seq, self.config.numbering_size)
+        if gap == 0:
+            return
+        start = 0 if self._next_expected_seq is None else self._next_expected_seq
+        for offset in range(gap):
+            lost = (start + offset) % self.config.numbering_size
+            self._log_error(lost)
+        self.gap_losses_detected += gap
+        self.tracer.emit(self.sim.now, self.name, "gap_detected", count=gap, upto=seq)
+
+    def _log_error(self, seq: int) -> None:
+        if seq in self._error_log:
+            return
+        entry = ErrorEntry(seq=seq, detect_time=self.sim.now)
+        self._error_log[seq] = entry
+        self._resolving_log.append(entry)
+
+    def _resolving_period_errors(self) -> tuple[int, ...]:
+        """All distinct error seqs logged within the resolving period."""
+        horizon = self.sim.now - self.resolving_retention
+        while self._resolving_log and self._resolving_log[0].detect_time < horizon:
+            self._resolving_log.popleft()
+        return tuple(dict.fromkeys(entry.seq for entry in self._resolving_log))
+
+    # -- checkpoint emission ---------------------------------------------------------
+
+    def _emit_periodic_checkpoint(self) -> None:
+        if not self._running:
+            return
+        naks = self._cumulative_naks()
+        self._send_checkpoint(naks=naks, enforced=False)
+        self._checkpoint_timer.start(self.config.checkpoint_interval)
+
+    def _cumulative_naks(self) -> tuple[int, ...]:
+        """NAK list for a periodic checkpoint; ages out reported entries."""
+        naks = []
+        expired = []
+        for seq, entry in self._error_log.items():
+            naks.append(seq)
+            entry.reports += 1
+            if entry.reports >= self.config.cumulation_depth:
+                expired.append(seq)
+        for seq in expired:
+            del self._error_log[seq]
+        return tuple(naks)
+
+    def _send_checkpoint(self, naks: tuple[int, ...], enforced: bool) -> None:
+        stop_go = self._stop_indicated()
+        frame = CheckpointFrame(
+            cp_index=self.cp_index,
+            issue_time=self.sim.now,
+            naks=naks,
+            frontier=self.frontier,
+            enforced=enforced,
+            stop_go=stop_go,
+            size_bits=self.config.cframe_bits(len(naks)),
+        )
+        self.cp_index += 1
+        self.checkpoints_sent += 1
+        self.control_channel.send(frame)
+        self.tracer.emit(
+            self.sim.now, self.name, "checkpoint_sent",
+            index=frame.cp_index, naks=len(naks), enforced=enforced, stop_go=stop_go,
+        )
+
+    # -- delivery / flow control --------------------------------------------------------
+
+    def stop_indicated(self) -> bool:
+        """Current Stop-Go state of this receiver's queue.
+
+        Public because the co-located sender half piggybacks it onto
+        outgoing I-frames (Section 3.1's flow-control piggybacking).
+        """
+        if not self.config.flow_control_enabled:
+            return False
+        return len(self._receive_queue) >= self.config.receive_high_watermark
+
+    # Backwards-compatible private alias used by checkpoint emission.
+    _stop_indicated = stop_indicated
+
+    def _enqueue_for_delivery(self, frame: IFrame) -> None:
+        capacity = self.config.receive_queue_capacity
+        if capacity is not None and len(self._receive_queue) >= capacity:
+            # Overflow: discard, but log as erroneous so the cumulative
+            # NAK triggers a retransmission — zero loss is preserved.
+            self.discards += 1
+            self._log_error(frame.seq)
+            self.tracer.emit(self.sim.now, self.name, "overflow_discard", seq=frame.seq)
+            return
+        self._receive_queue.append(frame.payload)
+        self.tracer.level(f"{self.name}.rxqueue", self.sim.now, len(self._receive_queue))
+        if not self._draining:
+            self._draining = True
+            self.sim.schedule(self._drain_delay(), self._drain_one)
+
+    def _drain_delay(self) -> float:
+        if self.delivery_interval is not None:
+            return self.delivery_interval
+        return self.config.processing_time
+
+    def _drain_one(self) -> None:
+        if not self._receive_queue:
+            self._draining = False
+            return
+        packet = self._receive_queue.popleft()
+        self.tracer.level(f"{self.name}.rxqueue", self.sim.now, len(self._receive_queue))
+        self.delivered += 1
+        self.deliver(packet)
+        if self._receive_queue:
+            self.sim.schedule(self._drain_delay(), self._drain_one)
+        else:
+            self._draining = False
+
+    @property
+    def receive_queue_length(self) -> int:
+        return len(self._receive_queue)
+
+    def __repr__(self) -> str:
+        return (
+            f"<LamsReceiver {self.name} cp={self.cp_index} "
+            f"errors={len(self._error_log)} delivered={self.delivered}>"
+        )

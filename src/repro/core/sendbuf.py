@@ -1,0 +1,164 @@
+"""The LAMS-DLC sending buffer, with holding-time accounting.
+
+Section 3.4 distinguishes *flow control* (protects the receiver) from
+*buffer control* (bounds the sender's holding time, giving the sending
+buffer its finite "transparent size" ``B_LAMS``).  This module is the
+data structure under both: a FIFO of packets awaiting first
+transmission plus a map of outstanding (transmitted, unresolved)
+frames, instrumented so experiments can measure exactly the quantities
+Section 4 derives — mean holding time ``H_frame`` and buffer occupancy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+__all__ = ["OutstandingFrame", "SendBuffer"]
+
+
+@dataclass
+class OutstandingFrame:
+    """Bookkeeping for one transmitted-but-unresolved I-frame."""
+
+    seq: int
+    payload: Any
+    enqueue_time: float
+    send_time: float
+    expected_arrival: float
+    transmit_index: int
+    retransmit_count: int = 0
+    first_send_time: float = field(default=-1.0)
+    origin: int = field(default=-1)
+    """Transmit index of the frame's first incarnation (stable identity
+    across renumbering; -1 means this IS the first incarnation)."""
+
+    def __post_init__(self) -> None:
+        if self.first_send_time < 0:
+            self.first_send_time = self.send_time
+        if self.origin < 0:
+            self.origin = self.transmit_index
+
+
+class SendBuffer:
+    """Pending queue + outstanding map with occupancy/holding statistics.
+
+    *Occupancy* counts both pending and outstanding frames — a frame
+    occupies sender memory from enqueue until resolution (release) —
+    matching the paper's definition of the sending-buffer requirement.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive (or None for unbounded)")
+        self.capacity = capacity
+        self._pending: deque[tuple[Any, float]] = deque()
+        self._outstanding: dict[int, OutstandingFrame] = {}
+        # Statistics.
+        self.enqueued_total = 0
+        self.refused_total = 0
+        self.released_total = 0
+        self.holding_time_sum = 0.0
+        self.holding_samples = 0
+        self.peak_occupancy = 0
+
+    # -- occupancy ---------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def outstanding_count(self) -> int:
+        return len(self._outstanding)
+
+    @property
+    def occupancy(self) -> int:
+        """Total frames held (pending + outstanding)."""
+        return len(self._pending) + len(self._outstanding)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and self.occupancy >= self.capacity
+
+    @property
+    def mean_holding_time(self) -> float:
+        """Mean time from first transmission to resolution, over releases."""
+        if self.holding_samples == 0:
+            return 0.0
+        return self.holding_time_sum / self.holding_samples
+
+    # -- pending queue -------------------------------------------------------
+
+    def enqueue(self, packet: Any, now: float) -> bool:
+        """Add a packet from the network layer; False if buffer is full."""
+        if self.is_full:
+            self.refused_total += 1
+            return False
+        self._pending.append((packet, now))
+        self.enqueued_total += 1
+        if self.occupancy > self.peak_occupancy:
+            self.peak_occupancy = self.occupancy
+        return True
+
+    def has_pending(self) -> bool:
+        return bool(self._pending)
+
+    def pop_pending(self) -> tuple[Any, float]:
+        """Next (packet, enqueue_time) awaiting first transmission."""
+        return self._pending.popleft()
+
+    # -- outstanding map -------------------------------------------------------
+
+    def record_outstanding(self, frame: OutstandingFrame) -> None:
+        """Track a just-transmitted frame until it resolves."""
+        if frame.seq in self._outstanding:
+            raise ValueError(f"sequence {frame.seq} already outstanding")
+        self._outstanding[frame.seq] = frame
+        if self.occupancy > self.peak_occupancy:
+            self.peak_occupancy = self.occupancy
+
+    def find(self, seq: int) -> Optional[OutstandingFrame]:
+        """The outstanding record for *seq*, or None if already resolved."""
+        return self._outstanding.get(seq)
+
+    def remove(self, seq: int) -> OutstandingFrame:
+        """Detach *seq* (for renumbering at retransmission) without stats."""
+        return self._outstanding.pop(seq)
+
+    def release(self, seq: int, now: float) -> OutstandingFrame:
+        """Resolve *seq* as successfully delivered; records holding time.
+
+        Holding time is measured from the frame's *first* transmission,
+        matching the paper's ``H_frame`` (the recursion over
+        retransmissions is realised by the renumbered record carrying
+        ``first_send_time`` forward).
+        """
+        frame = self._outstanding.pop(seq)
+        self.released_total += 1
+        self.holding_time_sum += now - frame.first_send_time
+        self.holding_samples += 1
+        return frame
+
+    def pending_payloads(self) -> list[Any]:
+        """Payloads still awaiting first transmission (snapshot)."""
+        return [packet for packet, _ in self._pending]
+
+    def outstanding_frames(self) -> Iterator[OutstandingFrame]:
+        """Snapshot iteration over outstanding records (sorted by transmit order)."""
+        return iter(sorted(self._outstanding.values(), key=lambda f: f.transmit_index))
+
+    def clear(self) -> None:
+        """Drop everything (link teardown)."""
+        self._pending.clear()
+        self._outstanding.clear()
+
+    def __len__(self) -> int:
+        return self.occupancy
+
+    def __repr__(self) -> str:
+        return (
+            f"SendBuffer(pending={self.pending_count}, "
+            f"outstanding={self.outstanding_count}, capacity={self.capacity})"
+        )

@@ -1,0 +1,468 @@
+"""The LAMS-DLC sender half (paper Sections 3.2–3.4).
+
+The sender transmits I-frames continuously while the link is available
+(buffer control never gates the sending rate — only the receiver's
+Stop-Go flow control does), and reacts to the receiver's periodic
+Check-Point commands:
+
+- **Checkpoint recovery** — every sequence number NAK'd by a checkpoint
+  that is still outstanding is retransmitted *once*, under a brand-new
+  sequence number (the renumbering that bounds the numbering space).
+  NAKs for numbers no longer outstanding mean "already retransmitted"
+  and are ignored, exactly as Section 3.2 specifies.
+- **Release** — a valid checkpoint implicitly positively-acknowledges
+  every covered outstanding frame it does not NAK.  A frame is covered
+  once its (deterministically known) arrival time precedes the
+  checkpoint's issue time.  Frames covered but beyond the receiver's
+  reception frontier were trailing losses — no later arrival existed to
+  reveal the gap — and are retransmitted rather than released.
+- **Enforced recovery** — no valid checkpoint for ``C_depth * W_cp``
+  trips the checkpoint timer: the sender stops sending *new* I-frames,
+  probes with a Request-NAK (if the expected response still fits in the
+  remaining link lifetime), and starts the failure timer.  A valid
+  Enforced-NAK resumes normal operation and retransmits everything it
+  lists; failure-timer expiry declares the link failed and informs the
+  network layer.
+
+During a suspected failure, plain (non-enforced) checkpoints still
+drive checkpoint recovery but do not resume new-frame transmission —
+mirroring the paper's "may do Check-Point Recovery but can not send new
+I-frames".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..simulator.engine import Simulator
+from ..simulator.link import SimplexChannel
+from ..simulator.trace import Tracer
+from .config import LamsDlcConfig
+from .flowcontrol import StopGoRateController
+from .frames import CheckpointFrame, IFrame, RequestNakFrame
+from .sendbuf import OutstandingFrame, SendBuffer
+from .seqspace import SequenceSpace
+
+__all__ = ["LamsSender", "PendingRetransmission"]
+
+
+@dataclass
+class PendingRetransmission:
+    """A frame detached from the outstanding map, awaiting renumbering."""
+
+    payload: Any
+    enqueue_time: float
+    first_send_time: float
+    retransmit_count: int
+    cause: str  # "nak" | "trailing" | "enforced"
+    origin: int = -1
+    """Transmit index of the first incarnation (stable identity)."""
+
+
+class LamsSender:
+    """Sender state machine for one direction of a LAMS-DLC link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: LamsDlcConfig,
+        data_channel: SimplexChannel,
+        expected_rtt: float,
+        name: str = "lams.tx",
+        tracer: Optional[Tracer] = None,
+        on_failure: Optional[Callable[[], None]] = None,
+        link_start_time: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.data_channel = data_channel
+        self.expected_rtt = expected_rtt
+        self.name = name
+        self.tracer = tracer or Tracer()
+        self.on_failure = on_failure or (lambda: None)
+        self.link_start_time = link_start_time
+
+        self.buffer = SendBuffer(capacity=config.send_buffer_capacity)
+        self.seqspace = SequenceSpace(config.numbering_size)
+        self.flow = StopGoRateController(
+            decrease_factor=config.rate_decrease_factor,
+            increase_step=config.rate_increase_step,
+            min_fraction=config.min_rate_fraction,
+            enabled=config.flow_control_enabled,
+        )
+        self._retransmit_queue: deque[PendingRetransmission] = deque()
+        self._transmit_index = 0
+        self._next_allowed_send = 0.0
+        self._pacing_armed = False
+        self._started = False
+
+        # Piggybacked flow control (Section 3.1): outgoing I-frames are
+        # stamped with the co-located receiver half's Stop-Go state, and
+        # incoming piggybacked bits are applied at most once per
+        # checkpoint interval (so AIMD constants keep their meaning).
+        self.stop_go_provider: Callable[[], bool] = lambda: False
+        self._last_piggyback_applied = -float("inf")
+
+        # Failure handling state.
+        self.suspended = False  # suspected failure: no new I-frames
+        self.failed = False
+        self._awaiting_enforced = False
+        self._last_probe_time = -float("inf")
+        self._checkpoint_timer = sim.timer(self._on_checkpoint_timeout)
+        self._failure_timer = sim.timer(self._on_failure_timeout)
+        self._seen_any_checkpoint = False
+
+        self.data_channel.on_idle(self._maybe_send)
+
+        # Statistics.
+        self.iframes_sent = 0
+        self.retransmissions = 0
+        self.retransmissions_by_cause = {"nak": 0, "trailing": 0, "enforced": 0}
+        self.releases = 0
+        self.checkpoints_received = 0
+        self.checkpoints_corrupted = 0
+        self.request_naks_sent = 0
+        self.failures_declared = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the initial watchdog and begin transmitting.
+
+        The paper starts the checkpoint timer at the first received
+        checkpoint; we additionally arm a startup watchdog of one RTT
+        plus the normal timeout so a receiver that never comes up at all
+        is also detected (a strict superset of the paper's behaviour).
+        """
+        if self._started:
+            raise RuntimeError("sender already started")
+        self._started = True
+        self._checkpoint_timer.start(self.expected_rtt + self.config.checkpoint_timeout)
+        self._maybe_send()
+
+    def stop(self) -> None:
+        """Halt all activity (link teardown)."""
+        self._checkpoint_timer.cancel()
+        self._failure_timer.cancel()
+        self.failed = True
+
+    # -- network-layer interface ----------------------------------------------------
+
+    def accept(self, packet: Any) -> bool:
+        """Offer a packet for transmission; False if the buffer refuses."""
+        if self.failed:
+            return False
+        accepted = self.buffer.enqueue(packet, self.sim.now)
+        if accepted:
+            self._record_occupancy()
+            self._maybe_send()
+        return accepted
+
+    @property
+    def unresolved_count(self) -> int:
+        """Frames not yet known delivered (pending + outstanding + requeued)."""
+        return self.buffer.occupancy + len(self._retransmit_queue)
+
+    @property
+    def pending_count(self) -> int:
+        """Frames awaiting *first* transmission (the drainable backlog)."""
+        return self.buffer.pending_count
+
+    @property
+    def occupancy(self) -> int:
+        """Sending-buffer occupancy (pending + outstanding)."""
+        return self.buffer.occupancy
+
+    def held_payloads(self) -> list[Any]:
+        """Every payload not yet known delivered (zero-loss accounting).
+
+        Union of pending, outstanding, and requeued-for-retransmission
+        frames — on a declared link failure these are exactly the frames
+        the network layer can still recover.
+        """
+        payloads = self.buffer.pending_payloads()
+        payloads.extend(record.payload for record in self.buffer.outstanding_frames())
+        payloads.extend(job.payload for job in self._retransmit_queue)
+        return payloads
+
+    # -- transmission loop ------------------------------------------------------------
+
+    def _maybe_send(self) -> None:
+        """Transmit the next frame if pacing, channel, and state allow."""
+        if self.failed or not self._started:
+            return
+        if not self.data_channel.is_idle:
+            return  # the channel's idle callback re-enters here
+        has_retransmission = bool(self._retransmit_queue)
+        has_new = self.buffer.has_pending() and not self.suspended
+        if not has_retransmission and not has_new:
+            return
+        now = self.sim.now
+        if now < self._next_allowed_send:
+            if not self._pacing_armed:
+                self._pacing_armed = True
+                self.sim.schedule_at(self._next_allowed_send, self._pacing_expired)
+            return
+        if has_retransmission:
+            job = self._retransmit_queue.popleft()
+            self._transmit(
+                payload=job.payload,
+                enqueue_time=job.enqueue_time,
+                first_send_time=job.first_send_time,
+                retransmit_count=job.retransmit_count,
+                origin=job.origin,
+            )
+            self.retransmissions += 1
+            self.retransmissions_by_cause[job.cause] += 1
+        else:
+            packet, enqueue_time = self.buffer.pop_pending()
+            self._transmit(payload=packet, enqueue_time=enqueue_time)
+
+    def _pacing_expired(self) -> None:
+        self._pacing_armed = False
+        self._maybe_send()
+
+    def _transmit(
+        self,
+        payload: Any,
+        enqueue_time: float,
+        first_send_time: Optional[float] = None,
+        retransmit_count: int = 0,
+        origin: int = -1,
+    ) -> None:
+        now = self.sim.now
+        seq = self.seqspace.allocate()
+        frame = IFrame(
+            seq=seq,
+            payload=payload,
+            size_bits=self.config.iframe_bits,
+            transmit_index=self._transmit_index,
+            origin=origin,
+            stop_go=(
+                self.stop_go_provider()
+                if self.config.piggyback_flow_control
+                else False
+            ),
+        )
+        self._transmit_index += 1
+        tx_time = self.data_channel.transmission_time(frame)
+        expected_arrival = now + tx_time + self.data_channel.propagation_delay(now)
+        record = OutstandingFrame(
+            seq=seq,
+            payload=payload,
+            enqueue_time=enqueue_time,
+            send_time=now,
+            expected_arrival=expected_arrival,
+            transmit_index=frame.transmit_index,
+            retransmit_count=retransmit_count,
+            first_send_time=first_send_time if first_send_time is not None else now,
+            origin=origin if origin >= 0 else frame.transmit_index,
+        )
+        self.buffer.record_outstanding(record)
+        self._record_occupancy()
+        self.data_channel.send(frame)
+        self.iframes_sent += 1
+        self._next_allowed_send = now + self.flow.inter_frame_gap(tx_time)
+        self.tracer.emit(
+            now, self.name, "iframe_sent",
+            seq=seq, index=frame.transmit_index, retx=retransmit_count,
+        )
+        # Try to queue the next frame right behind this one only when
+        # pacing is at line rate; otherwise the pacing timer drives it.
+
+    # -- piggybacked flow control -------------------------------------------------------
+
+    def note_piggyback_stop_go(self, stop: bool) -> None:
+        """Apply a Stop-Go bit piggybacked on an incoming I-frame.
+
+        Rate-limited to one application per checkpoint interval;
+        frame-rate application would re-scale the AIMD constants.
+        """
+        if not self.config.piggyback_flow_control or self.failed:
+            return
+        if self.sim.now - self._last_piggyback_applied < self.config.checkpoint_interval:
+            return
+        self._last_piggyback_applied = self.sim.now
+        self.flow.on_stop_go(stop)
+
+    # -- checkpoint handling -----------------------------------------------------------
+
+    def on_checkpoint(self, cp: CheckpointFrame, corrupted: bool) -> None:
+        """Process an arriving Check-Point / Enforced-NAK command."""
+        if self.failed:
+            return
+        if corrupted:
+            self.checkpoints_corrupted += 1
+            self.tracer.emit(self.sim.now, self.name, "checkpoint_corrupted")
+            return
+        self.checkpoints_received += 1
+        self._seen_any_checkpoint = True
+        self._checkpoint_timer.start(self.config.checkpoint_timeout)
+        self.flow.on_stop_go(cp.stop_go)
+
+        if cp.enforced and self._awaiting_enforced:
+            self._failure_timer.cancel()
+            self._awaiting_enforced = False
+            self.suspended = False
+            self.tracer.emit(self.sim.now, self.name, "enforced_recovery_complete")
+        elif self._awaiting_enforced:
+            # A plain checkpoint while we await the Enforced-NAK means the
+            # link is alive but our Request-NAK was lost (e.g. swallowed
+            # by the tail of an outage).  Re-probe — each Request-NAK
+            # "triggers the failure timer" (Section 3.2), so the failure
+            # budget restarts per probe; total failure-detection latency
+            # stays bounded because probes only repeat while checkpoints
+            # keep arriving, i.e. while the receiver is demonstrably up.
+            if self.sim.now - self._last_probe_time >= self.expected_response_time:
+                self._send_request_nak()
+
+        cause = "enforced" if cp.enforced else "nak"
+        nak_set = set(cp.naks)
+        for seq in cp.naks:
+            record = self.buffer.find(seq)
+            if record is None:
+                continue  # already retransmitted under a new number
+            self._requeue(record, cause=cause)
+
+        # While a failure check is in progress, plain checkpoints drive
+        # retransmission only — never release.  A checkpoint issued after
+        # a NAK entry expired could otherwise release a frame whose
+        # NAK reports were all lost; the Enforced-NAK's resolving-period
+        # list is the authoritative resync point (Section 3.2), and the
+        # resolving-period retention is sized so that list still carries
+        # the frame.  This is the paper's "may do Check-Point Recovery
+        # but can not send new I-frames" state.
+        if not self._awaiting_enforced:
+            self._release_covered(cp, nak_set)
+        self._maybe_send()
+
+    def _requeue(self, record: OutstandingFrame, cause: str) -> None:
+        """Detach an outstanding frame for renumbered retransmission."""
+        self.buffer.remove(record.seq)
+        self.seqspace.release(record.seq)
+        self._retransmit_queue.append(
+            PendingRetransmission(
+                payload=record.payload,
+                enqueue_time=record.enqueue_time,
+                first_send_time=record.first_send_time,
+                retransmit_count=record.retransmit_count + 1,
+                cause=cause,
+                origin=record.origin,
+            )
+        )
+        self.tracer.emit(
+            self.sim.now, self.name, "requeue", seq=record.seq, cause=cause,
+        )
+
+    def _release_covered(self, cp: CheckpointFrame, nak_set: set[int]) -> None:
+        """Release covered frames the checkpoint implicitly acknowledged.
+
+        A frame is covered when it reached the receiver (deterministic
+        arrival time, plus its processing time) before the checkpoint
+        was issued.  Covered and not NAK'd and within the frontier ⇒
+        delivered; beyond the frontier ⇒ trailing loss ⇒ retransmit.
+
+        An Enforced-NAK additionally bounds how far back its error list
+        can vouch: the receiver's resolving log only retains errors for
+        one resolving period (Section 3.3).  Covered frames *older* than
+        that window are ambiguous — their NAK reports may all have been
+        lost and already expired — so enforced recovery conservatively
+        retransmits them instead of releasing.  This is the corner where
+        the paper admits possible duplication; the destination
+        resequencer removes any duplicates, and zero loss is preserved.
+        """
+        guard = self.config.processing_time
+        vouch_horizon = None
+        if cp.enforced:
+            vouch_horizon = cp.issue_time - self.config.resolving_period(self.expected_rtt)
+        to_release: list[int] = []
+        to_retransmit: list[tuple[OutstandingFrame, str]] = []
+        for record in self.buffer.outstanding_frames():
+            if record.expected_arrival + guard > cp.issue_time:
+                continue  # not yet covered by this checkpoint
+            if record.seq in nak_set:
+                continue  # handled by the NAK pass
+            if cp.frontier is None or record.transmit_index > cp.frontier:
+                to_retransmit.append((record, "trailing"))
+            elif vouch_horizon is not None and record.expected_arrival < vouch_horizon:
+                to_retransmit.append((record, "enforced"))
+            else:
+                to_release.append(record.seq)
+        for record, cause in to_retransmit:
+            self._requeue(record, cause=cause)
+        for seq in to_release:
+            released = self.buffer.release(seq, self.sim.now)
+            self.seqspace.release(seq)
+            self.releases += 1
+            self.tracer.sample(f"{self.name}.holding_time", self.sim.now - released.first_send_time)
+        if to_release or to_retransmit:
+            self._record_occupancy()
+
+    # -- failure handling -------------------------------------------------------------
+
+    @property
+    def expected_response_time(self) -> float:
+        """Normal Request-NAK → Enforced-NAK turnaround (Section 3.2)."""
+        return self.expected_rtt + self.config.processing_time
+
+    def _remaining_lifetime(self) -> Optional[float]:
+        if self.config.link_lifetime is None:
+            return None
+        return self.link_start_time + self.config.link_lifetime - self.sim.now
+
+    def _on_checkpoint_timeout(self) -> None:
+        """No valid checkpoint for C_depth * W_cp: suspect link failure."""
+        if self.failed:
+            return
+        self.tracer.emit(self.sim.now, self.name, "checkpoint_timeout")
+        remaining = self._remaining_lifetime()
+        response_budget = self.expected_response_time + self.config.checkpoint_timeout
+        if remaining is not None and remaining < response_budget:
+            # Unrecoverable within the link lifetime: fail immediately.
+            self._declare_failure()
+            return
+        self.suspended = True
+        self._awaiting_enforced = True
+        self._send_request_nak()
+
+    def _send_request_nak(self) -> None:
+        probe = RequestNakFrame(request_time=self.sim.now)
+        self.data_channel.send(probe)
+        self.request_naks_sent += 1
+        self._last_probe_time = self.sim.now
+        self._failure_timer.start(
+            self.expected_response_time + self.config.checkpoint_timeout
+        )
+        self.tracer.emit(self.sim.now, self.name, "request_nak_sent")
+
+    def _on_failure_timeout(self) -> None:
+        """Neither Enforced-NAK nor resolving command arrived: link failed."""
+        if self.failed:
+            return
+        self._declare_failure()
+
+    def _declare_failure(self) -> None:
+        self.failed = True
+        self.failures_declared += 1
+        self._checkpoint_timer.cancel()
+        self._failure_timer.cancel()
+        self.tracer.emit(self.sim.now, self.name, "link_failure_declared")
+        self.on_failure()
+
+    # -- instrumentation ----------------------------------------------------------------
+
+    def _record_occupancy(self) -> None:
+        self.tracer.level(f"{self.name}.sendbuf", self.sim.now, self.buffer.occupancy)
+
+    @property
+    def mean_holding_time(self) -> float:
+        return self.buffer.mean_holding_time
+
+    def __repr__(self) -> str:
+        return (
+            f"<LamsSender {self.name} sent={self.iframes_sent} "
+            f"retx={self.retransmissions} released={self.releases} "
+            f"suspended={self.suspended} failed={self.failed}>"
+        )

@@ -1,0 +1,126 @@
+"""Cyclic sequence-number space with the unique-identification invariant.
+
+Section 2.3 of the paper: "All ARQ schemes require a numbering
+mechanism ... This mechanism must satisfy the condition that at an
+arbitrary time, all unacknowledged I-frames may be uniquely identified.
+In fact unique numbering is accomplished by cyclically reusing sequence
+numbers."
+
+LAMS-DLC's contribution here (Section 3.3) is that renumbering
+retransmissions bounds the required space to
+``resolving_period / frame_time``.  This class enforces the invariant
+mechanically: a number cannot be reissued while still outstanding, and
+allocation fails loudly if the space is exhausted — which, per the
+paper's bound, cannot happen in a correctly sized configuration.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SequenceSpace", "SequenceExhausted", "forward_distance", "cyclic_less_equal"]
+
+
+class SequenceExhausted(RuntimeError):
+    """Every sequence number is currently assigned to an unresolved frame."""
+
+
+def forward_distance(start: int, end: int, modulus: int) -> int:
+    """Steps from *start* forward (cyclically) to *end* in ``Z_modulus``."""
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    return (end - start) % modulus
+
+
+def cyclic_less_equal(a: int, b: int, reference: int, modulus: int) -> bool:
+    """True if *a* is at or before *b*, measured forward from *reference*.
+
+    Orders sequence numbers on the circle by their distance from a known
+    trailing point (e.g. the oldest outstanding number), which is the
+    standard way to linearise cyclic comparisons.
+    """
+    return forward_distance(reference, a, modulus) <= forward_distance(reference, b, modulus)
+
+
+class SequenceSpace:
+    """Allocator for cyclically reused sequence numbers.
+
+    >>> space = SequenceSpace(modulus=4)
+    >>> [space.allocate() for _ in range(3)]
+    [0, 1, 2]
+    >>> space.release(1)
+    >>> space.allocate()
+    3
+    >>> space.allocate()   # 0 and 2 still outstanding; next is 0 -> skip...
+    Traceback (most recent call last):
+        ...
+    repro.core.seqspace.SequenceExhausted: ...
+
+    Allocation is strictly sequential (``next`` advances by one per
+    allocation) because LAMS-DLC transmits frames in allocation order
+    and the receiver relies on sequential numbering for gap detection.
+    A sequential allocator can only reuse number ``n`` once ``n`` has
+    been released *and* the cursor has wrapped around to it; if the
+    cursor reaches a still-outstanding number, the space is exhausted
+    for the purposes of in-order numbering and we raise.
+    """
+
+    def __init__(self, modulus: int) -> None:
+        if modulus < 2:
+            raise ValueError("modulus must be at least 2")
+        self.modulus = modulus
+        self._next = 0
+        self._outstanding: set[int] = set()
+        self.total_allocated = 0
+
+    @property
+    def outstanding_count(self) -> int:
+        """Numbers currently assigned to unresolved frames."""
+        return len(self._outstanding)
+
+    @property
+    def next_value(self) -> int:
+        """The number the next :meth:`allocate` will return (if free)."""
+        return self._next
+
+    def is_outstanding(self, seq: int) -> bool:
+        return seq in self._outstanding
+
+    def allocate(self) -> int:
+        """Issue the next sequence number.
+
+        Raises
+        ------
+        SequenceExhausted
+            If the next in-order number is still outstanding — the
+            unique-identification invariant would be violated.
+        """
+        candidate = self._next
+        if candidate in self._outstanding:
+            raise SequenceExhausted(
+                f"sequence number {candidate} is still outstanding "
+                f"({len(self._outstanding)}/{self.modulus} numbers in use); "
+                "the numbering space is undersized for this link"
+            )
+        self._outstanding.add(candidate)
+        self._next = (candidate + 1) % self.modulus
+        self.total_allocated += 1
+        return candidate
+
+    def release(self, seq: int) -> None:
+        """Return *seq* to the pool (frame resolved: acked or renumbered)."""
+        try:
+            self._outstanding.remove(seq)
+        except KeyError:
+            raise KeyError(f"sequence number {seq} is not outstanding") from None
+
+    def release_all(self) -> None:
+        """Drop all outstanding numbers (link teardown)."""
+        self._outstanding.clear()
+
+    def __contains__(self, seq: int) -> bool:
+        return seq in self._outstanding
+
+    def __repr__(self) -> str:
+        return (
+            f"SequenceSpace(modulus={self.modulus}, next={self._next}, "
+            f"outstanding={len(self._outstanding)})"
+        )

@@ -1,0 +1,21 @@
+"""Experiment harness: runners, the E1–E19 registry, statistical
+replication, report generation, and table rendering."""
+
+from . import runner
+from .registry import REGISTRY, ExperimentResult, experiment_ids, run_experiment
+from .reporting import format_value, render_series, render_table
+from .sweeps import ReplicationSummary, replicate, replicate_all
+
+__all__ = [
+    "REGISTRY",
+    "ExperimentResult",
+    "experiment_ids",
+    "format_value",
+    "render_series",
+    "render_table",
+    "ReplicationSummary",
+    "replicate",
+    "replicate_all",
+    "run_experiment",
+    "runner",
+]

@@ -1,0 +1,912 @@
+"""Experiment registry: every evaluation series of the paper, E1–E18.
+
+The tech report's evaluation is the set of closed-form comparisons in
+Section 4 plus the qualitative claims of Sections 2–3 (it prints no
+numbered figures/tables); DESIGN.md maps each onto an experiment id.
+Every entry here regenerates its series — from the analytic model, the
+discrete-event simulation, or both — and returns printable rows.
+
+Each experiment function returns an :class:`ExperimentResult`; the
+benchmark files under ``benchmarks/`` call these, print the tables, and
+assert the paper's qualitative shape (who wins, how the curve moves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..analysis import bounds, compare
+from ..analysis import hdlc as hdlc_model
+from ..analysis import lams as lams_model
+from ..analysis.errorprobs import (
+    frame_error_probability,
+    retransmission_probability_piggyback,
+)
+from ..simulator.orbit import Satellite, rtt_statistics
+from ..workloads.scenarios import LinkScenario, preset
+from . import runner
+
+__all__ = ["ExperimentResult", "REGISTRY", "run_experiment", "experiment_ids"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + metadata for one regenerated experiment."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def column(self, name: str) -> list:
+        """One column across all rows."""
+        return [row[name] for row in self.rows]
+
+
+# ---------------------------------------------------------------------------
+# E1 — retransmission factor s̄ vs BER
+# ---------------------------------------------------------------------------
+
+
+def e1_retransmission_factor(scenario: LinkScenario | None = None) -> ExperimentResult:
+    """``s̄_LAMS`` vs ``s̄_HDLC`` over the paper's BER envelope."""
+    scenario = scenario or preset("nominal")
+    rows = []
+    for ber in np.logspace(-7, -4.3, 12):
+        params = scenario.with_(iframe_ber=float(ber)).model_parameters()
+        p_f = params.p_f
+        rows.append(
+            {
+                "ber": float(ber),
+                "p_f": p_f,
+                "p_r_lams": p_f,
+                "p_r_hdlc": params.p_f + params.p_c - params.p_f * params.p_c,
+                "p_r_piggyback": retransmission_probability_piggyback(p_f),
+                "s_bar_lams": lams_model.s_bar(params),
+                "s_bar_hdlc": hdlc_model.s_bar(params),
+                "s_bar_piggyback": 1.0 / (1.0 - retransmission_probability_piggyback(p_f)),
+            }
+        )
+    return ExperimentResult(
+        "E1",
+        "Mean transmissions per frame (s̄) vs BER: NAK-only vs pos-ack",
+        rows,
+        notes="s̄_HDLC ≥ s̄_LAMS everywhere; piggyback acks (P_C = P_F) double the gap.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E2 — low-traffic total delivery time D_low(N)
+# ---------------------------------------------------------------------------
+
+
+def e2_delivery_time(scenario: LinkScenario | None = None) -> ExperimentResult:
+    """``D_low(N)`` for both protocols, model + simulation spot checks."""
+    scenario = scenario or preset("noisy")
+    params = scenario.model_parameters()
+    rows = []
+    for n in (1, 4, 16, min(64, scenario.window_size)):
+        rows.append(
+            {
+                "n_frames": n,
+                "d_low_lams": lams_model.total_delivery_time_low(params, n),
+                "d_low_lams_approx": lams_model.total_delivery_time_low(params, n, approximate=True),
+                "d_low_hdlc": hdlc_model.total_delivery_time_low(params, n),
+                "d_low_hdlc_paper": hdlc_model.total_delivery_time_low(params, n, variant="paper"),
+            }
+        )
+    return ExperimentResult(
+        "E2",
+        "Low-traffic delivery time D_low(N) (seconds)",
+        rows,
+        notes="Near-parity when alpha→0 and P_C→0; the alpha term separates them.",
+    )
+
+
+def e2_delivery_time_measured(
+    scenario: LinkScenario | None = None, seed: int = 2
+) -> ExperimentResult:
+    """Batch delivery time, model vs simulation, both protocols.
+
+    The measured time runs to the *last delivery at the receiver*
+    (frames only; the model's D_low additionally includes the final
+    acknowledgement leg, R/2 + t_c + waits — subtracted here for an
+    apples-to-apples row).
+    """
+    scenario = scenario or preset("noisy")
+    params = scenario.model_parameters()
+    rows = []
+    for n in (16, 64):
+        for protocol in ("lams", "hdlc"):
+            measured = runner.measure_batch_transfer(
+                scenario, protocol, n, seed=seed, max_time=60.0
+            )
+            if protocol == "lams":
+                model = lams_model.total_delivery_time_low(params, n)
+            else:
+                model = hdlc_model.total_delivery_time_low(params, min(n, params.window_size))
+            rows.append(
+                {
+                    "n_frames": n,
+                    "protocol": protocol,
+                    "d_low_model": model,
+                    "measured_to_last_delivery": measured["duration"],
+                    "completed": measured["completed"],
+                }
+            )
+    return ExperimentResult(
+        "E2-sim",
+        "Batch delivery time: model vs measured (to last delivery)",
+        rows,
+        notes="The model is a mean-value analysis; a single seed's batch "
+        "realises whole retransmission rounds (one lost frame costs a "
+        "full checkpoint turnaround), so measured times sit within a "
+        "small factor above D_low with the model's ranking preserved.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E3 — mean holding time
+# ---------------------------------------------------------------------------
+
+
+def e3_holding_time(scenario: LinkScenario | None = None) -> ExperimentResult:
+    """``H_frame`` vs BER and vs checkpoint interval."""
+    scenario = scenario or preset("nominal")
+    rows = []
+    for ber in np.logspace(-7, -4.3, 6):
+        for i_cp in (0.002, 0.005, 0.010, 0.020):
+            params = scenario.with_(
+                iframe_ber=float(ber), checkpoint_interval=i_cp
+            ).model_parameters()
+            h_frame = lams_model.holding_time(params)
+            rows.append(
+                {
+                    "ber": float(ber),
+                    "i_cp": i_cp,
+                    "h_frame": h_frame,
+                    "h_frame_approx": lams_model.holding_time(params, approximate=True),
+                    # Holding time of a single (re)transmission attempt —
+                    # the quantity the Section-3.3 resolving-period bound
+                    # applies to (renumbering resets the clock).
+                    "h_attempt": h_frame * (1.0 - params.p_f),
+                    "resolving_bound": bounds.lams_resolving_period(params),
+                }
+            )
+    return ExperimentResult(
+        "E3",
+        "Mean holding time H_frame (s) vs BER and checkpoint interval",
+        rows,
+        notes="Shrinking I_cp shrinks the holding time — the paper's buffer control.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E4 — transparent buffer size (model) + HDLC divergence (simulation)
+# ---------------------------------------------------------------------------
+
+
+def e4_buffer_model(scenario: LinkScenario | None = None) -> ExperimentResult:
+    """``B_LAMS`` over distance and checkpoint interval; B_HDLC = ∞."""
+    scenario = scenario or preset("nominal")
+    rows = []
+    for distance in (2000.0, 5000.0, 10_000.0):
+        for i_cp in (0.002, 0.005, 0.010):
+            params = scenario.with_(
+                distance_km=distance, checkpoint_interval=i_cp
+            ).model_parameters()
+            rows.append(
+                {
+                    "distance_km": distance,
+                    "i_cp": i_cp,
+                    "b_lams_frames": lams_model.transparent_buffer_size(params),
+                    "b_hdlc": float("inf"),
+                }
+            )
+    return ExperimentResult(
+        "E4",
+        "Transparent buffer size (frames): finite for LAMS-DLC, none for SR-HDLC",
+        rows,
+        notes="B_LAMS ≈ s̄(R + (n̄_cp−½)I_cp)/t_f; grows with distance and I_cp.",
+    )
+
+
+def e4_buffer_simulation(
+    scenario: LinkScenario | None = None, duration: float = 3.0, seed: int = 3
+) -> ExperimentResult:
+    """Constant-rate load: LAMS buffer plateaus, HDLC's diverges.
+
+    Offered load is fixed at 80% of the line rate — comfortably inside
+    LAMS-DLC's capacity, far beyond SR-HDLC's window-stalled service
+    rate.  Occupancy is sampled at the midpoint and end of the run: a
+    protocol with a transparent buffer size shows ~zero growth between
+    the two samples, an unbounded one keeps climbing.
+    """
+    scenario = scenario or preset("nominal")
+    params = scenario.model_parameters()
+    rows = []
+    for protocol in ("lams", "hdlc"):
+        result = runner.measure_constant_rate(
+            scenario, protocol, duration, load=0.8, seed=seed
+        )
+        result["b_lams_model"] = lams_model.transparent_buffer_size(params)
+        rows.append(result)
+    return ExperimentResult(
+        "E4-sim",
+        "Sending-buffer growth under 80% constant offered load",
+        rows,
+        notes="'growth' is occupancy(end) − occupancy(mid): ≈0 for LAMS-DLC "
+        "(transparent size exists), strictly positive and proportional to run "
+        "length for SR-HDLC (B_HDLC = ∞).",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E5 — the N_total subperiod recursion
+# ---------------------------------------------------------------------------
+
+
+def e5_n_total(scenario: LinkScenario | None = None) -> ExperimentResult:
+    """``N_total(N)`` recursion vs the closed form ``N·s̄``."""
+    scenario = scenario or preset("noisy")
+    params = scenario.model_parameters()
+    rows = []
+    for n in (100, 1000, 10_000, 100_000):
+        schedule = lams_model.subperiod_schedule(params, n)
+        rows.append(
+            {
+                "n_frames": n,
+                "n_total_recursive": schedule.total_transmissions,
+                "n_total_closed": lams_model.n_total(params, n),
+                "subperiods": schedule.subperiod_count,
+                "first_subperiod_new": schedule.new_frames[0],
+            }
+        )
+    return ExperimentResult(
+        "E5",
+        "Total transmissions N_total(N): subperiod recursion vs N·s̄",
+        rows,
+        notes="The recursion converges to N·s̄; the transient shows the "
+        "retransmission load ramping to equilibrium over the first holding times.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E6 — high-traffic throughput efficiency
+# ---------------------------------------------------------------------------
+
+
+def e6_throughput_vs_n(scenario: LinkScenario | None = None) -> ExperimentResult:
+    """η vs channel traffic N: LAMS rises toward 1, HDLC stays flat."""
+    scenario = scenario or preset("nominal")
+    params = scenario.model_parameters()
+    rows = []
+    for n in (100, 1000, 10_000, 100_000, 1_000_000):
+        rows.append(
+            {
+                "n_frames": n,
+                "eta_lams": lams_model.throughput_efficiency(params, n),
+                "eta_hdlc": hdlc_model.throughput_efficiency(params, n),
+                "ratio": compare.efficiency_ratio(params, n),
+            }
+        )
+    return ExperimentResult(
+        "E6",
+        "Throughput efficiency vs offered frames N (model)",
+        rows,
+        notes="LAMS-DLC amortises its fixed s̄R + δ over all N; SR-HDLC pays "
+        "(m+1)(s̄R + δ) — once per window — so its efficiency plateaus low.",
+    )
+
+
+def e6_throughput_vs_ber(scenario: LinkScenario | None = None) -> ExperimentResult:
+    """η vs BER at fixed high traffic, model + simulation."""
+    scenario = scenario or preset("nominal")
+    rows = []
+    for ber in np.logspace(-7, -4.3, 8):
+        point = scenario.with_(iframe_ber=float(ber), cframe_ber=float(ber) / 100.0)
+        params = point.model_parameters()
+        n = 50_000
+        rows.append(
+            {
+                "ber": float(ber),
+                "eta_lams": lams_model.throughput_efficiency(params, n),
+                "eta_hdlc": hdlc_model.throughput_efficiency(params, n),
+                "ratio": compare.efficiency_ratio(params, n),
+            }
+        )
+    return ExperimentResult(
+        "E6-ber",
+        "Throughput efficiency vs BER at N = 50k frames (model)",
+        rows,
+        notes="Both decline with BER; LAMS-DLC declines like 1/s̄_LAMS while "
+        "HDLC also pays timeout recoveries, so the ratio widens.",
+    )
+
+
+def e6_window_sweep(scenario: LinkScenario | None = None) -> ExperimentResult:
+    """η_HDLC vs window size, including the paper's W = B_LAMS point.
+
+    Section 4's canonical comparison gives SR-HDLC a window equal to
+    LAMS-DLC's transparent buffer size ("if W = B_LAMS ... the
+    throughput efficiency η_HDLC with the buffer size B_HDLC =
+    2·B_LAMS") — the most generous setting the paper grants HDLC.
+    """
+    scenario = scenario or preset("nominal")
+    base = scenario.model_parameters()
+    b_lams = lams_model.transparent_buffer_size(base)
+    n = 100_000
+    rows = []
+    windows = [8, 64, 512, int(round(b_lams)), 4 * int(round(b_lams))]
+    for window in windows:
+        params = base.with_(window_size=window)
+        rows.append(
+            {
+                "window": window,
+                "is_paper_point": window == int(round(b_lams)),
+                "eta_hdlc": hdlc_model.throughput_efficiency(params, n),
+                "eta_lams": lams_model.throughput_efficiency(base, n),
+                "hdlc_buffer": "2*B_LAMS" if window == int(round(b_lams)) else "unbounded",
+            }
+        )
+    return ExperimentResult(
+        "E6-window",
+        "η_HDLC vs window size (paper point: W = B_LAMS)",
+        rows,
+        notes=f"B_LAMS = {b_lams:.0f} frames. Even at the paper's generous "
+        "W = B_LAMS — where HDLC's receive buffer alone equals LAMS-DLC's "
+        "total — LAMS-DLC retains the lead, because every window still "
+        "pays its own s̄R + δ while LAMS-DLC pays once.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E7 — ablation over (I_cp, C_depth)
+# ---------------------------------------------------------------------------
+
+
+def e7_knob_ablation(scenario: LinkScenario | None = None) -> ExperimentResult:
+    """The paper's two knobs: checkpoint interval and cumulation depth."""
+    scenario = scenario or preset("noisy")
+    rows = []
+    n = 50_000
+    for i_cp in (0.001, 0.002, 0.005, 0.010, 0.020):
+        for c_depth in (1, 2, 3, 5, 8):
+            params = scenario.with_(
+                checkpoint_interval=i_cp, cumulation_depth=c_depth
+            ).model_parameters()
+            rows.append(
+                {
+                    "i_cp": i_cp,
+                    "c_depth": c_depth,
+                    "eta_lams": lams_model.throughput_efficiency(params, n),
+                    "b_lams": lams_model.transparent_buffer_size(params),
+                    "numbering": bounds.lams_required_numbering_size(params),
+                    "inconsistency_gap": bounds.lams_inconsistency_gap(params),
+                }
+            )
+    return ExperimentResult(
+        "E7",
+        "Ablation: checkpoint interval × cumulation depth",
+        rows,
+        notes="Small I_cp: less wait, smaller buffer, more control overhead and "
+        "larger numbering per second; C_depth trades failure-detection latency "
+        "(C_depth·W_cp) against NAK-loss robustness.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E8 — burst errors (simulation)
+# ---------------------------------------------------------------------------
+
+
+def e8_burst_utilization(
+    scenario: LinkScenario | None = None, duration: float = 4.0, seed: int = 8
+) -> ExperimentResult:
+    """Utilization under Gilbert–Elliott bursts: cumulative NAKs vs SREJ."""
+    scenario = scenario or preset("nominal").with_(
+        checkpoint_interval=0.005, cumulation_depth=4
+    )
+    rows = []
+    for mean_burst in (0.002, 0.010, 0.040):
+        for protocol in ("lams", "hdlc"):
+            result = runner.measure_burst_utilization(
+                scenario, protocol, duration,
+                mean_burst=mean_burst, mean_gap=0.25, seed=seed,
+            )
+            rows.append(
+                {
+                    "mean_burst_s": mean_burst,
+                    "protocol": protocol,
+                    "efficiency": result["efficiency"],
+                    "retransmissions": result["retransmissions"],
+                    "covered": result["covered"],
+                }
+            )
+    return ExperimentResult(
+        "E8",
+        "Goodput efficiency under burst errors (simulation)",
+        rows,
+        notes="'covered' marks C_depth·W_cp > L_burst — the paper's condition "
+        "for cumulative NAKs to ride out a burst without resynchronising.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E9 — numbering-size requirement
+# ---------------------------------------------------------------------------
+
+
+def e9_numbering(scenario: LinkScenario | None = None) -> ExperimentResult:
+    """Bounded (LAMS) vs unbounded-tail (HDLC) numbering requirements."""
+    scenario = scenario or preset("long_haul")
+    rows = []
+    for ber in (1e-7, 1e-6, 1e-5):
+        params = scenario.with_(iframe_ber=ber).model_parameters()
+        rows.append(
+            {
+                "ber": ber,
+                "lams_required": bounds.lams_required_numbering_size(params),
+                "hdlc_q90": bounds.hdlc_required_numbering_size_quantile(params, 0.90),
+                "hdlc_q999": bounds.hdlc_required_numbering_size_quantile(params, 0.999),
+                "hdlc_q999999": bounds.hdlc_required_numbering_size_quantile(params, 0.999999),
+            }
+        )
+    return ExperimentResult(
+        "E9",
+        "Required sequence-number space (frames)",
+        rows,
+        notes="LAMS-DLC's requirement is a constant set by the resolving period; "
+        "HDLC's grows without bound as the coverage quantile → 1.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E10 — enforced recovery / failure detection (simulation)
+# ---------------------------------------------------------------------------
+
+
+def e10_recovery(
+    scenario: LinkScenario | None = None, seed: int = 10
+) -> ExperimentResult:
+    """Outage handling: recovery within lifetime, zero loss, duplicates."""
+    scenario = scenario or preset("nominal")
+    rows = []
+    for outage in (0.02, 0.05, 0.2):
+        result = runner.measure_failure_recovery(
+            scenario, outage_start=0.05, outage_duration=outage,
+            total_time=8.0, n_frames=3000, seed=seed,
+        )
+        result["outage"] = outage
+        rows.append(result)
+    return ExperimentResult(
+        "E10",
+        "Enforced recovery across link outages (simulation)",
+        rows,
+        notes="Zero loss in every case; duplicates may appear only via enforced "
+        "recovery (the paper's admitted corner) and are removed by the "
+        "destination resequencer.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E11 — HDLC timeout-margin (alpha) sensitivity
+# ---------------------------------------------------------------------------
+
+
+def e11_alpha_sensitivity(scenario: LinkScenario | None = None) -> ExperimentResult:
+    """η_HDLC vs alpha, with the orbit model supplying realistic alphas."""
+    scenario = scenario or preset("noisy")
+    sat_a = Satellite("sat-a", altitude_km=1000, inclination_deg=60, phase_deg=0)
+    sat_b = Satellite("sat-b", altitude_km=1000, inclination_deg=60, raan_deg=25, phase_deg=12)
+    stats = rtt_statistics(sat_a, sat_b, 0.0, 600.0, step_s=5.0)
+    rows = []
+    n = 50_000
+    for alpha in (0.0, 0.01, stats["alpha_min"], 0.05, 0.1, 0.3):
+        params = scenario.with_(alpha=float(alpha)).model_parameters()
+        rows.append(
+            {
+                "alpha": float(alpha),
+                "eta_hdlc": hdlc_model.throughput_efficiency(params, n),
+                "eta_lams": lams_model.throughput_efficiency(params, n),
+                "is_orbit_alpha": abs(alpha - stats["alpha_min"]) < 1e-12,
+            }
+        )
+    return ExperimentResult(
+        "E11",
+        "HDLC timeout-margin sensitivity (alpha = t_out − R)",
+        rows,
+        notes=f"Orbit-model alpha lower bound for this pair: "
+        f"{stats['alpha_min']:.4f}s (RTT var {stats['variance']:.3e}). "
+        "η_HDLC decays with alpha; η_LAMS has no alpha dependence at all.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E12 — model vs simulation validation
+# ---------------------------------------------------------------------------
+
+
+def e12_validation(
+    scenario: LinkScenario | None = None, duration: float = 3.0, seed: int = 12
+) -> ExperimentResult:
+    """Measured η and H_frame vs the closed-form predictions."""
+    scenario = scenario or preset("noisy")
+    params = scenario.model_parameters()
+    rows = []
+    sim_lams = runner.measure_saturated(scenario, "lams", duration, seed=seed)
+    n_equiv = max(1, int(sim_lams["delivered"]))
+    rows.append(
+        {
+            "protocol": "lams",
+            "metric": "efficiency",
+            "model": lams_model.throughput_efficiency(params, n_equiv),
+            "measured": sim_lams["efficiency"],
+        }
+    )
+    rows.append(
+        {
+            "protocol": "lams",
+            "metric": "holding_time",
+            "model": lams_model.holding_time(params),
+            "measured": sim_lams["mean_holding_time"],
+        }
+    )
+    sim_hdlc = runner.measure_saturated(scenario, "hdlc", duration, seed=seed)
+    n_equiv_h = max(1, int(sim_hdlc["delivered"]))
+    rows.append(
+        {
+            "protocol": "hdlc",
+            "metric": "efficiency",
+            "model": hdlc_model.throughput_efficiency(params, n_equiv_h),
+            "measured": sim_hdlc["efficiency"],
+        }
+    )
+    rows.append(
+        {
+            "protocol": "hdlc",
+            "metric": "holding_time",
+            "model": hdlc_model.holding_time(params),
+            "measured": sim_hdlc["mean_holding_time"],
+        }
+    )
+    return ExperimentResult(
+        "E12",
+        "Model vs simulation (saturated load)",
+        rows,
+        notes="The model is a deterministic mean-value analysis with "
+        "simplifying period assumptions; agreement is expected in shape and "
+        "rough magnitude, not digit-for-digit.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E13 — zero-duplication ablation (the paper's "more recent version")
+# ---------------------------------------------------------------------------
+
+
+def e13_zero_duplication(
+    scenario: LinkScenario | None = None, seed: int = 13
+) -> ExperimentResult:
+    """Duplicates across an enforced recovery, with and without the mode."""
+    scenario = scenario or preset("nominal")
+    rows = []
+    for zero_dup in (False, True):
+        result = runner.measure_failure_recovery(
+            scenario, outage_start=0.05, outage_duration=0.02,
+            total_time=10.0, n_frames=3000, seed=seed,
+            overrides={"zero_duplication": zero_dup},
+        )
+        rows.append(
+            {
+                "zero_duplication": zero_dup,
+                "recovered": result["recovered"],
+                "delivered_unique": result["delivered_unique"],
+                "duplicates": result["duplicates"],
+                "lost": result["lost"],
+                "retransmissions": result["retransmissions"],
+            }
+        )
+    return ExperimentResult(
+        "E13",
+        "Zero-duplication extension across an enforced recovery",
+        rows,
+        notes="Section 3.2: 'A more recent version of LAMS-DLC guarantees "
+        "zero duplication as well as zero loss'. The receiver suppresses "
+        "duplicate incarnations; loss stays zero either way.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E14 — stutter-mode ablation (Section 1 background: Stutter / SR+ST)
+# ---------------------------------------------------------------------------
+
+
+def e14_stutter(
+    scenario: LinkScenario | None = None, seed: int = 14
+) -> ExperimentResult:
+    """SR-HDLC batch completion time with and without stutter mode."""
+    scenario = (scenario or preset("noisy")).with_(window_size=16)
+    rows = []
+    for stutter in (False, True):
+        result = runner.measure_batch_transfer(
+            scenario, "hdlc", 400, seed=seed,
+            overrides={"stutter": stutter}, max_time=120.0,
+        )
+        rows.append(
+            {
+                "stutter": stutter,
+                "duration": result["duration"],
+                "iframes_sent": result["iframes_sent"],
+                "delivered": result["delivered"],
+                "completed": result["completed"],
+            }
+        )
+    return ExperimentResult(
+        "E14",
+        "Stutter mode (idle-time repeats) for SR-HDLC, lossy batch transfer",
+        rows,
+        notes="The Stutter-GBN / SR+ST idea of references [1][3]: filling "
+        "the stalled window's idle time with repeats cuts completion time "
+        "at the price of channel occupancy. LAMS-DLC gets the same latency "
+        "benefit structurally, without extra copies.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E15 — link lifetime / retargeting overhead across passes
+# ---------------------------------------------------------------------------
+
+
+def e15_link_sessions(
+    scenario: LinkScenario | None = None, seed: int = 15
+) -> ExperimentResult:
+    """Goodput over short link passes with retargeting overhead."""
+    from ..core.config import LamsDlcConfig
+    from ..hdlc.config import HdlcConfig
+    from ..session import LinkSessionManager, PassSchedule
+    from ..session.factories import hdlc_session_factory, lams_session_factory
+    from ..simulator.engine import Simulator
+
+    scenario = scenario or preset("nominal").with_(
+        bit_rate=100e6, distance_km=3000.0
+    )
+    rows = []
+    for protocol in ("lams", "hdlc"):
+        for init_time in (0.01, 0.10):
+            sim = Simulator()
+            link = scenario.build_link(sim, seed=seed)
+            schedule = PassSchedule.periodic(
+                first_start=0.05, duration=0.5, gap=0.2, count=4
+            )
+            if protocol == "lams":
+                factory = lams_session_factory(
+                    LamsDlcConfig(
+                        checkpoint_interval=scenario.checkpoint_interval,
+                        cumulation_depth=scenario.cumulation_depth,
+                    )
+                )
+            else:
+                factory = hdlc_session_factory(
+                    HdlcConfig(
+                        window_size=scenario.window_size,
+                        sequence_bits=scenario.sequence_bits,
+                        timeout=scenario.timeout,
+                    )
+                )
+            delivered: list = []
+            manager = LinkSessionManager(
+                sim, link, schedule, factory,
+                init_time=init_time, deliver=delivered.append,
+            )
+            total = 40_000
+            for i in range(total):
+                manager.send(("pkt", i))
+            sim.run(until=4.0)
+            delivered_ids = {p[1] for p in delivered}
+            backlog_ids = {p[1] for p in manager._queue}
+            iframe_time = scenario.iframe_time
+            rows.append(
+                {
+                    "protocol": protocol,
+                    "init_overhead_s": init_time,
+                    "passes": manager.passes_run,
+                    "delivered_unique": len(delivered_ids),
+                    "goodput_eff": len(delivered_ids) * iframe_time / schedule.total_link_time,
+                    "carried_over": manager.carried_over,
+                    "lost": total - len(delivered_ids | backlog_ids),
+                }
+            )
+    return ExperimentResult(
+        "E15",
+        "Goodput across short link passes with retargeting overhead",
+        rows,
+        notes="Section 1: links live for minutes with 'large retargeting "
+        "overhead'. Goodput per second of link time falls with overhead for "
+        "both protocols, but LAMS-DLC uses the remaining time at line rate "
+        "while SR-HDLC stays window-stalled.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E18 — the full protocol field: LAMS vs SR-HDLC vs GBN vs NBDT
+# ---------------------------------------------------------------------------
+
+
+def e18_protocol_field(
+    scenario: LinkScenario | None = None, duration: float = 2.0, seed: int = 18
+) -> ExperimentResult:
+    """Saturated-load comparison of every implemented protocol."""
+    scenario = scenario or preset("noisy")
+    rows = []
+    for protocol in ("lams", "hdlc", "gbn", "nbdt-continuous", "nbdt-multiphase"):
+        result = runner.measure_saturated(scenario, protocol, duration, seed=seed)
+        rows.append(
+            {
+                "protocol": protocol,
+                "efficiency": result["efficiency"],
+                "retransmissions": result["retransmissions"],
+                "mean_holding_time": result["mean_holding_time"],
+                "delivered": result["delivered"],
+            }
+        )
+    return ExperimentResult(
+        "E18",
+        "Saturated goodput of every implemented protocol (simulation)",
+        rows,
+        notes="The paper's full landscape: LAMS-DLC and NBDT-continuous "
+        "avoid window stalls (high efficiency); NBDT still needs positive "
+        "acks (memory until report) and has no failure handling; "
+        "multiphase and the windowed protocols pay per-cycle round trips.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E19 — validation matrix: model vs simulation across all presets
+# ---------------------------------------------------------------------------
+
+
+def e19_validation_matrix(
+    duration: float = 1.5, seed: int = 19
+) -> ExperimentResult:
+    """Model-vs-measured efficiency for both protocols, every preset."""
+    from ..workloads.scenarios import PRESETS
+
+    rows = []
+    for name, scenario in PRESETS.items():
+        params = scenario.model_parameters()
+        for protocol in ("lams", "hdlc"):
+            measured = runner.measure_saturated(scenario, protocol, duration, seed=seed)
+            n_equiv = max(1, measured["delivered"])
+            if protocol == "lams":
+                predicted = lams_model.throughput_efficiency(params, n_equiv)
+            else:
+                predicted = hdlc_model.throughput_efficiency(params, n_equiv)
+            rows.append(
+                {
+                    "preset": name,
+                    "protocol": protocol,
+                    "model": predicted,
+                    "measured": measured["efficiency"],
+                    "ratio": measured["efficiency"] / predicted if predicted else float("nan"),
+                }
+            )
+    return ExperimentResult(
+        "E19",
+        "Validation matrix: predicted vs measured efficiency, all presets",
+        rows,
+        notes="LAMS-DLC's mean-value analysis tracks the simulation within "
+        "a few percent at every operating point; the HDLC analysis is "
+        "within a small constant factor (its one-frame-per-retransmission-"
+        "period assumption is optimistic), with the ordering always "
+        "preserved.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E16 — Type-I hybrid ARQ/FEC (Section 1, references [13–15])
+# ---------------------------------------------------------------------------
+
+
+def e16_hybrid_arq_fec(scenario: LinkScenario | None = None) -> ExperimentResult:
+    """Goodput of the codec ladder across channel BERs: the ARQ/FEC trade."""
+    from ..analysis import hybrid
+
+    scenario = scenario or preset("nominal")
+    base = scenario.model_parameters()
+    rows = []
+    for channel_ber in (1e-6, 1e-5, 1e-4, 1e-3):
+        for row in hybrid.codec_sweep(base, scenario.iframe_bits, channel_ber):
+            row["channel_ber"] = channel_ber
+            rows.append(row)
+    return ExperimentResult(
+        "E16",
+        "Type-I hybrid ARQ/FEC: goodput of codec strengths vs channel BER",
+        rows,
+        notes="Clean channels favour no coding (parity is pure overhead); "
+        "noisy channels favour coding (retransmissions cost more than "
+        "parity). The optimum codec strengthens as the channel degrades — "
+        "the Type-I rationale of references [13–15].",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E17 — frame-size optimisation (Section 1 NBDT / Section 2.3)
+# ---------------------------------------------------------------------------
+
+
+def e17_frame_size(scenario: LinkScenario | None = None) -> ExperimentResult:
+    """Goodput vs payload size: the optimum the paper says NBDT chased."""
+    from ..analysis import framesize
+
+    scenario = scenario or preset("nominal")
+    overhead = scenario.iframe_overhead_bits
+    rows = []
+    for ber in (1e-6, 1e-5, 1e-4):
+        optimum = framesize.optimal_frame_size(overhead, ber)
+        approx = framesize.optimal_frame_size_approx(overhead, ber)
+        for size in (256, 1024, 4096, 8192, 32_768, 131_072):
+            rows.append(
+                {
+                    "ber": ber,
+                    "payload_bits": size,
+                    "goodput": framesize.goodput_per_channel_bit(size, overhead, ber),
+                    "optimal_bits": optimum,
+                    "approx_bits": round(approx),
+                }
+            )
+    return ExperimentResult(
+        "E17",
+        "Goodput vs frame size; optimum ≈ sqrt(overhead/BER)",
+        rows,
+        notes="Short frames drown in header overhead, long ones in "
+        "retransmissions (Section 2.3). LAMS-DLC's renumbering lets the "
+        "frame size track the optimum mid-stream — NBDT needed 32-bit "
+        "absolute numbering for the same freedom.",
+    )
+
+
+REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
+    "E1": e1_retransmission_factor,
+    "E2": e2_delivery_time,
+    "E2-sim": e2_delivery_time_measured,
+    "E3": e3_holding_time,
+    "E4": e4_buffer_model,
+    "E4-sim": e4_buffer_simulation,
+    "E5": e5_n_total,
+    "E6": e6_throughput_vs_n,
+    "E6-ber": e6_throughput_vs_ber,
+    "E6-window": e6_window_sweep,
+    "E7": e7_knob_ablation,
+    "E8": e8_burst_utilization,
+    "E9": e9_numbering,
+    "E10": e10_recovery,
+    "E11": e11_alpha_sensitivity,
+    "E12": e12_validation,
+    "E13": e13_zero_duplication,
+    "E14": e14_stutter,
+    "E15": e15_link_sessions,
+    "E16": e16_hybrid_arq_fec,
+    "E17": e17_frame_size,
+    "E18": e18_protocol_field,
+    "E19": e19_validation_matrix,
+}
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids."""
+    return list(REGISTRY)
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        fn = REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
+        ) from None
+    return fn(**kwargs)

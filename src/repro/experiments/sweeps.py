@@ -1,0 +1,124 @@
+"""Statistical replication for simulation measurements.
+
+Single-seed simulation numbers are point realisations; the paper's
+claims are about means.  This module runs a measurement across
+independent seeds and reports mean, standard deviation, and a normal-
+approximation confidence interval — the difference between "we saw
+0.91 once" and "0.91 ± 0.01 over ten seeds".
+
+Used by benchmark E20 and available for any runner function::
+
+    from repro.experiments.sweeps import replicate
+    from repro.experiments.runner import measure_saturated
+
+    summary = replicate(
+        lambda seed: measure_saturated(scenario, "lams", 1.0, seed=seed),
+        metric="efficiency", seeds=range(10),
+    )
+    print(summary.mean, summary.half_width)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+__all__ = ["ReplicationSummary", "replicate", "replicate_all"]
+
+# Two-sided 95% normal quantile.
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class ReplicationSummary:
+    """Mean / spread of one metric across independent replications."""
+
+    metric: str
+    samples: tuple[float, ...]
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation (n-1); 0 for a single sample."""
+        if len(self.samples) < 2:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(
+            sum((value - mean) ** 2 for value in self.samples) / (len(self.samples) - 1)
+        )
+
+    @property
+    def half_width(self) -> float:
+        """95% confidence half-width (normal approximation)."""
+        if len(self.samples) < 2:
+            return 0.0
+        return _Z95 * self.stdev / math.sqrt(len(self.samples))
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def relative_half_width(self) -> float:
+        """Half-width as a fraction of the mean (nan at mean 0)."""
+        mean = self.mean
+        return self.half_width / mean if mean else float("nan")
+
+    def overlaps(self, other: "ReplicationSummary") -> bool:
+        """True if the two 95% intervals overlap (no clear separation)."""
+        return self.low <= other.high and other.low <= self.high
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicationSummary({self.metric}: {self.mean:.6g} "
+            f"± {self.half_width:.2g}, n={self.count})"
+        )
+
+
+def replicate(
+    measure: Callable[[int], Mapping[str, float]],
+    metric: str,
+    seeds: Iterable[int],
+) -> ReplicationSummary:
+    """Run ``measure(seed)`` per seed and summarise one metric."""
+    samples = []
+    for seed in seeds:
+        result = measure(seed)
+        value = result[metric]
+        if value != value:  # NaN guard
+            raise ValueError(f"measurement returned NaN for seed {seed}")
+        samples.append(float(value))
+    if not samples:
+        raise ValueError("at least one seed is required")
+    return ReplicationSummary(metric=metric, samples=tuple(samples))
+
+
+def replicate_all(
+    measure: Callable[[int], Mapping[str, float]],
+    metrics: Sequence[str],
+    seeds: Iterable[int],
+) -> dict[str, ReplicationSummary]:
+    """Summarise several metrics from the same replication runs."""
+    seed_list = list(seeds)
+    if not seed_list:
+        raise ValueError("at least one seed is required")
+    collected: dict[str, list[float]] = {metric: [] for metric in metrics}
+    for seed in seed_list:
+        result = measure(seed)
+        for metric in metrics:
+            collected[metric].append(float(result[metric]))
+    return {
+        metric: ReplicationSummary(metric=metric, samples=tuple(values))
+        for metric, values in collected.items()
+    }

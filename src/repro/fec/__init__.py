@@ -1,0 +1,48 @@
+"""FEC substrate: CRC detection, block interleaving, codec models.
+
+Implements the error-control building blocks the paper assumes of the
+physical layer (Sections 2.1–2.2): detectable errors via CRC, burst
+randomisation via interleaving (Paul et al., reference [10]), and a
+residual-BER abstraction with a stronger codec for control frames.
+"""
+
+from .codec import (
+    CodecModel,
+    ConcatenatedCodecModel,
+    DEFAULT_CFRAME_CODEC,
+    DEFAULT_IFRAME_CODEC,
+    HammingCode74,
+    HammingCodecModel,
+    IdentityCodec,
+    RepetitionCode,
+    RepetitionCodecModel,
+)
+from .crc import (
+    append_crc16,
+    append_crc32,
+    crc16_ccitt,
+    crc32_ieee,
+    verify_crc16,
+    verify_crc32,
+)
+from .interleaver import BlockInterleaver, burst_spread
+
+__all__ = [
+    "BlockInterleaver",
+    "CodecModel",
+    "ConcatenatedCodecModel",
+    "DEFAULT_CFRAME_CODEC",
+    "DEFAULT_IFRAME_CODEC",
+    "HammingCode74",
+    "HammingCodecModel",
+    "IdentityCodec",
+    "RepetitionCode",
+    "RepetitionCodecModel",
+    "append_crc16",
+    "append_crc32",
+    "burst_spread",
+    "crc16_ccitt",
+    "crc32_ieee",
+    "verify_crc16",
+    "verify_crc32",
+]

@@ -1,0 +1,237 @@
+"""Forward-error-correction codecs and residual-BER models.
+
+Section 2.1 concludes that FEC is "an integral component" of any LAMS
+DLC, but that no practical codec removes all errors — hence the residual
+BER of 1e-5–1e-7 that the ARQ layer must clean up, and hence LAMS-DLC
+itself.  Assumption 4 of the link model uses *two* codecs: a standard
+one for I-frames and a more powerful one for control frames (which is
+why control frames cannot be piggybacked onto I-frames).
+
+Two layers are provided:
+
+1. **Bit-accurate codes** (:class:`HammingCode74`,
+   :class:`RepetitionCode`) that really encode/decode numpy bit arrays.
+   They exist to *demonstrate* the abstraction is sound (tests inject
+   bursts through the interleaver + Hamming pipeline and verify
+   correction), not to run at simulated Gbps.
+2. **Residual-BER models** (:class:`CodecModel` and friends) mapping a
+   raw channel BER to the post-decoding BER the ARQ layer sees.  The
+   simulator's channels are parameterized with residual BERs from these
+   models, exactly mirroring the paper's abstraction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "HammingCode74",
+    "RepetitionCode",
+    "CodecModel",
+    "IdentityCodec",
+    "RepetitionCodecModel",
+    "HammingCodecModel",
+    "ConcatenatedCodecModel",
+    "DEFAULT_IFRAME_CODEC",
+    "DEFAULT_CFRAME_CODEC",
+]
+
+
+def _bits_required(values: np.ndarray) -> None:
+    if values.ndim != 1 or not np.isin(values, (0, 1)).all():
+        raise ValueError("expected a 1-D array of 0/1 bits")
+
+
+class HammingCode74:
+    """The (7,4) Hamming code: corrects any single bit error per codeword.
+
+    Encoding uses the systematic generator; decoding computes the
+    syndrome and flips the indicated bit.  Input lengths must be
+    multiples of 4 (pad upstream if needed).
+    """
+
+    #: generator matrix G (4x7), systematic in the first 4 positions
+    GENERATOR = np.array(
+        [
+            [1, 0, 0, 0, 1, 1, 0],
+            [0, 1, 0, 0, 1, 0, 1],
+            [0, 0, 1, 0, 0, 1, 1],
+            [0, 0, 0, 1, 1, 1, 1],
+        ],
+        dtype=np.uint8,
+    )
+    #: parity-check matrix H (3x7)
+    PARITY_CHECK = np.array(
+        [
+            [1, 1, 0, 1, 1, 0, 0],
+            [1, 0, 1, 1, 0, 1, 0],
+            [0, 1, 1, 1, 0, 0, 1],
+        ],
+        dtype=np.uint8,
+    )
+
+    rate = 4 / 7
+
+    def __init__(self) -> None:
+        # Map syndrome (as integer) -> erroneous bit position, or -1.
+        self._syndrome_to_position = np.full(8, -1, dtype=int)
+        for position in range(7):
+            error = np.zeros(7, dtype=np.uint8)
+            error[position] = 1
+            syndrome = (self.PARITY_CHECK @ error) % 2
+            key = int(syndrome[0]) * 4 + int(syndrome[1]) * 2 + int(syndrome[2])
+            self._syndrome_to_position[key] = position
+
+    def encode(self, bits: np.ndarray) -> np.ndarray:
+        """Encode a bit array (length divisible by 4) to codewords."""
+        _bits_required(bits)
+        if len(bits) % 4 != 0:
+            raise ValueError("input length must be a multiple of 4")
+        data = bits.reshape(-1, 4).astype(np.uint8)
+        return ((data @ self.GENERATOR) % 2).reshape(-1)
+
+    def decode(self, bits: np.ndarray) -> np.ndarray:
+        """Decode codewords (length divisible by 7), correcting 1 error each."""
+        _bits_required(bits)
+        if len(bits) % 7 != 0:
+            raise ValueError("input length must be a multiple of 7")
+        words = bits.reshape(-1, 7).astype(np.uint8).copy()
+        syndromes = (words @ self.PARITY_CHECK.T) % 2
+        keys = syndromes[:, 0] * 4 + syndromes[:, 1] * 2 + syndromes[:, 2]
+        positions = self._syndrome_to_position[keys]
+        rows = np.nonzero(positions >= 0)[0]
+        words[rows, positions[rows]] ^= 1
+        return words[:, :4].reshape(-1)
+
+
+class RepetitionCode:
+    """The n-fold repetition code with majority-vote decoding (n odd)."""
+
+    def __init__(self, n: int = 3) -> None:
+        if n < 1 or n % 2 == 0:
+            raise ValueError("repetition factor must be odd and >= 1")
+        self.n = n
+        self.rate = 1.0 / n
+
+    def encode(self, bits: np.ndarray) -> np.ndarray:
+        _bits_required(bits)
+        return np.repeat(bits.astype(np.uint8), self.n)
+
+    def decode(self, bits: np.ndarray) -> np.ndarray:
+        _bits_required(bits)
+        if len(bits) % self.n != 0:
+            raise ValueError(f"input length must be a multiple of {self.n}")
+        groups = bits.reshape(-1, self.n)
+        return (groups.sum(axis=1) > self.n // 2).astype(np.uint8)
+
+
+# ---------------------------------------------------------------------------
+# Residual-BER models
+# ---------------------------------------------------------------------------
+
+
+class CodecModel:
+    """Maps a raw channel BER to the residual BER after decoding."""
+
+    rate: float = 1.0
+
+    def residual_ber(self, channel_ber: float) -> float:
+        raise NotImplementedError
+
+    def channel_bits(self, payload_bits: int) -> int:
+        """Channel bits needed to carry *payload_bits* of information."""
+        return math.ceil(payload_bits / self.rate)
+
+
+@dataclass(frozen=True)
+class IdentityCodec(CodecModel):
+    """No coding: residual BER equals channel BER."""
+
+    rate: float = 1.0
+
+    def residual_ber(self, channel_ber: float) -> float:
+        return channel_ber
+
+
+@dataclass(frozen=True)
+class RepetitionCodecModel(CodecModel):
+    """Exact residual BER of the n-fold repetition code.
+
+    A decoded bit is wrong when more than half of the n copies flip:
+    ``sum_{k>n/2} C(n,k) p^k (1-p)^(n-k)``.
+    """
+
+    n: int = 3
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.n % 2 == 0:
+            raise ValueError("repetition factor must be odd and >= 1")
+
+    @property
+    def rate(self) -> float:  # type: ignore[override]
+        return 1.0 / self.n
+
+    def residual_ber(self, channel_ber: float) -> float:
+        p = channel_ber
+        half = self.n // 2
+        return float(
+            sum(
+                math.comb(self.n, k) * p**k * (1 - p) ** (self.n - k)
+                for k in range(half + 1, self.n + 1)
+            )
+        )
+
+
+@dataclass(frozen=True)
+class HammingCodecModel(CodecModel):
+    """Residual BER of Hamming(7,4) under i.i.d. channel errors.
+
+    A codeword decodes wrongly when it suffers >= 2 channel errors; a
+    miscorrected word has at most 3 of its 4 data bits wrong.  We use
+    the standard approximation: word error probability
+    ``P_w = 1 - (1-p)^7 - 7 p (1-p)^6`` with ~2 wrong data bits per bad
+    word, so residual ≈ ``P_w / 2``.
+    """
+
+    @property
+    def rate(self) -> float:  # type: ignore[override]
+        return 4.0 / 7.0
+
+    def residual_ber(self, channel_ber: float) -> float:
+        p = channel_ber
+        word_ok = (1 - p) ** 7 + 7 * p * (1 - p) ** 6
+        return min(1.0, max(0.0, (1 - word_ok) / 2))
+
+
+@dataclass(frozen=True)
+class ConcatenatedCodecModel(CodecModel):
+    """Two codecs in series: outer(inner(channel)).
+
+    Models the paper's "more powerful FEC" for control frames as an
+    inner convolutional-like stage plus an outer stage; residual BERs
+    compose, rates multiply.
+    """
+
+    inner: CodecModel = IdentityCodec()
+    outer: CodecModel = IdentityCodec()
+
+    @property
+    def rate(self) -> float:  # type: ignore[override]
+        return self.inner.rate * self.outer.rate
+
+    def residual_ber(self, channel_ber: float) -> float:
+        return self.outer.residual_ber(self.inner.residual_ber(channel_ber))
+
+
+#: Default I-frame codec: single Hamming stage (residual 1e-5–1e-7 band
+#: for raw BERs around 1e-3–1e-4, the paper's laser-channel regime).
+DEFAULT_IFRAME_CODEC: CodecModel = HammingCodecModel()
+
+#: Default control-frame codec: concatenated — "another more powerful
+#: FEC is used to transmit control frames" (assumption 4).
+DEFAULT_CFRAME_CODEC: CodecModel = ConcatenatedCodecModel(
+    inner=HammingCodecModel(), outer=RepetitionCodecModel(n=3)
+)

@@ -1,0 +1,196 @@
+"""HDLC receiver: selective-repeat (SREJ) or Go-Back-N (REJ) modes.
+
+Selective repeat — the paper's SR-HDLC baseline:
+
+- In-window frames are accepted; out-of-order ones are *held* for
+  resequencing (this hold buffer is the receive-buffer cost Section 2.3
+  charges against SR: at least a window's worth of space, because
+  nothing can be delivered past a gap).
+- Gaps and corrupted frames trigger SREJs (multi-SREJ: one control
+  frame lists every currently missing number not already rejected).
+- An RR carrying the cumulative N(R) = V(R) is sent every
+  ``ack_every`` in-order deliveries, and immediately — with the Final
+  bit — whenever a Poll arrives.
+
+Go-Back-N: out-of-order frames are discarded and a single REJ per gap
+episode asks the sender to back up — the frame-discard waste quantified
+in Section 2.3.
+
+For comparability with LAMS-DLC the sequence-number field (and the
+poll bit) of a corrupted frame remains readable — both protocols'
+headers ride under the stronger control-frame FEC.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..simulator.engine import Simulator
+from ..simulator.link import SimplexChannel
+from ..simulator.trace import Tracer
+from .config import HdlcConfig
+from .frames import HdlcIFrame, RejFrame, RrFrame, SrejFrame
+from .window import ReceiverWindow, increment, window_offset
+
+__all__ = ["HdlcReceiver"]
+
+
+class HdlcReceiver:
+    """Receiver state machine for one direction of an HDLC link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: HdlcConfig,
+        control_channel: SimplexChannel,
+        name: str = "hdlc.rx",
+        tracer: Optional[Tracer] = None,
+        deliver: Optional[Callable[[Any], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.control_channel = control_channel
+        self.name = name
+        self.tracer = tracer or Tracer()
+        # Explicit None check: callables with __len__ (e.g. DeliveryLog)
+        # are falsy when empty and must not be replaced.
+        self.deliver = deliver if deliver is not None else (lambda packet: None)
+
+        self.window = ReceiverWindow(config.window_size, config.modulus)
+        self._srej_outstanding: set[int] = set()
+        self._rej_outstanding = False
+        self._since_last_ack = 0
+
+        # Statistics.
+        self.iframes_received = 0
+        self.iframes_corrupted = 0
+        self.duplicates = 0
+        self.discards = 0
+        self.delivered = 0
+        self.rr_sent = 0
+        self.srej_sent = 0
+        self.rej_sent = 0
+
+    # -- frame input -------------------------------------------------------
+
+    def on_iframe(self, frame: HdlcIFrame, corrupted: bool) -> None:
+        self.iframes_received += 1
+        if self.config.selective:
+            self._on_iframe_sr(frame, corrupted)
+        else:
+            self._on_iframe_gbn(frame, corrupted)
+
+    # -- selective repeat ------------------------------------------------------
+
+    def _on_iframe_sr(self, frame: HdlcIFrame, corrupted: bool) -> None:
+        if corrupted:
+            self.iframes_corrupted += 1
+            self._request_srej(extra=frame.ns)
+            if frame.poll:
+                self._respond_to_poll()
+            return
+
+        self._srej_outstanding.discard(frame.ns)
+        if self.window.is_duplicate(frame.ns):
+            self.duplicates += 1
+        elif self.window.accepts(frame.ns):
+            was_gap = window_offset(self.window.vr, frame.ns, self.config.modulus) > 0
+            deliverable = self.window.store(frame.ns, frame.payload)
+            self.tracer.level(f"{self.name}.holdbuf", self.sim.now, self.window.held_count)
+            for payload in deliverable:
+                self.delivered += 1
+                self._since_last_ack += 1
+                self.deliver(payload)
+            if was_gap:
+                self._request_srej()
+            if self._since_last_ack >= self.config.effective_ack_every:
+                self._send_rr(final=False)
+        else:
+            # Outside the window entirely: stale retransmission.
+            self.duplicates += 1
+
+        if frame.poll:
+            self._respond_to_poll()
+
+    def _request_srej(self, extra: Optional[int] = None) -> None:
+        """SREJ every currently missing number not already rejected."""
+        missing = set(self.window.missing())
+        if extra is not None and not self.window.is_duplicate(extra):
+            missing.add(extra)
+        fresh = sorted(missing - self._srej_outstanding)
+        if not fresh:
+            return
+        self._srej_outstanding.update(fresh)
+        self._send_srej(tuple(fresh), final=False)
+
+    def _respond_to_poll(self) -> None:
+        """A Poll demands an immediate Final response: SREJ or RR."""
+        missing = set(self.window.missing())
+        if missing:
+            # Re-assert every gap (a previous SREJ may have been lost).
+            self._srej_outstanding.update(missing)
+            self._send_srej(tuple(sorted(missing)), final=True)
+        else:
+            self._send_rr(final=True)
+
+    # -- go-back-n ----------------------------------------------------------------
+
+    def _on_iframe_gbn(self, frame: HdlcIFrame, corrupted: bool) -> None:
+        if corrupted:
+            self.iframes_corrupted += 1
+            self._request_rej()
+            if frame.poll:
+                self._respond_to_poll_gbn()
+            return
+        if frame.ns == self.window.vr:
+            self.window.vr = increment(self.window.vr, self.config.modulus)
+            self.delivered += 1
+            self._since_last_ack += 1
+            self._rej_outstanding = False
+            self.deliver(frame.payload)
+            if self._since_last_ack >= self.config.effective_ack_every:
+                self._send_rr(final=False)
+        else:
+            self.discards += 1
+            self._request_rej()
+        if frame.poll:
+            self._respond_to_poll_gbn()
+
+    def _request_rej(self) -> None:
+        if self._rej_outstanding:
+            return
+        self._rej_outstanding = True
+        self._send_rej(final=False)
+
+    def _respond_to_poll_gbn(self) -> None:
+        # The Final response re-asserts the receive state either way.
+        self._send_rr(final=True)
+
+    # -- control emission --------------------------------------------------------------
+
+    def _send_rr(self, final: bool) -> None:
+        self._since_last_ack = 0
+        frame = RrFrame(nr=self.window.vr, final=final, size_bits=self.config.control_frame_bits)
+        self.control_channel.send(frame)
+        self.rr_sent += 1
+        self.tracer.emit(self.sim.now, self.name, "rr_sent", nr=frame.nr, final=final)
+
+    def _send_srej(self, nrs: tuple[int, ...], final: bool) -> None:
+        frame = SrejFrame(nrs=nrs, final=final, size_bits=self.config.control_frame_bits)
+        self.control_channel.send(frame)
+        self.srej_sent += 1
+        self.tracer.emit(self.sim.now, self.name, "srej_sent", count=len(nrs), final=final)
+
+    def _send_rej(self, final: bool) -> None:
+        frame = RejFrame(nr=self.window.vr, final=final, size_bits=self.config.control_frame_bits)
+        self.control_channel.send(frame)
+        self.rej_sent += 1
+        self.tracer.emit(self.sim.now, self.name, "rej_sent", nr=frame.nr, final=final)
+
+    @property
+    def hold_buffer_count(self) -> int:
+        """Out-of-order frames held for resequencing (SR only)."""
+        return self.window.held_count
+
+    def __repr__(self) -> str:
+        return f"<HdlcReceiver {self.name} vr={self.window.vr} delivered={self.delivered}>"

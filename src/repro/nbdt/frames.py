@@ -1,0 +1,63 @@
+"""NBDT frame formats: absolutely numbered I-frames and status reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["NbdtIFrame", "NbdtReport", "NbdtReportRequest"]
+
+
+@dataclass(frozen=True)
+class NbdtIFrame:
+    """An I-frame with a 32-bit absolute frame id (never reused)."""
+
+    fid: int
+    payload: Any
+    size_bits: int
+    poll: bool = False
+    """Request an immediate status report (closes a multiphase phase)."""
+
+    is_control = False
+
+    def __post_init__(self) -> None:
+        if self.fid < 0:
+            raise ValueError("frame id cannot be negative")
+        if self.size_bits <= 0:
+            raise ValueError("I-frame must have positive size")
+
+
+@dataclass(frozen=True)
+class NbdtReport:
+    """A completely selective acknowledgement.
+
+    ``cumulative`` — every id below it has been received;
+    ``missing`` — the gaps between ``cumulative`` and ``highest_seen``.
+    Everything at or below ``highest_seen`` and not listed as missing is
+    therefore positively acknowledged.
+    """
+
+    cumulative: int
+    highest_seen: int
+    missing: tuple[int, ...] = ()
+    size_bits: int = 96
+
+    is_control = True
+
+    def __post_init__(self) -> None:
+        if self.cumulative < 0:
+            raise ValueError("cumulative cannot be negative")
+        if self.highest_seen < -1:
+            raise ValueError("highest_seen cannot be below -1")
+        if len(set(self.missing)) != len(self.missing):
+            raise ValueError("duplicate ids in missing list")
+
+
+@dataclass(frozen=True)
+class NbdtReportRequest:
+    """Sender's poll for a status report."""
+
+    request_time: float
+    size_bits: int = 64
+
+    is_control = True

@@ -1,0 +1,309 @@
+"""NBDT sender: multiphase and continuous bulk-transfer modes.
+
+Both modes rely on absolute numbering (frame ids are never reused, so
+there is no window and no numbering-driven stall) and on completely
+selective acknowledgement reports.
+
+- **multiphase** — strict alternation: transmit a phase (new frames),
+  poll, wait for the report, retransmit exactly the reported-missing as
+  the next phase, poll again … interleaving new data only when no
+  retransmissions are owed.
+- **continuous** — retransmissions are mixed into the stream: reported
+  gaps are re-sent ahead of new frames without pausing transmission.
+
+The paper's critiques are visible by construction: every frame stays in
+the sender's memory until *positively* acknowledged by a report (the
+"huge memory … implemented by secondary device"), and there is no
+failure-detection machinery at all ("they do not consider the
+reliability of protocol") — a dead receiver leaves the sender polling
+forever.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..simulator.engine import Simulator
+from ..simulator.link import SimplexChannel
+from ..simulator.trace import Tracer
+from .config import NbdtConfig
+from .frames import NbdtIFrame, NbdtReport, NbdtReportRequest
+
+__all__ = ["NbdtSender", "NbdtOutstanding"]
+
+
+@dataclass
+class NbdtOutstanding:
+    """One transmitted, not-yet-acknowledged frame."""
+
+    fid: int
+    payload: Any
+    first_send_time: float
+    retransmit_count: int = 0
+    last_send_time: float = -1.0
+
+
+class NbdtSender:
+    """Sender state machine for one direction of an NBDT link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: NbdtConfig,
+        data_channel: SimplexChannel,
+        name: str = "nbdt.tx",
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.data_channel = data_channel
+        self.name = name
+        self.tracer = tracer or Tracer()
+
+        self._pending: deque[Any] = deque()
+        self._outstanding: dict[int, NbdtOutstanding] = {}
+        self._retransmit_queue: deque[int] = deque()
+        self._requeued: set[int] = set()
+        self._next_fid = 0
+        self._started = False
+        self._report_timer = sim.timer(self._on_report_timeout)
+
+        # Multiphase state: frames still owed to the current phase.
+        self._phase_new_remaining = 0
+        self._awaiting_report = False
+
+        self.data_channel.on_idle(self._maybe_send)
+
+        self.iframes_sent = 0
+        self.retransmissions = 0
+        self.releases = 0
+        self.reports_received = 0
+        self.polls_sent = 0
+        self.timeouts = 0
+        self.holding_time_sum = 0.0
+        self.holding_samples = 0
+        self.peak_occupancy = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("sender already started")
+        self._started = True
+        self._begin_phase_if_idle()
+        self._maybe_send()
+
+    def stop(self) -> None:
+        self._report_timer.cancel()
+        self._started = False
+
+    # -- network-layer interface -------------------------------------------------
+
+    def accept(self, packet: Any) -> bool:
+        capacity = self.config.send_buffer_capacity
+        if capacity is not None and self.occupancy >= capacity:
+            return False
+        self._pending.append(packet)
+        if self.occupancy > self.peak_occupancy:
+            self.peak_occupancy = self.occupancy
+        if self._started:
+            self._begin_phase_if_idle()
+            self._maybe_send()
+        return True
+
+    @property
+    def occupancy(self) -> int:
+        """Sender memory: pending plus everything awaiting positive ack."""
+        return len(self._pending) + len(self._outstanding)
+
+    @property
+    def unresolved_count(self) -> int:
+        return self.occupancy
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def mean_holding_time(self) -> float:
+        if self.holding_samples == 0:
+            return 0.0
+        return self.holding_time_sum / self.holding_samples
+
+    def held_payloads(self) -> list[Any]:
+        payloads = list(self._pending)
+        payloads.extend(record.payload for record in self._outstanding.values())
+        return payloads
+
+    # -- transmission ----------------------------------------------------------------
+
+    def _begin_phase_if_idle(self) -> None:
+        """Multiphase: open a transmission phase when nothing is owed."""
+        if self.config.mode != "multiphase":
+            return
+        if self._awaiting_report or self._retransmit_queue or self._phase_new_remaining:
+            return
+        if self._pending:
+            self._phase_new_remaining = len(self._pending)
+
+    def _maybe_send(self) -> None:
+        if not self._started or not self.data_channel.is_idle:
+            return
+        if self.config.mode == "continuous":
+            self._maybe_send_continuous()
+        else:
+            self._maybe_send_multiphase()
+
+    def _maybe_send_continuous(self) -> None:
+        if self._retransmit_queue:
+            fid = self._retransmit_queue.popleft()
+            self._requeued.discard(fid)
+            record = self._outstanding.get(fid)
+            if record is None:
+                self._maybe_send_continuous()
+                return
+            record.retransmit_count += 1
+            self.retransmissions += 1
+            self._emit(record, poll=self._nothing_else_sendable())
+        elif self._pending:
+            self._emit(self._admit(), poll=self._nothing_else_sendable())
+
+    def _maybe_send_multiphase(self) -> None:
+        if self._awaiting_report:
+            return
+        if self._retransmit_queue:
+            fid = self._retransmit_queue.popleft()
+            record = self._outstanding.get(fid)
+            if record is None:
+                self._maybe_send_multiphase()
+                return
+            record.retransmit_count += 1
+            self.retransmissions += 1
+            last = not self._retransmit_queue
+            self._emit(record, poll=last)
+            if last:
+                self._close_phase()
+        elif self._phase_new_remaining > 0 and self._pending:
+            record = self._admit()
+            self._phase_new_remaining -= 1
+            last = self._phase_new_remaining == 0 or not self._pending
+            self._emit(record, poll=last)
+            if last:
+                self._phase_new_remaining = 0
+                self._close_phase()
+
+    def _close_phase(self) -> None:
+        self._awaiting_report = True
+        self._report_timer.start(self.config.timeout)
+
+    def _nothing_else_sendable(self) -> bool:
+        return not self._retransmit_queue and not self._pending
+
+    def _admit(self) -> NbdtOutstanding:
+        payload = self._pending.popleft()
+        record = NbdtOutstanding(
+            fid=self._next_fid, payload=payload, first_send_time=self.sim.now
+        )
+        self._next_fid += 1
+        self._outstanding[record.fid] = record
+        return record
+
+    def _emit(self, record: NbdtOutstanding, poll: bool) -> None:
+        frame = NbdtIFrame(
+            fid=record.fid,
+            payload=record.payload,
+            size_bits=self.config.iframe_bits,
+            poll=poll,
+        )
+        record.last_send_time = self.sim.now
+        self.data_channel.send(frame)
+        self.iframes_sent += 1
+        if poll:
+            self.polls_sent += 1
+            if self.config.mode == "continuous":
+                self._report_timer.start(self.config.timeout)
+        if self.occupancy > self.peak_occupancy:
+            self.peak_occupancy = self.occupancy
+        self.tracer.emit(
+            self.sim.now, self.name, "iframe_sent", fid=record.fid, poll=poll,
+        )
+
+    # -- report handling --------------------------------------------------------------
+
+    def on_report(self, report: NbdtReport, corrupted: bool) -> None:
+        if corrupted:
+            return  # the report timer recovers a lost/corrupted report
+        self.reports_received += 1
+        self._awaiting_report = False
+        missing = set(report.missing)
+        # Positive acknowledgement: everything at or below highest_seen
+        # that the receiver does not list as missing.
+        for fid in [f for f in self._outstanding if f <= report.highest_seen]:
+            if fid in missing:
+                continue
+            record = self._outstanding.pop(fid)
+            self.releases += 1
+            self.holding_time_sum += self.sim.now - record.first_send_time
+            self.holding_samples += 1
+        # Retransmission work: the reported gaps.  In continuous mode a
+        # gap can be re-reported while its retransmission is still in
+        # flight (the report was issued before the re-sent copy could
+        # arrive), so those are guarded by one timeout (>= RTT by
+        # configuration).  Multiphase reports always postdate the whole
+        # previous phase — every listed gap genuinely needs a re-send.
+        in_flight_possible = self.config.mode == "continuous"
+        for fid in sorted(missing):
+            record = self._outstanding.get(fid)
+            if record is None or fid in self._requeued:
+                continue
+            if (
+                in_flight_possible
+                and record.retransmit_count > 0
+                and self.sim.now - record.last_send_time < self.config.timeout
+            ):
+                continue
+            self._retransmit_queue.append(fid)
+            self._requeued.add(fid)
+        # Trailing losses: frames beyond the receiver's highest seen id
+        # can never appear in its gap list.  Anything we sent more than
+        # one timeout ago that the report does not cover was lost off
+        # the tail — retransmit it.  (Freshly sent frames are protected
+        # by the same guard; the next report covers them.)
+        for fid in sorted(self._outstanding):
+            if fid <= report.highest_seen or fid in self._requeued:
+                continue
+            record = self._outstanding[fid]
+            if self.sim.now - record.last_send_time < self.config.timeout:
+                continue
+            self._retransmit_queue.append(fid)
+            self._requeued.add(fid)
+        if self.config.mode == "multiphase":
+            self._requeued.clear()
+            if not self._retransmit_queue:
+                self._begin_phase_if_idle()
+        if self._outstanding or self._pending:
+            self._report_timer.start(self.config.timeout)
+        else:
+            self._report_timer.cancel()
+        self.tracer.emit(
+            self.sim.now, self.name, "report",
+            acked=self.releases, missing=len(missing),
+        )
+        self._maybe_send()
+
+    def _on_report_timeout(self) -> None:
+        """No report arrived: poll again (NBDT has no failure handling)."""
+        if not self._outstanding and not self._pending:
+            return
+        self.timeouts += 1
+        self.data_channel.send(NbdtReportRequest(request_time=self.sim.now))
+        self._report_timer.start(self.config.timeout)
+        self.tracer.emit(self.sim.now, self.name, "report_request")
+
+    def __repr__(self) -> str:
+        return (
+            f"<NbdtSender {self.name} mode={self.config.mode} "
+            f"sent={self.iframes_sent} outstanding={len(self._outstanding)}>"
+        )

@@ -1,0 +1,21 @@
+"""Network-layer substrate: datagrams, forwarding, destination resequencing.
+
+Implements the obligations the paper moves *out* of the DLC by relaxing
+the in-sequence constraint: per-source ordering and deduplication at the
+destination, plus store-and-forward transit over a constellation graph.
+"""
+
+from .datagram import DatagramService, DeliveryLog
+from .forwarding import ForwardingNetworkLayer, shortest_path_routes
+from .packet import Datagram
+from .resequencer import FlowState, Resequencer
+
+__all__ = [
+    "Datagram",
+    "DatagramService",
+    "DeliveryLog",
+    "FlowState",
+    "ForwardingNetworkLayer",
+    "Resequencer",
+    "shortest_path_routes",
+]

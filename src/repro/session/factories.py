@@ -1,0 +1,58 @@
+"""Standard endpoint factories for the session manager.
+
+Each factory closes over a protocol configuration and builds a fresh,
+started, one-way endpoint pair per pass.  The LAMS factory threads the
+pass's remaining time into ``link_lifetime`` so enforced recovery can
+apply the paper's "recoverable link failure" test against real pass
+boundaries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+from ..core.config import LamsDlcConfig
+from ..core.protocol import lams_dlc_pair
+from ..hdlc.config import HdlcConfig
+from ..hdlc.protocol import hdlc_pair
+from ..simulator.engine import Simulator
+from ..simulator.link import FullDuplexLink
+
+__all__ = ["lams_session_factory", "hdlc_session_factory"]
+
+
+def lams_session_factory(config: LamsDlcConfig) -> Callable:
+    """An EndpointFactory running LAMS-DLC for each pass."""
+
+    def factory(
+        sim: Simulator,
+        link: FullDuplexLink,
+        deliver: Callable[[Any], None],
+        pass_remaining: float,
+    ):
+        session_config = dataclasses.replace(config, link_lifetime=pass_remaining)
+        endpoint_a, endpoint_b = lams_dlc_pair(
+            sim, link, session_config, deliver_b=deliver
+        )
+        endpoint_a.start(send=True, receive=False)
+        endpoint_b.start(send=False, receive=True)
+        return endpoint_a, endpoint_b
+
+    return factory
+
+
+def hdlc_session_factory(config: HdlcConfig) -> Callable:
+    """An EndpointFactory running SR-HDLC (or GBN) for each pass."""
+
+    def factory(
+        sim: Simulator,
+        link: FullDuplexLink,
+        deliver: Callable[[Any], None],
+        pass_remaining: float,
+    ):
+        endpoint_a, endpoint_b = hdlc_pair(sim, link, config, deliver_b=deliver)
+        endpoint_a.start()
+        return endpoint_a, endpoint_b
+
+    return factory

@@ -1,0 +1,85 @@
+"""Discrete-event simulation substrate for the LAMS-DLC reproduction.
+
+Built from scratch (no SimPy dependency): a generator-process event
+engine, deterministic named RNG streams, channel error models (random
+and Gilbert–Elliott burst), full-duplex links with serialization and
+time-varying propagation, LEO orbital geometry, and tracing/statistics.
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    Simulator,
+    SimulationError,
+    StopSimulation,
+    Timeout,
+    Timer,
+)
+from .errormodel import (
+    BernoulliChannel,
+    ErrorModel,
+    GilbertElliottChannel,
+    PerfectChannel,
+    frame_error_probability,
+)
+from .link import (
+    LIGHT_SPEED_KM_S,
+    FullDuplexLink,
+    SimplexChannel,
+    delay_from_distance_km,
+)
+from .node import Node, PacketSink
+from .orbit import (
+    EARTH_RADIUS_KM,
+    IsolatedLinkGeometry,
+    Satellite,
+    VisibilityWindow,
+    link_distance_km,
+    propagation_delay_fn,
+    rtt_statistics,
+    visibility_windows,
+)
+from .rng import StreamRegistry, derive_seed
+from .trace import Counter, SampleStat, TimeWeightedStat, Tracer, TraceRecord
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BernoulliChannel",
+    "Counter",
+    "EARTH_RADIUS_KM",
+    "ErrorModel",
+    "Event",
+    "FullDuplexLink",
+    "GilbertElliottChannel",
+    "Interrupt",
+    "IsolatedLinkGeometry",
+    "LIGHT_SPEED_KM_S",
+    "Node",
+    "PacketSink",
+    "PerfectChannel",
+    "Process",
+    "SampleStat",
+    "Satellite",
+    "SimplexChannel",
+    "SimulationError",
+    "Simulator",
+    "StopSimulation",
+    "StreamRegistry",
+    "Timeout",
+    "TimeWeightedStat",
+    "Timer",
+    "TraceRecord",
+    "Tracer",
+    "VisibilityWindow",
+    "delay_from_distance_km",
+    "derive_seed",
+    "frame_error_probability",
+    "link_distance_km",
+    "propagation_delay_fn",
+    "rtt_statistics",
+    "visibility_windows",
+]

@@ -1,0 +1,405 @@
+"""Discrete-event simulation engine.
+
+This module is a small, dependency-free discrete-event simulator in the
+style of SimPy: a :class:`Simulator` owns a clock and an event heap,
+*processes* are Python generators that ``yield`` events to wait on, and
+plain callbacks can be scheduled at absolute or relative times.
+
+The engine is deliberately deterministic: events scheduled for the same
+time fire in the order they were scheduled (FIFO tie-breaking via a
+monotonically increasing sequence number).  This matters for protocol
+simulations where, e.g., a frame arrival and a timer expiry at the same
+instant must resolve reproducibly.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def proc(sim, log):
+...     yield sim.timeout(1.0)
+...     log.append(sim.now)
+...     yield sim.timeout(2.0)
+...     log.append(sim.now)
+>>> _ = sim.process(proc(sim, log))
+>>> sim.run()
+3.0
+>>> log
+[1.0, 3.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Timer",
+    "SimulationError",
+    "StopSimulation",
+]
+
+
+class SimulationError(Exception):
+    """Raised for illegal engine operations (e.g. double-firing an event)."""
+
+
+class StopSimulation(Exception):
+    """Raised inside a process to halt the whole simulation immediately."""
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*, is *triggered* exactly once via
+    :meth:`succeed` or :meth:`fail`, and then calls back every waiter.
+    Events may be waited on after they have fired; the waiter resumes
+    immediately at the current simulation time.
+    """
+
+    __slots__ = ("sim", "_value", "_ok", "_fired", "_callbacks")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._value: Any = None
+        self._ok: bool = True
+        self._fired: bool = False
+        self._callbacks: list[Callable[["Event"], None]] = []
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been succeeded or failed."""
+        return self._fired
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception."""
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional value."""
+        self._trigger(value, ok=True)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception; waiters will raise it."""
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._trigger(exception, ok=False)
+        return self
+
+    def _trigger(self, value: Any, ok: bool) -> None:
+        if self._fired:
+            raise SimulationError("event already triggered")
+        self._fired = True
+        self._ok = ok
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.sim.schedule(0.0, callback, self)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register *callback(event)*; runs now if already triggered."""
+        if self._fired:
+            self.sim.schedule(0.0, callback, self)
+        else:
+            self._callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that succeeds after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        sim.schedule(delay, self._expire, value)
+
+    def _expire(self, value: Any) -> None:
+        self.succeed(value)
+
+
+class Process(Event):
+    """A running generator; itself an event that fires on completion.
+
+    The generator yields :class:`Event` instances.  When a yielded event
+    succeeds, the generator is resumed with the event's value; when it
+    fails, the exception is thrown into the generator (and propagates,
+    failing the process, unless caught).
+    """
+
+    __slots__ = ("generator",)
+
+    def __init__(self, sim: "Simulator", generator: Generator) -> None:
+        super().__init__(sim)
+        self.generator = generator
+        sim.schedule(0.0, self._resume, None, True)
+
+    def _on_wait_done(self, event: Event) -> None:
+        self._resume(event.value, event.ok)
+
+    def _resume(self, value: Any, ok: bool) -> None:
+        if self.triggered:
+            # A stale wakeup: the process already finished (e.g. it was
+            # interrupted out of the wait this event belonged to).
+            return
+        try:
+            if ok:
+                target = self.generator.send(value)
+            else:
+                target = self.generator.throw(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except StopSimulation:
+            self.sim.stop()
+            self.succeed(None)
+            return
+        except BaseException as exc:  # process died: fail the process event
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.generator.throw(
+                SimulationError(f"process yielded a non-event: {target!r}")
+            )
+            return
+        target.add_callback(self._on_wait_done)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        self.sim.schedule(0.0, self._resume, Interrupt(cause), False)
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class AnyOf(Event):
+    """Succeeds when the first of several events succeeds.
+
+    The value is the triggering event itself, so callers can identify
+    which condition fired.  Failure of any constituent fails the AnyOf.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events = list(events)
+        if not self.events:
+            raise ValueError("AnyOf requires at least one event")
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok:
+            self.succeed(event)
+        else:
+            self.fail(event.value)
+
+
+class AllOf(Event):
+    """Succeeds when every constituent event has succeeded.
+
+    The value is the list of constituent values in construction order.
+    """
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events = list(events)
+        if not self.events:
+            raise ValueError("AllOf requires at least one event")
+        self._remaining = len(self.events)
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e.value for e in self.events])
+
+
+class Timer:
+    """A restartable one-shot timer built on the event heap.
+
+    Protocol state machines need timers that can be started, restarted
+    (reset to a fresh timeout) and cancelled; this wrapper provides that
+    without allocating a new heap entry per restart cancellation —
+    cancelled expiries are ignored via a generation counter.
+    """
+
+    __slots__ = ("sim", "callback", "_generation", "_deadline", "_running")
+
+    def __init__(self, sim: "Simulator", callback: Callable[[], None]) -> None:
+        self.sim = sim
+        self.callback = callback
+        self._generation = 0
+        self._deadline: Optional[float] = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        """True while an expiry is pending."""
+        return self._running
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Absolute expiry time, or None when stopped."""
+        return self._deadline if self._running else None
+
+    def start(self, delay: float) -> None:
+        """(Re)arm the timer to fire *delay* from now."""
+        if delay < 0:
+            raise ValueError(f"negative timer delay: {delay!r}")
+        self._generation += 1
+        self._running = True
+        self._deadline = self.sim.now + delay
+        self.sim.schedule(delay, self._expire, self._generation)
+
+    def restart(self, delay: float) -> None:
+        """Alias of :meth:`start`; reads better at call sites that reset."""
+        self.start(delay)
+
+    def cancel(self) -> None:
+        """Disarm the timer; a pending expiry becomes a no-op."""
+        self._generation += 1
+        self._running = False
+        self._deadline = None
+
+    def _expire(self, generation: int) -> None:
+        if generation != self._generation or not self._running:
+            return
+        self._running = False
+        self._deadline = None
+        self.callback()
+
+
+class Simulator:
+    """The event loop: clock, heap, and process bookkeeping."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._sequence = 0
+        self._stopped = False
+        self.event_count = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` at ``now + delay``."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay!r})")
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, callback, args))
+
+    def schedule_at(self, when: float, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` at absolute time *when*."""
+        self.schedule(when - self._now, callback, *args)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event succeeding *delay* seconds from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a generator as a process; returns its completion event."""
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event firing when the first of *events* succeeds."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event firing when all of *events* have succeeded."""
+        return AllOf(self, events)
+
+    def timer(self, callback: Callable[[], None]) -> Timer:
+        """A restartable :class:`Timer` invoking *callback* on expiry."""
+        return Timer(self, callback)
+
+    # -- running ----------------------------------------------------------
+
+    def stop(self) -> None:
+        """Halt :meth:`run` after the current callback returns."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Drain the event heap.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time; the clock is then
+            advanced exactly to *until* (events at ``t == until`` run).
+        max_events:
+            Safety valve for runaway simulations.
+
+        Returns the final simulation time.
+        """
+        self._stopped = False
+        processed = 0
+        while self._heap and not self._stopped:
+            when, _seq, callback, args = self._heap[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            self._now = when
+            callback(*args)
+            self.event_count += 1
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} (possible runaway simulation)"
+                )
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled event, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.6f} pending={len(self._heap)}>"

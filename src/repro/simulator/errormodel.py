@@ -1,0 +1,197 @@
+"""Channel error models.
+
+The paper's link model (Section 2.2) abstracts the laser inter-satellite
+channel to a residual bit error rate after FEC, with two distinct error
+processes (Section 2.1): *random* errors from optical noise and *burst*
+errors from beam mispointing / tracking loss.  Assumption 9 makes all
+errors detectable (CRC), so a model only needs to decide, per frame,
+whether that frame is corrupted.
+
+Three models are provided:
+
+- :class:`PerfectChannel` — never corrupts (control case).
+- :class:`BernoulliChannel` — i.i.d. bit errors at a fixed BER;
+  a frame of ``n`` bits is corrupted with probability ``1-(1-BER)^n``.
+- :class:`GilbertElliottChannel` — the standard two-state continuous-
+  time burst model: a Good state with low BER and a Bad state (burst)
+  with high BER, exponential sojourn times.  This realises the paper's
+  burst errors from mispointing, with the mean burst length
+  ``L_burst`` that the cumulative-NAK condition
+  ``C_depth * W_cp > L_burst`` (Section 3.3) refers to.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+import numpy as np
+
+__all__ = [
+    "ErrorModel",
+    "PerfectChannel",
+    "BernoulliChannel",
+    "GilbertElliottChannel",
+    "frame_error_probability",
+]
+
+
+def frame_error_probability(ber: float, bits: int) -> float:
+    """Probability that an *bits*-bit frame suffers at least one bit error.
+
+    Computed in log space to stay accurate for tiny BERs and long frames:
+    ``1 - (1-ber)^bits = -expm1(bits * log1p(-ber))``.
+    """
+    if not 0.0 <= ber <= 1.0:
+        raise ValueError(f"BER must be in [0, 1], got {ber!r}")
+    if bits < 0:
+        raise ValueError(f"negative frame length: {bits!r}")
+    if ber == 0.0 or bits == 0:
+        return 0.0
+    if ber == 1.0:
+        return 1.0
+    return -math.expm1(bits * math.log1p(-ber))
+
+
+class ErrorModel(Protocol):
+    """Decides per-frame corruption for one channel direction."""
+
+    def frame_error(self, start: float, bits: int, rng: np.random.Generator) -> bool:
+        """True if a frame of *bits* bits transmitted at *start* is corrupted.
+
+        *start* is the simulation time the first bit enters the channel;
+        models with memory (bursts) use it to evolve their state.
+        """
+        ...
+
+
+class PerfectChannel:
+    """Error-free channel: every frame arrives intact."""
+
+    def frame_error(self, start: float, bits: int, rng: np.random.Generator) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "PerfectChannel()"
+
+
+class BernoulliChannel:
+    """Memoryless random-error channel at a fixed bit error rate."""
+
+    def __init__(self, ber: float) -> None:
+        if not 0.0 <= ber <= 1.0:
+            raise ValueError(f"BER must be in [0, 1], got {ber!r}")
+        self.ber = ber
+
+    def frame_error(self, start: float, bits: int, rng: np.random.Generator) -> bool:
+        probability = frame_error_probability(self.ber, bits)
+        if probability == 0.0:
+            return False
+        return bool(rng.random() < probability)
+
+    def __repr__(self) -> str:
+        return f"BernoulliChannel(ber={self.ber:g})"
+
+
+class GilbertElliottChannel:
+    """Two-state Gilbert–Elliott burst-error channel.
+
+    The channel alternates between a *Good* state (BER ``good_ber``) and
+    a *Bad* / burst state (BER ``bad_ber``), with exponentially
+    distributed sojourn times of means ``mean_good`` and ``mean_bad``
+    seconds.  A frame spanning ``[start, start + bits/rate]`` sees each
+    state for some fraction of its bits; the frame survives only if no
+    bit errors occur under either state's BER.
+
+    The state trajectory is sampled lazily and deterministically from
+    the supplied RNG, so one channel instance must always be driven with
+    the same generator and with non-decreasing *start* times (links
+    transmit FIFO, so this holds by construction).
+
+    Parameters
+    ----------
+    good_ber, bad_ber:
+        Residual BER in each state.
+    mean_good, mean_bad:
+        Mean sojourn seconds; ``mean_bad`` is the paper's mean burst
+        length ``L_burst`` expressed in time.
+    bit_rate:
+        Channel rate in bits/second; converts a frame's bit count into
+        the time span it occupies on the channel.
+    """
+
+    def __init__(
+        self,
+        good_ber: float,
+        bad_ber: float,
+        mean_good: float,
+        mean_bad: float,
+        bit_rate: float,
+    ) -> None:
+        for name, value in (("good_ber", good_ber), ("bad_ber", bad_ber)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        if mean_good <= 0 or mean_bad <= 0:
+            raise ValueError("state sojourn means must be positive")
+        if bit_rate <= 0:
+            raise ValueError("bit_rate must be positive")
+        self.good_ber = good_ber
+        self.bad_ber = bad_ber
+        self.mean_good = mean_good
+        self.mean_bad = mean_bad
+        self.bit_rate = bit_rate
+        self._in_bad = False
+        self._state_until = 0.0
+        self._initialised = False
+
+    @property
+    def steady_state_bad_fraction(self) -> float:
+        """Long-run fraction of time spent in the burst state."""
+        return self.mean_bad / (self.mean_good + self.mean_bad)
+
+    def _advance_to(self, time: float, rng: np.random.Generator) -> None:
+        """Evolve the state machine so that ``_state_until > time``."""
+        if not self._initialised:
+            # Start in steady state: random initial phase.
+            self._in_bad = bool(rng.random() < self.steady_state_bad_fraction)
+            mean = self.mean_bad if self._in_bad else self.mean_good
+            self._state_until = rng.exponential(mean)
+            self._initialised = True
+        while self._state_until <= time:
+            self._in_bad = not self._in_bad
+            mean = self.mean_bad if self._in_bad else self.mean_good
+            self._state_until += rng.exponential(mean)
+
+    def frame_error(self, start: float, bits: int, rng: np.random.Generator) -> bool:
+        if bits == 0:
+            return False
+        duration = bits / self.bit_rate
+        end = start + duration
+        self._advance_to(start, rng)
+        # Walk the state intervals overlapped by the frame, accumulating
+        # log-survival per segment.
+        log_survival = 0.0
+        cursor = start
+        while cursor < end:
+            self._advance_to(cursor, rng)
+            segment_end = min(self._state_until, end)
+            segment_bits = (segment_end - cursor) / duration * bits
+            ber = self.bad_ber if self._in_bad else self.good_ber
+            if ber >= 1.0:
+                return True
+            if ber > 0.0:
+                log_survival += segment_bits * math.log1p(-ber)
+            if segment_end >= end:
+                break
+            cursor = segment_end
+        probability = -math.expm1(log_survival)
+        if probability <= 0.0:
+            return False
+        return bool(rng.random() < probability)
+
+    def __repr__(self) -> str:
+        return (
+            f"GilbertElliottChannel(good_ber={self.good_ber:g}, "
+            f"bad_ber={self.bad_ber:g}, mean_good={self.mean_good:g}, "
+            f"mean_bad={self.mean_bad:g})"
+        )

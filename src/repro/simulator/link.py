@@ -1,0 +1,264 @@
+"""Point-to-point full-duplex link with bandwidth, delay, and errors.
+
+A :class:`FullDuplexLink` is two independent :class:`SimplexChannel`
+instances (forward and reverse), matching the paper's link-model
+assumption 2 ("all links operate in full-duplex mode").
+
+Each simplex channel models:
+
+- **Serialization**: one frame at a time occupies the transmitter for
+  ``size_bits / bit_rate`` seconds; frames pushed while busy queue FIFO.
+- **Propagation**: a fixed delay or a time-varying ``delay(t)`` callable
+  (driven by the orbit model); arrivals are clamped monotone so frames
+  never overtake each other.
+- **Errors**: separate :class:`~repro.simulator.errormodel.ErrorModel`
+  instances for I-frames and control frames, reflecting the paper's
+  assumption 4 that control frames use a more powerful FEC.  Corrupted
+  frames are still *delivered* with ``corrupted=True`` — the paper's
+  assumption 9 makes every error CRC-detectable, and whether a corrupted
+  frame's header remains readable is the receiving protocol's business.
+- **Outages**: the channel can be cut (``down()``) and restored
+  (``up()``); frames sent while down are silently lost (link failure /
+  retargeting episodes, Section 3.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional, Protocol, Union
+
+from .engine import Simulator
+from .errormodel import ErrorModel, PerfectChannel
+from .rng import StreamRegistry
+from .trace import Tracer
+
+__all__ = ["Transmittable", "SimplexChannel", "FullDuplexLink", "LIGHT_SPEED_KM_S"]
+
+LIGHT_SPEED_KM_S = 299_792.458
+"""Speed of light in km/s, for distance → propagation-delay conversion."""
+
+
+class Transmittable(Protocol):
+    """Anything a channel can carry: needs a size and a class."""
+
+    @property
+    def size_bits(self) -> int: ...
+
+    @property
+    def is_control(self) -> bool: ...
+
+
+DelaySpec = Union[float, Callable[[float], float]]
+FrameHandler = Callable[[Any, bool], None]
+
+
+class SimplexChannel:
+    """One direction of a link: serializer + propagation pipe + errors."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        bit_rate: float,
+        propagation_delay: DelaySpec,
+        iframe_errors: Optional[ErrorModel] = None,
+        cframe_errors: Optional[ErrorModel] = None,
+        streams: Optional[StreamRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if bit_rate <= 0:
+            raise ValueError(f"bit_rate must be positive, got {bit_rate!r}")
+        self.sim = sim
+        self.name = name
+        self.bit_rate = bit_rate
+        self._delay_spec = propagation_delay
+        self.iframe_errors: ErrorModel = iframe_errors or PerfectChannel()
+        self.cframe_errors: ErrorModel = cframe_errors or PerfectChannel()
+        self.streams = streams or StreamRegistry()
+        self.tracer = tracer or Tracer()
+        self.receiver: Optional[FrameHandler] = None
+        self.idle_callbacks: list[Callable[[], None]] = []
+        self._queue: deque[Any] = deque()
+        self._transmitting = False
+        self._last_arrival = -1.0
+        self._is_up = True
+        self.busy_seconds = 0.0
+        self.frames_sent = 0
+        self.frames_corrupted = 0
+        self.frames_lost_outage = 0
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach_receiver(self, handler: FrameHandler) -> None:
+        """Set the callback receiving ``(frame, corrupted)`` deliveries."""
+        self.receiver = handler
+
+    def on_idle(self, callback: Callable[[], None]) -> None:
+        """Register a callback fired whenever the transmit queue drains."""
+        self.idle_callbacks.append(callback)
+
+    # -- state -----------------------------------------------------------
+
+    def propagation_delay(self, when: float) -> float:
+        """Propagation delay for a frame departing at time *when*."""
+        spec = self._delay_spec
+        delay = spec(when) if callable(spec) else spec
+        if delay < 0:
+            raise ValueError(f"propagation delay went negative at t={when}")
+        return delay
+
+    @property
+    def is_idle(self) -> bool:
+        """True when nothing is queued or being serialized."""
+        return not self._transmitting and not self._queue
+
+    @property
+    def queue_length(self) -> int:
+        """Frames waiting behind the one being serialized."""
+        return len(self._queue)
+
+    @property
+    def is_up(self) -> bool:
+        return self._is_up
+
+    def down(self) -> None:
+        """Cut the channel: queued/in-flight sends from now on are lost."""
+        self._is_up = False
+
+    def up(self) -> None:
+        """Restore the channel."""
+        self._is_up = True
+
+    # -- transmission ----------------------------------------------------
+
+    def send(self, frame: Transmittable) -> None:
+        """Queue *frame* for transmission (FIFO behind any busy frame)."""
+        self._queue.append(frame)
+        if not self._transmitting:
+            self._start_next()
+
+    def transmission_time(self, frame: Transmittable) -> float:
+        """Seconds the transmitter is occupied serializing *frame*."""
+        return frame.size_bits / self.bit_rate
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._transmitting = False
+            for callback in list(self.idle_callbacks):
+                callback()
+            return
+        frame = self._queue.popleft()
+        self._transmitting = True
+        tx_time = self.transmission_time(frame)
+        self.busy_seconds += tx_time
+        departure = self.sim.now
+        self.sim.schedule(tx_time, self._finish_transmit, frame, departure)
+
+    def _finish_transmit(self, frame: Transmittable, departure: float) -> None:
+        self.frames_sent += 1
+        if self._is_up:
+            self._propagate(frame, departure)
+        else:
+            self.frames_lost_outage += 1
+            self.tracer.emit(self.sim.now, self.name, "frame_lost_outage")
+        self._start_next()
+
+    def _propagate(self, frame: Transmittable, departure: float) -> None:
+        delay = self.propagation_delay(departure)
+        arrival = self.sim.now + delay
+        # Frames cannot overtake: clamp to monotone arrival order.
+        if arrival < self._last_arrival:
+            arrival = self._last_arrival
+        self._last_arrival = arrival
+        rng_name = f"{self.name}.{'cframe' if frame.is_control else 'iframe'}"
+        model = self.cframe_errors if frame.is_control else self.iframe_errors
+        corrupted = model.frame_error(departure, frame.size_bits, self.streams.get(rng_name))
+        if corrupted:
+            self.frames_corrupted += 1
+        self.sim.schedule_at(arrival, self._deliver, frame, corrupted)
+
+    def _deliver(self, frame: Transmittable, corrupted: bool) -> None:
+        if not self._is_up:
+            self.frames_lost_outage += 1
+            return
+        if self.receiver is None:
+            raise RuntimeError(f"channel {self.name!r} has no receiver attached")
+        self.tracer.emit(
+            self.sim.now, self.name, "deliver",
+            control=frame.is_control, corrupted=corrupted,
+        )
+        self.receiver(frame, corrupted)
+
+    def utilization(self, now: Optional[float] = None) -> float:
+        """Fraction of elapsed time the transmitter was busy."""
+        end = self.sim.now if now is None else now
+        return self.busy_seconds / end if end > 0 else 0.0
+
+    def __repr__(self) -> str:
+        return f"<SimplexChannel {self.name} rate={self.bit_rate:g}bps>"
+
+
+class FullDuplexLink:
+    """A pair of simplex channels between endpoints A and B.
+
+    Construct with per-direction (or shared) error models, then wire the
+    two protocol endpoints with :meth:`attach`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bit_rate: float,
+        propagation_delay: DelaySpec,
+        name: str = "link",
+        iframe_errors: Optional[ErrorModel] = None,
+        cframe_errors: Optional[ErrorModel] = None,
+        reverse_iframe_errors: Optional[ErrorModel] = None,
+        reverse_cframe_errors: Optional[ErrorModel] = None,
+        streams: Optional[StreamRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.streams = streams or StreamRegistry()
+        self.tracer = tracer or Tracer()
+        self.forward = SimplexChannel(
+            sim, f"{name}.fwd", bit_rate, propagation_delay,
+            iframe_errors=iframe_errors, cframe_errors=cframe_errors,
+            streams=self.streams, tracer=self.tracer,
+        )
+        self.reverse = SimplexChannel(
+            sim, f"{name}.rev", bit_rate, propagation_delay,
+            iframe_errors=reverse_iframe_errors or iframe_errors,
+            cframe_errors=reverse_cframe_errors or cframe_errors,
+            streams=self.streams, tracer=self.tracer,
+        )
+
+    def attach(self, endpoint_a: FrameHandler, endpoint_b: FrameHandler) -> None:
+        """Wire receive handlers: A hears the reverse channel, B the forward."""
+        self.forward.attach_receiver(endpoint_b)
+        self.reverse.attach_receiver(endpoint_a)
+
+    def round_trip_time(self, when: float = 0.0) -> float:
+        """Propagation-only RTT at time *when* (no serialization)."""
+        return self.forward.propagation_delay(when) + self.reverse.propagation_delay(when)
+
+    def down(self) -> None:
+        """Cut both directions."""
+        self.forward.down()
+        self.reverse.down()
+
+    def up(self) -> None:
+        """Restore both directions."""
+        self.forward.up()
+        self.reverse.up()
+
+    def __repr__(self) -> str:
+        return f"<FullDuplexLink {self.name}>"
+
+
+def delay_from_distance_km(distance_km: float) -> float:
+    """Propagation delay in seconds for a light-speed path of *distance_km*."""
+    if distance_km < 0:
+        raise ValueError("distance cannot be negative")
+    return distance_km / LIGHT_SPEED_KM_S

@@ -1,0 +1,113 @@
+"""Satellite node: the container tying DLC endpoints to a network layer.
+
+A :class:`Node` models one satellite acting as a store-and-forward DCE
+(paper Section 2.1, property 1).  It owns any number of DLC endpoints
+(one per attached link) and a *network layer* object that receives
+packets delivered upward by those endpoints and decides whether to
+consume them locally or queue them on another link's sending buffer
+(assumption 3 of the link model).
+
+The node is deliberately protocol-agnostic: LAMS-DLC and SR-HDLC
+endpoints both plug in through the same two-method contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Protocol
+
+from .engine import Simulator
+from .trace import Tracer
+
+__all__ = ["DlcEndpoint", "NetworkLayer", "Node", "PacketSink"]
+
+
+class DlcEndpoint(Protocol):
+    """What a node expects of a data-link endpoint."""
+
+    def accept(self, packet: Any) -> bool:
+        """Offer a packet for transmission; False if refused (no space)."""
+        ...
+
+
+class NetworkLayer(Protocol):
+    """What a node expects of its network layer."""
+
+    def on_packet(self, packet: Any, from_link: str) -> None:
+        """A packet was delivered upward by the DLC on link *from_link*."""
+        ...
+
+    def on_link_failure(self, link_name: str) -> None:
+        """The DLC declared link *link_name* failed."""
+        ...
+
+
+class PacketSink:
+    """A trivial network layer that just collects delivered packets.
+
+    Useful as the destination in single-link experiments: records each
+    packet with its delivery time so tests can assert zero loss, count
+    duplicates, and measure delay.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.packets: list[Any] = []
+        self.delivery_times: list[float] = []
+        self.failures: list[str] = []
+
+    def on_packet(self, packet: Any, from_link: str) -> None:
+        self.packets.append(packet)
+        self.delivery_times.append(self.sim.now)
+
+    def on_link_failure(self, link_name: str) -> None:
+        self.failures.append(link_name)
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+
+class Node:
+    """One satellite: named endpoints plus a network layer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        network_layer: Optional[NetworkLayer] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        # Explicit None check: a PacketSink with zero packets is falsy
+        # (it defines __len__), so `or` would wrongly replace it.
+        self.network_layer: NetworkLayer = (
+            network_layer if network_layer is not None else PacketSink(sim)
+        )
+        self.tracer = tracer or Tracer()
+        self.endpoints: dict[str, DlcEndpoint] = {}
+
+    def attach_endpoint(self, link_name: str, endpoint: DlcEndpoint) -> None:
+        """Register the DLC endpoint serving link *link_name*."""
+        if link_name in self.endpoints:
+            raise ValueError(f"link {link_name!r} already has an endpoint")
+        self.endpoints[link_name] = endpoint
+
+    def deliver_up(self, packet: Any, from_link: str) -> None:
+        """Called by an endpoint when a packet is handed to the network layer."""
+        self.tracer.emit(self.sim.now, self.name, "deliver_up", link=from_link)
+        self.network_layer.on_packet(packet, from_link)
+
+    def report_link_failure(self, link_name: str) -> None:
+        """Called by an endpoint that has declared its link failed."""
+        self.tracer.emit(self.sim.now, self.name, "link_failure", link=link_name)
+        self.network_layer.on_link_failure(link_name)
+
+    def send(self, packet: Any, via_link: str) -> bool:
+        """Queue *packet* on the endpoint serving *via_link*."""
+        endpoint = self.endpoints.get(via_link)
+        if endpoint is None:
+            raise KeyError(f"node {self.name!r} has no endpoint for link {via_link!r}")
+        return endpoint.accept(packet)
+
+    def __repr__(self) -> str:
+        return f"<Node {self.name} links={sorted(self.endpoints)}>"

@@ -1,0 +1,219 @@
+"""Structured event tracing and statistics collection.
+
+Protocol endpoints and links emit trace records through a shared
+:class:`Tracer`.  Traces serve two purposes: debugging (a readable
+timeline of what each endpoint did) and measurement (counters and
+time-series the experiment harness aggregates into the paper's
+metrics: throughput efficiency, holding time, buffer occupancy, ...).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = ["TraceRecord", "Tracer", "Counter", "TimeWeightedStat", "SampleStat"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timeline entry: *who* did *what* at *when*, with detail."""
+
+    time: float
+    source: str
+    event: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Human-readable one-line rendering."""
+        detail = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"{self.time:12.6f}  {self.source:<16} {self.event:<24} {detail}"
+
+
+class Counter:
+    """A named monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self, by: int = 1) -> None:
+        self.value += by
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class SampleStat:
+    """Streaming mean/variance/min/max over point samples (Welford)."""
+
+    __slots__ = ("name", "count", "_mean", "_m2", "minimum", "maximum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, sample: float) -> None:
+        self.count += 1
+        delta = sample - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (sample - self._mean)
+        if sample < self.minimum:
+            self.minimum = sample
+        if sample > self.maximum:
+            self.maximum = sample
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator); nan below two samples."""
+        return self._m2 / (self.count - 1) if self.count > 1 else math.nan
+
+    @property
+    def stdev(self) -> float:
+        variance = self.variance
+        return math.sqrt(variance) if variance == variance else math.nan
+
+    def __repr__(self) -> str:
+        return f"SampleStat({self.name}: n={self.count} mean={self.mean:.6g})"
+
+
+class TimeWeightedStat:
+    """Time-weighted average of a piecewise-constant signal.
+
+    Used for buffer occupancy: call :meth:`update` whenever the level
+    changes; the average weights each level by how long it was held.
+    """
+
+    __slots__ = ("name", "_level", "_last_time", "_area", "_start", "maximum")
+
+    def __init__(self, name: str, start_time: float = 0.0, level: float = 0.0) -> None:
+        self.name = name
+        self._level = level
+        self._last_time = start_time
+        self._start = start_time
+        self._area = 0.0
+        self.maximum = level
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def update(self, now: float, level: float) -> None:
+        """Record that the signal changed to *level* at time *now*."""
+        if now < self._last_time:
+            raise ValueError("time went backwards in TimeWeightedStat.update")
+        self._area += self._level * (now - self._last_time)
+        self._last_time = now
+        self._level = level
+        if level > self.maximum:
+            self.maximum = level
+
+    def mean(self, now: Optional[float] = None) -> float:
+        """Time-weighted mean from start through *now* (default: last update)."""
+        end = self._last_time if now is None else now
+        if end < self._last_time:
+            raise ValueError("query time precedes last update")
+        span = end - self._start
+        if span <= 0:
+            return self._level
+        area = self._area + self._level * (end - self._last_time)
+        return area / span
+
+
+class Tracer:
+    """Collects trace records, counters, and statistics for one run.
+
+    Recording full timelines is expensive for long runs, so timeline
+    capture is off by default; counters and stats are always live.
+    A *listener* callback can be attached to stream records (used by
+    tests asserting on protocol behaviour).
+    """
+
+    def __init__(self, record_timeline: bool = False) -> None:
+        self.record_timeline = record_timeline
+        self.records: list[TraceRecord] = []
+        self.counters: dict[str, Counter] = {}
+        self.samples: dict[str, SampleStat] = {}
+        self.levels: dict[str, TimeWeightedStat] = {}
+        self.listeners: list[Callable[[TraceRecord], None]] = []
+
+    # -- timeline --------------------------------------------------------
+
+    def emit(self, time: float, source: str, event: str, **detail: Any) -> None:
+        """Record a timeline event (and notify listeners)."""
+        if not self.record_timeline and not self.listeners:
+            return
+        record = TraceRecord(time=time, source=source, event=event, detail=detail)
+        if self.record_timeline:
+            self.records.append(record)
+        for listener in self.listeners:
+            listener(record)
+
+    def timeline(self, source: Optional[str] = None, event: Optional[str] = None) -> list[TraceRecord]:
+        """Filtered view of the recorded timeline."""
+        result = self.records
+        if source is not None:
+            result = [r for r in result if r.source == source]
+        if event is not None:
+            result = [r for r in result if r.event == event]
+        return list(result)
+
+    def format_timeline(self, records: Optional[Iterable[TraceRecord]] = None) -> str:
+        """The timeline as a printable block of text."""
+        chosen = self.records if records is None else records
+        return "\n".join(record.format() for record in chosen)
+
+    # -- metrics ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def count(self, name: str, by: int = 1) -> None:
+        """Shorthand: increment counter *name*."""
+        self.counter(name).increment(by)
+
+    def sample(self, name: str, value: float) -> None:
+        """Shorthand: add a point sample to stat *name*."""
+        stat = self.samples.get(name)
+        if stat is None:
+            stat = self.samples[name] = SampleStat(name)
+        stat.add(value)
+
+    def level(self, name: str, now: float, value: float) -> None:
+        """Shorthand: piecewise-constant signal *name* changed to *value*."""
+        stat = self.levels.get(name)
+        if stat is None:
+            stat = self.levels[name] = TimeWeightedStat(name, start_time=now)
+        stat.update(now, value)
+
+    def value(self, name: str) -> int:
+        """Current value of counter *name* (0 if never incremented)."""
+        counter = self.counters.get(name)
+        return counter.value if counter else 0
+
+    def summary(self) -> dict[str, Any]:
+        """All metrics as one flat dictionary (for reports and tests)."""
+        result: dict[str, Any] = {}
+        for name, counter in sorted(self.counters.items()):
+            result[name] = counter.value
+        for name, stat in sorted(self.samples.items()):
+            result[f"{name}.mean"] = stat.mean
+            result[f"{name}.count"] = stat.count
+        for name, stat in sorted(self.levels.items()):
+            result[f"{name}.avg"] = stat.mean()
+            result[f"{name}.max"] = stat.maximum
+        return result

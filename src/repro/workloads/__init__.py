@@ -1,0 +1,33 @@
+"""Workloads: traffic generators and canned LAMS scenarios."""
+
+from .generators import (
+    ConstantRateSource,
+    FiniteBatch,
+    OnOffSource,
+    SaturatedSource,
+)
+from .scenarios import (
+    DeliveredList,
+    PRESETS,
+    LinkScenario,
+    SimulationSetup,
+    build_hdlc_simulation,
+    build_lams_simulation,
+    build_nbdt_simulation,
+    preset,
+)
+
+__all__ = [
+    "ConstantRateSource",
+    "DeliveredList",
+    "FiniteBatch",
+    "LinkScenario",
+    "OnOffSource",
+    "PRESETS",
+    "SaturatedSource",
+    "SimulationSetup",
+    "build_hdlc_simulation",
+    "build_lams_simulation",
+    "build_nbdt_simulation",
+    "preset",
+]

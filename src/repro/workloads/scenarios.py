@@ -1,0 +1,300 @@
+"""Canned LAMS-network scenarios (paper Section 2.1 numbers).
+
+A :class:`LinkScenario` captures one physical/protocol operating point
+— rate, distance, residual BERs, protocol knobs — and can materialise
+it either as :class:`~repro.analysis.params.ModelParameters` (for the
+closed-form model) or as a live simulation (link + protocol endpoints
++ traffic), guaranteeing model and simulation always describe the same
+system.
+
+Named presets span the paper's stated envelope:
+
+=================  ========  ===========  ==========  =========
+preset             rate       distance     I-BER       C-BER
+=================  ========  ===========  ==========  =========
+``short_hop``      300 Mbps    2,000 km    1e-7        1e-9
+``nominal``        300 Mbps    5,000 km    1e-6        1e-8
+``long_haul``        1 Gbps   10,000 km    1e-6        1e-8
+``noisy``          300 Mbps    5,000 km    1e-5        1e-7
+=================  ========  ===========  ==========  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+from ..analysis.params import ModelParameters
+from ..core.config import LamsDlcConfig
+from ..core.protocol import LamsDlcEndpoint, lams_dlc_pair
+from ..hdlc.config import HdlcConfig
+from ..hdlc.protocol import HdlcEndpoint, hdlc_pair
+from ..simulator.engine import Simulator
+from ..simulator.errormodel import BernoulliChannel, ErrorModel, PerfectChannel
+from ..simulator.link import FullDuplexLink, LIGHT_SPEED_KM_S
+from ..simulator.rng import StreamRegistry
+from ..simulator.trace import Tracer
+
+__all__ = [
+    "LinkScenario",
+    "SimulationSetup",
+    "DeliveredList",
+    "PRESETS",
+    "preset",
+    "build_lams_simulation",
+    "build_hdlc_simulation",
+    "build_nbdt_simulation",
+]
+
+
+@dataclass(frozen=True)
+class LinkScenario:
+    """One operating point of a LAMS inter-satellite link."""
+
+    name: str = "nominal"
+    bit_rate: float = 300e6
+    distance_km: float = 5000.0
+    iframe_ber: float = 1e-6
+    cframe_ber: float = 1e-8
+    iframe_payload_bits: int = 8192
+    iframe_overhead_bits: int = 80
+    cframe_bits: int = 96
+    processing_time: float = 10e-6
+    checkpoint_interval: float = 0.005
+    cumulation_depth: int = 3
+    window_size: int = 64
+    alpha: float = 0.05
+    sequence_bits: int = 7
+    numbering_bits: int = 16
+
+    def __post_init__(self) -> None:
+        if self.bit_rate <= 0 or self.distance_km <= 0:
+            raise ValueError("rate and distance must be positive")
+
+    # -- derived ---------------------------------------------------------
+
+    @property
+    def iframe_bits(self) -> int:
+        return self.iframe_payload_bits + self.iframe_overhead_bits
+
+    @property
+    def one_way_delay(self) -> float:
+        return self.distance_km / LIGHT_SPEED_KM_S
+
+    @property
+    def round_trip_time(self) -> float:
+        return 2.0 * self.one_way_delay
+
+    @property
+    def iframe_time(self) -> float:
+        return self.iframe_bits / self.bit_rate
+
+    @property
+    def timeout(self) -> float:
+        """HDLC's ``t_out = R + alpha``."""
+        return self.round_trip_time + self.alpha
+
+    def with_(self, **changes: Any) -> "LinkScenario":
+        """A copy with fields replaced (sweep helper)."""
+        return replace(self, **changes)
+
+    # -- materialisation -----------------------------------------------------
+
+    def model_parameters(self) -> ModelParameters:
+        """The closed-form model's view of this scenario."""
+        return ModelParameters.from_link(
+            bit_rate=self.bit_rate,
+            distance_km=self.distance_km,
+            iframe_bits=self.iframe_bits,
+            cframe_bits=self.cframe_bits,
+            iframe_ber=self.iframe_ber,
+            cframe_ber=self.cframe_ber,
+            processing_time=self.processing_time,
+            checkpoint_interval=self.checkpoint_interval,
+            cumulation_depth=self.cumulation_depth,
+            window_size=self.window_size,
+            alpha=self.alpha,
+        )
+
+    def lams_config(self, **overrides: Any) -> LamsDlcConfig:
+        base = dict(
+            checkpoint_interval=self.checkpoint_interval,
+            cumulation_depth=self.cumulation_depth,
+            iframe_payload_bits=self.iframe_payload_bits,
+            iframe_overhead_bits=self.iframe_overhead_bits,
+            cframe_base_bits=self.cframe_bits,
+            processing_time=self.processing_time,
+            numbering_bits=self.numbering_bits,
+        )
+        base.update(overrides)
+        return LamsDlcConfig(**base)
+
+    def hdlc_config(self, **overrides: Any) -> HdlcConfig:
+        base = dict(
+            window_size=self.window_size,
+            sequence_bits=self.sequence_bits,
+            timeout=self.timeout,
+            iframe_payload_bits=self.iframe_payload_bits,
+            iframe_overhead_bits=self.iframe_overhead_bits,
+            control_frame_bits=self.cframe_bits,
+            processing_time=self.processing_time,
+        )
+        base.update(overrides)
+        return HdlcConfig(**base)
+
+    def build_link(
+        self,
+        sim: Simulator,
+        seed: int = 0,
+        tracer: Optional[Tracer] = None,
+        iframe_errors: Optional[ErrorModel] = None,
+        cframe_errors: Optional[ErrorModel] = None,
+    ) -> FullDuplexLink:
+        """A live link with this scenario's rate/delay/error models."""
+        return FullDuplexLink(
+            sim,
+            bit_rate=self.bit_rate,
+            propagation_delay=self.one_way_delay,
+            name=self.name,
+            iframe_errors=iframe_errors
+            or (BernoulliChannel(self.iframe_ber) if self.iframe_ber else PerfectChannel()),
+            cframe_errors=cframe_errors
+            or (BernoulliChannel(self.cframe_ber) if self.cframe_ber else PerfectChannel()),
+            streams=StreamRegistry(seed=seed),
+            tracer=tracer,
+        )
+
+
+class DeliveredList(list):
+    """A list that can notify on append (completion detection hooks)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.on_append: Optional[Any] = None
+
+    def append(self, item: Any) -> None:
+        super().append(item)
+        if self.on_append is not None:
+            self.on_append()
+
+
+@dataclass
+class SimulationSetup:
+    """A ready-to-run one-way transfer: A sends, B receives."""
+
+    sim: Simulator
+    link: FullDuplexLink
+    endpoint_a: LamsDlcEndpoint | HdlcEndpoint
+    endpoint_b: LamsDlcEndpoint | HdlcEndpoint
+    delivered: DeliveredList
+    tracer: Tracer
+
+    def run(self, until: float) -> None:
+        self.sim.run(until=until)
+
+
+def build_lams_simulation(
+    scenario: LinkScenario,
+    seed: int = 0,
+    tracer: Optional[Tracer] = None,
+    lams_overrides: Optional[dict] = None,
+    iframe_errors: Optional[ErrorModel] = None,
+    cframe_errors: Optional[ErrorModel] = None,
+) -> SimulationSetup:
+    """One-way LAMS-DLC transfer over this scenario's link."""
+    sim = Simulator()
+    tracer = tracer or Tracer()
+    link = scenario.build_link(
+        sim, seed=seed, tracer=tracer,
+        iframe_errors=iframe_errors, cframe_errors=cframe_errors,
+    )
+    delivered = DeliveredList()
+    config = scenario.lams_config(**(lams_overrides or {}))
+    a, b = lams_dlc_pair(sim, link, config, tracer=tracer, deliver_b=delivered.append)
+    a.start(send=True, receive=False)
+    b.start(send=False, receive=True)
+    return SimulationSetup(sim, link, a, b, delivered, tracer)
+
+
+def build_nbdt_simulation(
+    scenario: LinkScenario,
+    seed: int = 0,
+    tracer: Optional[Tracer] = None,
+    nbdt_overrides: Optional[dict] = None,
+    iframe_errors: Optional[ErrorModel] = None,
+    cframe_errors: Optional[ErrorModel] = None,
+) -> SimulationSetup:
+    """One-way NBDT transfer (multiphase or continuous) over this link."""
+    from ..nbdt.config import NbdtConfig
+    from ..nbdt.protocol import nbdt_pair
+
+    sim = Simulator()
+    tracer = tracer or Tracer()
+    link = scenario.build_link(
+        sim, seed=seed, tracer=tracer,
+        iframe_errors=iframe_errors, cframe_errors=cframe_errors,
+    )
+    delivered = DeliveredList()
+    base = dict(
+        timeout=scenario.timeout,
+        iframe_payload_bits=scenario.iframe_payload_bits,
+        processing_time=scenario.processing_time,
+    )
+    base.update(nbdt_overrides or {})
+    config = NbdtConfig(**base)
+    a, b = nbdt_pair(sim, link, config, tracer=tracer, deliver_b=delivered.append)
+    a.start()
+    return SimulationSetup(sim, link, a, b, delivered, tracer)
+
+
+def build_hdlc_simulation(
+    scenario: LinkScenario,
+    seed: int = 0,
+    tracer: Optional[Tracer] = None,
+    hdlc_overrides: Optional[dict] = None,
+    iframe_errors: Optional[ErrorModel] = None,
+    cframe_errors: Optional[ErrorModel] = None,
+) -> SimulationSetup:
+    """One-way SR-HDLC (or GBN) transfer over this scenario's link."""
+    sim = Simulator()
+    tracer = tracer or Tracer()
+    link = scenario.build_link(
+        sim, seed=seed, tracer=tracer,
+        iframe_errors=iframe_errors, cframe_errors=cframe_errors,
+    )
+    delivered = DeliveredList()
+    config = scenario.hdlc_config(**(hdlc_overrides or {}))
+    a, b = hdlc_pair(sim, link, config, tracer=tracer, deliver_b=delivered.append)
+    a.start()
+    return SimulationSetup(sim, link, a, b, delivered, tracer)
+
+
+PRESETS: dict[str, LinkScenario] = {
+    "short_hop": LinkScenario(
+        name="short_hop", bit_rate=300e6, distance_km=2000.0,
+        iframe_ber=1e-7, cframe_ber=1e-9,
+    ),
+    "nominal": LinkScenario(name="nominal"),
+    # A 1 Gbps DCE must process a frame faster than it serialises
+    # (t_proc < t_f = 8.3 us), or the receiver, not the link, becomes
+    # the bottleneck and Stop-Go throttles the sender.
+    "long_haul": LinkScenario(
+        name="long_haul", bit_rate=1e9, distance_km=10_000.0,
+        iframe_ber=1e-6, cframe_ber=1e-8, checkpoint_interval=0.010,
+        processing_time=2e-6,
+    ),
+    "noisy": LinkScenario(
+        name="noisy", bit_rate=300e6, distance_km=5000.0,
+        iframe_ber=1e-5, cframe_ber=1e-7,
+    ),
+}
+
+
+def preset(name: str) -> LinkScenario:
+    """Look up a named preset scenario."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; available: {sorted(PRESETS)}"
+        ) from None

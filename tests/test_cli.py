@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiments_run_requires_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiments", "run"])
+
+    def test_simulate_protocol_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--protocol", "tcp"])
+
+
+class TestCommands:
+    def test_experiments_list(self, capsys):
+        assert main(["experiments", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E12" in out
+
+    def test_experiments_run_model_experiment(self, capsys):
+        assert main(["experiments", "run", "E1"]) == 0
+        out = capsys.readouterr().out
+        assert "s_bar_lams" in out
+
+    def test_experiments_run_unknown_id(self):
+        with pytest.raises(KeyError):
+            main(["experiments", "run", "E99"])
+
+    def test_model_command(self, capsys):
+        assert main(["model", "--preset", "noisy", "--frames", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "s_bar LAMS" in out and "B_LAMS" in out
+
+    def test_model_with_overrides(self, capsys):
+        assert main([
+            "model", "--preset", "nominal",
+            "--iframe-ber", "1e-5", "--distance-km", "2000",
+        ]) == 0
+        assert "Section-4 model" in capsys.readouterr().out
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "--preset", "nominal", "--frames", "10000"]) == 0
+        out = capsys.readouterr().out
+        assert "LAMS-DLC" in out
+
+    def test_simulate_batch(self, capsys):
+        assert main([
+            "simulate", "--preset", "short_hop", "--protocol", "lams",
+            "--frames", "200", "--duration", "30",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "delivered" in out
+
+    def test_simulate_saturated(self, capsys):
+        assert main([
+            "simulate", "--preset", "short_hop", "--protocol", "hdlc",
+            "--saturated", "--duration", "0.3",
+        ]) == 0
+        assert "efficiency" in capsys.readouterr().out
+
+    def test_orbit_command(self, capsys):
+        assert main(["orbit", "--span", "3000", "--step", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha_min" in out and "visibility windows" in out
+
+
+class TestTuneCommand:
+    def test_tune_prints_recommendation(self, capsys):
+        assert main([
+            "tune", "--bit-rate", "300e6", "--distance-km", "5000",
+            "--mean-burst", "0.01",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cumulation_depth" in out and "payload_bits" in out
+
+    def test_tune_requires_link_parameters(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune"])

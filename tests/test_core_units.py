@@ -1,0 +1,332 @@
+"""Unit tests for LAMS-DLC building blocks: sequence space, send buffer,
+flow control, frames, and configuration."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import LamsDlcConfig
+from repro.core.flowcontrol import StopGoRateController
+from repro.core.frames import CheckpointFrame, IFrame, RequestNakFrame
+from repro.core.sendbuf import OutstandingFrame, SendBuffer
+from repro.core.seqspace import (
+    SequenceExhausted,
+    SequenceSpace,
+    cyclic_less_equal,
+    forward_distance,
+)
+
+
+class TestForwardDistance:
+    def test_basic(self):
+        assert forward_distance(0, 5, 16) == 5
+        assert forward_distance(14, 2, 16) == 4
+        assert forward_distance(5, 5, 16) == 0
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            forward_distance(0, 1, 0)
+
+    @given(
+        a=st.integers(min_value=0, max_value=255),
+        b=st.integers(min_value=0, max_value=255),
+    )
+    def test_distance_inverse(self, a, b):
+        d = forward_distance(a, b, 256)
+        assert (a + d) % 256 == b
+
+    def test_cyclic_less_equal(self):
+        # Reference 250: 252 is before 3 going forward.
+        assert cyclic_less_equal(252, 3, reference=250, modulus=256)
+        assert not cyclic_less_equal(3, 252, reference=250, modulus=256)
+
+
+class TestSequenceSpace:
+    def test_sequential_allocation(self):
+        space = SequenceSpace(8)
+        assert [space.allocate() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_wraparound_after_release(self):
+        space = SequenceSpace(4)
+        for _ in range(4):
+            space.release(space.allocate())
+        assert space.allocate() == 0  # wrapped
+
+    def test_exhaustion_raises(self):
+        space = SequenceSpace(4)
+        for _ in range(4):
+            space.allocate()
+        with pytest.raises(SequenceExhausted):
+            space.allocate()
+
+    def test_cursor_blocked_by_outstanding(self):
+        space = SequenceSpace(4)
+        seqs = [space.allocate() for _ in range(4)]
+        space.release(seqs[1])
+        space.release(seqs[2])
+        space.release(seqs[3])
+        # Cursor is at 0, which is still outstanding.
+        with pytest.raises(SequenceExhausted):
+            space.allocate()
+
+    def test_release_unknown_raises(self):
+        space = SequenceSpace(8)
+        with pytest.raises(KeyError):
+            space.release(3)
+
+    def test_membership_and_counts(self):
+        space = SequenceSpace(8)
+        seq = space.allocate()
+        assert seq in space and space.is_outstanding(seq)
+        assert space.outstanding_count == 1
+        space.release(seq)
+        assert seq not in space
+        assert space.outstanding_count == 0
+
+    def test_minimum_modulus(self):
+        with pytest.raises(ValueError):
+            SequenceSpace(1)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=300))
+    def test_uniqueness_invariant(self, operations):
+        """Under any allocate/release-oldest interleaving, outstanding
+        numbers are always distinct and within the modulus."""
+        space = SequenceSpace(16)
+        outstanding: list[int] = []
+        for do_allocate in operations:
+            if do_allocate:
+                try:
+                    seq = space.allocate()
+                except SequenceExhausted:
+                    assert len(outstanding) >= 1
+                    continue
+                assert seq not in outstanding  # the paper's invariant
+                assert 0 <= seq < 16
+                outstanding.append(seq)
+            elif outstanding:
+                space.release(outstanding.pop(0))
+        assert space.outstanding_count == len(outstanding)
+
+    @given(st.integers(min_value=2, max_value=64))
+    def test_full_cycle_reuses_in_order(self, modulus):
+        space = SequenceSpace(modulus)
+        first_pass = []
+        for _ in range(modulus):
+            seq = space.allocate()
+            first_pass.append(seq)
+            space.release(seq)
+        second_pass = []
+        for _ in range(modulus):
+            seq = space.allocate()
+            second_pass.append(seq)
+            space.release(seq)
+        assert first_pass == second_pass == list(range(modulus))
+
+
+class TestSendBuffer:
+    def make_record(self, seq: int, now: float = 0.0) -> OutstandingFrame:
+        return OutstandingFrame(
+            seq=seq, payload=f"p{seq}", enqueue_time=now, send_time=now,
+            expected_arrival=now + 0.01, transmit_index=seq,
+        )
+
+    def test_enqueue_and_pop(self):
+        buffer = SendBuffer()
+        assert buffer.enqueue("a", now=1.0)
+        assert buffer.enqueue("b", now=2.0)
+        assert buffer.pop_pending() == ("a", 1.0)
+        assert buffer.pending_count == 1
+
+    def test_capacity_refusal(self):
+        buffer = SendBuffer(capacity=2)
+        assert buffer.enqueue("a", 0.0) and buffer.enqueue("b", 0.0)
+        assert not buffer.enqueue("c", 0.0)
+        assert buffer.refused_total == 1
+
+    def test_occupancy_counts_both_sides(self):
+        buffer = SendBuffer()
+        buffer.enqueue("a", 0.0)
+        buffer.record_outstanding(self.make_record(0))
+        assert buffer.occupancy == 2
+        assert buffer.peak_occupancy == 2
+
+    def test_duplicate_outstanding_rejected(self):
+        buffer = SendBuffer()
+        buffer.record_outstanding(self.make_record(1))
+        with pytest.raises(ValueError):
+            buffer.record_outstanding(self.make_record(1))
+
+    def test_release_measures_holding_from_first_send(self):
+        buffer = SendBuffer()
+        record = self.make_record(0, now=10.0)
+        buffer.record_outstanding(record)
+        released = buffer.release(0, now=10.5)
+        assert released.payload == "p0"
+        assert buffer.mean_holding_time == pytest.approx(0.5)
+
+    def test_holding_time_survives_renumbering(self):
+        """A retransmitted frame carries first_send_time forward."""
+        buffer = SendBuffer()
+        original = self.make_record(0, now=1.0)
+        buffer.record_outstanding(original)
+        detached = buffer.remove(0)
+        renumbered = OutstandingFrame(
+            seq=5, payload=detached.payload, enqueue_time=detached.enqueue_time,
+            send_time=3.0, expected_arrival=3.01, transmit_index=7,
+            retransmit_count=1, first_send_time=detached.first_send_time,
+        )
+        buffer.record_outstanding(renumbered)
+        buffer.release(5, now=4.0)
+        assert buffer.mean_holding_time == pytest.approx(3.0)  # 4.0 - 1.0
+
+    def test_outstanding_iteration_in_transmit_order(self):
+        buffer = SendBuffer()
+        for seq, index in ((3, 2), (1, 0), (2, 1)):
+            record = self.make_record(seq)
+            record.transmit_index = index
+            buffer.record_outstanding(record)
+        indices = [r.transmit_index for r in buffer.outstanding_frames()]
+        assert indices == [0, 1, 2]
+
+    def test_pending_payloads_snapshot(self):
+        buffer = SendBuffer()
+        buffer.enqueue("x", 0.0)
+        buffer.enqueue("y", 0.0)
+        assert buffer.pending_payloads() == ["x", "y"]
+
+    def test_clear(self):
+        buffer = SendBuffer()
+        buffer.enqueue("a", 0.0)
+        buffer.record_outstanding(self.make_record(0))
+        buffer.clear()
+        assert buffer.occupancy == 0
+
+
+class TestStopGoRateController:
+    def test_full_rate_initially(self):
+        controller = StopGoRateController()
+        assert controller.rate_fraction == 1.0
+        assert controller.inter_frame_gap(0.001) == 0.001
+
+    def test_stop_halves_rate(self):
+        controller = StopGoRateController(decrease_factor=0.5)
+        controller.on_stop_go(True)
+        assert controller.rate_fraction == 0.5
+        assert controller.inter_frame_gap(0.001) == pytest.approx(0.002)
+
+    def test_repeated_stops_keep_decreasing(self):
+        controller = StopGoRateController(decrease_factor=0.5, min_fraction=0.05)
+        for _ in range(10):
+            controller.on_stop_go(True)
+        assert controller.rate_fraction == pytest.approx(0.05)
+
+    def test_go_recovers_additively(self):
+        controller = StopGoRateController(decrease_factor=0.5, increase_step=0.1)
+        controller.on_stop_go(True)
+        controller.on_stop_go(False)
+        assert controller.rate_fraction == pytest.approx(0.6)
+
+    def test_rate_capped_at_one(self):
+        controller = StopGoRateController(increase_step=0.5)
+        for _ in range(5):
+            controller.on_stop_go(False)
+        assert controller.rate_fraction == 1.0
+
+    def test_disabled_controller_ignores_signals(self):
+        controller = StopGoRateController(enabled=False)
+        controller.on_stop_go(True)
+        assert controller.rate_fraction == 1.0
+        assert controller.inter_frame_gap(0.002) == 0.002
+
+    def test_reset(self):
+        controller = StopGoRateController()
+        controller.on_stop_go(True)
+        controller.reset()
+        assert controller.rate_fraction == 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            StopGoRateController(decrease_factor=1.5)
+        with pytest.raises(ValueError):
+            StopGoRateController(increase_step=0)
+        with pytest.raises(ValueError):
+            StopGoRateController(min_fraction=0)
+
+
+class TestFrames:
+    def test_iframe_validation(self):
+        with pytest.raises(ValueError):
+            IFrame(seq=-1, payload=None, size_bits=100)
+        with pytest.raises(ValueError):
+            IFrame(seq=0, payload=None, size_bits=0)
+
+    def test_checkpoint_duplicate_naks_rejected(self):
+        with pytest.raises(ValueError):
+            CheckpointFrame(cp_index=0, issue_time=0.0, naks=(1, 1))
+
+    def test_resolving_command_detection(self):
+        resolving = CheckpointFrame(cp_index=0, issue_time=0.0, enforced=True)
+        assert resolving.is_resolving_command
+        with_errors = CheckpointFrame(
+            cp_index=0, issue_time=0.0, naks=(3,), enforced=True
+        )
+        assert not with_errors.is_resolving_command
+
+    def test_frame_class_flags(self):
+        iframe = IFrame(seq=0, payload=None, size_bits=10)
+        checkpoint = CheckpointFrame(cp_index=0, issue_time=0.0)
+        request = RequestNakFrame(request_time=0.0)
+        assert not iframe.is_control
+        assert checkpoint.is_control and request.is_control
+
+
+class TestLamsConfig:
+    def test_defaults_valid(self):
+        config = LamsDlcConfig()
+        assert config.iframe_bits == config.iframe_payload_bits + config.iframe_overhead_bits
+        assert config.numbering_size == 2**config.numbering_bits
+
+    def test_checkpoint_timeout(self):
+        config = LamsDlcConfig(checkpoint_interval=0.01, cumulation_depth=4)
+        assert config.checkpoint_timeout == pytest.approx(0.04)
+
+    def test_cframe_bits_grows_with_naks(self):
+        config = LamsDlcConfig(cframe_base_bits=96, cframe_per_nak_bits=16)
+        assert config.cframe_bits(0) == 96
+        assert config.cframe_bits(5) == 176
+        with pytest.raises(ValueError):
+            config.cframe_bits(-1)
+
+    def test_resolving_period_formula(self):
+        config = LamsDlcConfig(checkpoint_interval=0.01, cumulation_depth=3)
+        # R + W_cp/2 + C_depth * W_cp
+        assert config.resolving_period(0.1) == pytest.approx(0.1 + 0.005 + 0.03)
+
+    def test_required_numbering_size(self):
+        config = LamsDlcConfig(checkpoint_interval=0.01, cumulation_depth=3)
+        frame_time = 1e-4
+        expected = config.resolving_period(0.1) / frame_time
+        assert config.required_numbering_size(0.1, frame_time) >= expected
+
+    def test_validate_for_link_rejects_small_space(self):
+        config = LamsDlcConfig(numbering_bits=4)
+        with pytest.raises(ValueError, match="numbering size"):
+            config.validate_for_link(round_trip_time=0.1, bit_rate=1e9)
+
+    def test_validate_for_link_accepts_ample_space(self):
+        config = LamsDlcConfig(numbering_bits=20)
+        config.validate_for_link(round_trip_time=0.05, bit_rate=100e6)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LamsDlcConfig(checkpoint_interval=0)
+        with pytest.raises(ValueError):
+            LamsDlcConfig(cumulation_depth=0)
+        with pytest.raises(ValueError):
+            LamsDlcConfig(numbering_bits=0)
+        with pytest.raises(ValueError):
+            LamsDlcConfig(rate_decrease_factor=1.0)
+        with pytest.raises(ValueError):
+            LamsDlcConfig(receive_low_watermark=100, receive_high_watermark=10)

@@ -1,0 +1,143 @@
+"""Hypothesis property tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator.engine import Simulator
+
+
+class TestSchedulingProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=200))
+    def test_callbacks_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+        assert sim.now == max(delays)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=100))
+    def test_equal_times_fire_fifo(self, delays):
+        """Events at identical times run in scheduling order."""
+        sim = Simulator()
+        fired = []
+        quantised = [round(d, 0) for d in delays]  # force many collisions
+        for index, delay in enumerate(quantised):
+            sim.schedule(delay, fired.append, (delay, index))
+        sim.run()
+        # Sort stability: within each time, indices ascend.
+        for time in set(quantised):
+            indices = [i for (t, i) in fired if t == time]
+            assert indices == sorted(indices)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1000.0),
+                st.floats(min_value=0.0, max_value=1000.0),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_nested_scheduling_never_goes_backwards(self, pairs):
+        """Callbacks scheduling further callbacks keep the clock monotone."""
+        sim = Simulator()
+        observed = []
+
+        def outer(extra):
+            observed.append(sim.now)
+            sim.schedule(extra, lambda: observed.append(sim.now))
+
+        for first, second in pairs:
+            sim.schedule(first, outer, second)
+        sim.run()
+        assert observed == sorted(observed)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_run_until_partitions_execution(self, delays, boundary):
+        """run(until=b); run() fires every event exactly once, in order."""
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, fired.append, delay)
+        sim.run(until=boundary)
+        assert all(value <= boundary for value in fired)
+        sim.run()
+        assert sorted(fired) == sorted(delays)
+
+
+class TestTimerProperties:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["start", "cancel"]),
+                      st.floats(min_value=0.01, max_value=10.0)),
+            min_size=1, max_size=40,
+        )
+    )
+    def test_timer_fires_iff_last_op_was_uncancelled_start(self, operations):
+        """Under any start/cancel sequence (applied at t=0), the timer
+        fires exactly once iff the final operation was a start."""
+        sim = Simulator()
+        fired = []
+        timer = sim.timer(lambda: fired.append(sim.now))
+        last = None
+        for op, delay in operations:
+            if op == "start":
+                timer.start(delay)
+                last = delay
+            else:
+                timer.cancel()
+                last = None
+        sim.run()
+        if last is None:
+            assert fired == []
+        else:
+            assert fired == [last]
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=20))
+    def test_sequential_restarts_fire_once_per_cycle(self, delays):
+        """start → run → start → run …: one firing per cycle, at the
+        cumulative deadline."""
+        sim = Simulator()
+        fired = []
+        timer = sim.timer(lambda: fired.append(sim.now))
+        expected = []
+        now = 0.0
+        for delay in delays:
+            timer.start(delay)
+            expected.append(now + delay)
+            sim.run()
+            now = sim.now
+        assert len(fired) == len(expected)
+        for got, want in zip(fired, expected):
+            assert abs(got - want) < 1e-9
+
+
+class TestProcessProperties:
+    @given(st.lists(st.floats(min_value=0.001, max_value=10.0), min_size=1, max_size=30))
+    def test_process_time_accumulates_exactly(self, waits):
+        sim = Simulator()
+        ticks = []
+
+        def proc():
+            for wait in waits:
+                yield sim.timeout(wait)
+                ticks.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        cumulative = []
+        total = 0.0
+        for wait in waits:
+            total += wait
+            cumulative.append(total)
+        for got, want in zip(ticks, cumulative):
+            assert abs(got - want) < 1e-6 * max(1.0, want)

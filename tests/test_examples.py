@@ -1,0 +1,54 @@
+"""Smoke tests for the example scripts.
+
+Runs the faster examples end-to-end as subprocesses — the slower,
+sweep-style examples are exercised indirectly through the experiment
+registry they share code with.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "flow_control_demo.py",
+    "multihop_store_and_forward.py",
+    "adaptive_tuning.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_cleanly(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_reports_exactly_once():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert "delivered exactly once : True" in result.stdout
+
+
+def test_all_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 9
+    for script in scripts:
+        source = script.read_text()
+        assert source.lstrip().startswith(('"""', "#!")), script.name
+        assert '"""' in source, f"{script.name} lacks a docstring"

@@ -1,0 +1,263 @@
+"""Direct unit tests of the HDLC sender/receiver halves via stub channels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hdlc.config import HdlcConfig
+from repro.hdlc.frames import HdlcIFrame, RejFrame, RrFrame, SrejFrame
+from repro.hdlc.receiver import HdlcReceiver
+from repro.hdlc.sender import HdlcSender
+from repro.simulator.engine import Simulator
+
+
+class StubChannel:
+    """Captures sends and emulates serialization-complete idle events."""
+
+    def __init__(self, sim=None, bit_rate: float = 100e6):
+        self.sim = sim
+        self.bit_rate = bit_rate
+        self.sent: list = []
+        self.idle_callbacks: list = []
+
+    def send(self, frame):
+        self.sent.append(frame)
+        if self.sim is not None:
+            self.sim.schedule(
+                frame.size_bits / self.bit_rate,
+                lambda: [cb() for cb in self.idle_callbacks],
+            )
+
+    def on_idle(self, callback):
+        self.idle_callbacks.append(callback)
+
+    @property
+    def is_idle(self):
+        return True
+
+    def transmission_time(self, frame):
+        return frame.size_bits / self.bit_rate
+
+    def propagation_delay(self, when):
+        return 0.01
+
+    def drain(self):
+        out, self.sent = self.sent, []
+        return out
+
+
+def _config(**overrides):
+    base = dict(window_size=4, sequence_bits=3, timeout=0.05)
+    base.update(overrides)
+    return HdlcConfig(**base)
+
+
+def make_sender(sim, **overrides):
+    channel = StubChannel(sim)
+    return HdlcSender(sim, _config(**overrides), data_channel=channel), channel
+
+
+def make_receiver(sim, **overrides):
+    config = _config(**overrides)
+    channel = StubChannel(sim)
+    delivered = []
+    receiver = HdlcReceiver(
+        sim, config, control_channel=channel, deliver=delivered.append
+    )
+    return receiver, channel, delivered
+
+
+def iframe(ns, poll=False, payload=None):
+    return HdlcIFrame(ns=ns, payload=payload if payload is not None else ns,
+                      size_bits=8272, poll=poll)
+
+
+class TestHdlcSenderHalf:
+    def test_window_limits_outstanding(self):
+        sim = Simulator()
+        sender, channel = make_sender(sim)
+        sender.start()
+        for i in range(10):
+            sender.accept(("pkt", i))
+        sim.run(until=0.01)
+        sent = [f for f in channel.drain() if isinstance(f, HdlcIFrame)]
+        assert len(sent) == 4  # window size
+        assert [f.ns for f in sent] == [0, 1, 2, 3]
+
+    def test_last_frame_of_window_polls(self):
+        sim = Simulator()
+        sender, channel = make_sender(sim)
+        # Queue the whole batch before starting so the poll decision
+        # sees the real backlog at each send.
+        for i in range(10):
+            sender.accept(("pkt", i))
+        sender.start()
+        sim.run(until=0.01)
+        sent = channel.drain()
+        assert [f.poll for f in sent] == [False, False, False, True]
+
+    def test_rr_slides_window_and_releases(self):
+        sim = Simulator()
+        sender, channel = make_sender(sim)
+        sender.start()
+        for i in range(6):
+            sender.accept(("pkt", i))
+        sim.run(until=0.01)
+        channel.drain()
+        sender.on_rr(RrFrame(nr=4, final=True), corrupted=False)
+        sim.run(until=0.02)
+        assert sender.releases == 4
+        more = [f for f in channel.drain() if isinstance(f, HdlcIFrame)]
+        assert [f.ns for f in more] == [4, 5]
+
+    def test_srej_retransmits_listed_frames(self):
+        sim = Simulator()
+        sender, channel = make_sender(sim)
+        sender.start()
+        for i in range(4):
+            sender.accept(("pkt", i))
+        sim.run(until=0.01)
+        channel.drain()
+        sender.on_srej(SrejFrame(nrs=(1, 2), final=True), corrupted=False)
+        sim.run(until=0.02)
+        resent = [f for f in channel.drain() if isinstance(f, HdlcIFrame)]
+        assert [f.ns for f in resent] == [1, 2]
+        assert sender.retransmissions == 2
+
+    def test_repeated_srej_retransmits_again(self):
+        """A second SREJ for the same N(S) after the retransmission went
+        out is a legitimate re-request (the re-sent copy was lost too)
+        and must trigger another copy."""
+        sim = Simulator()
+        sender, channel = make_sender(sim)
+        sender.start()
+        sender.accept(("pkt", 0))
+        sim.run(until=0.01)
+        channel.drain()
+        sender.on_srej(SrejFrame(nrs=(0,)), corrupted=False)
+        sim.run(until=0.02)
+        first = [f for f in channel.drain() if isinstance(f, HdlcIFrame)]
+        assert len(first) == 1
+        sender.on_srej(SrejFrame(nrs=(0,)), corrupted=False)
+        sim.run(until=0.03)
+        second = [f for f in channel.drain() if isinstance(f, HdlcIFrame)]
+        assert len(second) == 1
+        assert sender.retransmissions == 2
+
+    def test_poll_timeout_retransmits_oldest(self):
+        sim = Simulator()
+        sender, channel = make_sender(sim)
+        sender.start()
+        for i in range(2):
+            sender.accept(("pkt", i))
+        sim.run(until=0.3)  # several timeouts, no responses
+        assert sender.timeouts >= 1
+        frames = [f for f in channel.drain() if isinstance(f, HdlcIFrame)]
+        # Oldest unacked frame (ns=0) re-sent with poll.
+        retries = [f for f in frames if f.ns == 0]
+        assert len(retries) >= 2
+        assert any(f.poll for f in retries[1:])
+
+    def test_rej_goes_back(self):
+        sim = Simulator()
+        sender, channel = make_sender(sim, selective=False)
+        sender.start()
+        for i in range(4):
+            sender.accept(("pkt", i))
+        sim.run(until=0.01)
+        channel.drain()
+        sender.on_rej(RejFrame(nr=1, final=True), corrupted=False)
+        sim.run(until=0.02)
+        resent = [f.ns for f in channel.drain() if isinstance(f, HdlcIFrame)]
+        assert resent == [1, 2, 3]  # everything from N(R), in order
+        assert sender.releases == 1  # frame 0 cumulatively acked
+
+    def test_corrupted_responses_ignored(self):
+        sim = Simulator()
+        sender, channel = make_sender(sim)
+        sender.start()
+        sender.accept(("pkt", 0))
+        sim.run(until=0.01)
+        sender.on_rr(RrFrame(nr=1), corrupted=True)
+        sender.on_srej(SrejFrame(nrs=(0,)), corrupted=True)
+        assert sender.releases == 0
+        assert sender.retransmissions == 0
+
+
+class TestHdlcReceiverHalf:
+    def test_in_order_frames_delivered_and_acked_per_window(self):
+        sim = Simulator()
+        receiver, channel, delivered = make_receiver(sim)
+        for ns in range(4):
+            receiver.on_iframe(iframe(ns), corrupted=False)
+        assert delivered == [0, 1, 2, 3]
+        rrs = [f for f in channel.drain() if isinstance(f, RrFrame)]
+        assert len(rrs) == 1 and rrs[0].nr == 4 % 8
+
+    def test_gap_triggers_srej_with_missing_list(self):
+        sim = Simulator()
+        receiver, channel, delivered = make_receiver(sim)
+        receiver.on_iframe(iframe(0), corrupted=False)
+        receiver.on_iframe(iframe(3), corrupted=False)  # 1, 2 missing
+        srejs = [f for f in channel.drain() if isinstance(f, SrejFrame)]
+        assert len(srejs) == 1
+        assert set(srejs[0].nrs) == {1, 2}
+
+    def test_no_repeat_srej_for_same_gap(self):
+        sim = Simulator()
+        receiver, channel, delivered = make_receiver(sim, window_size=4)
+        receiver.on_iframe(iframe(0), corrupted=False)
+        receiver.on_iframe(iframe(2), corrupted=False)
+        receiver.on_iframe(iframe(3), corrupted=False)
+        srejs = [f for f in channel.drain() if isinstance(f, SrejFrame)]
+        listed = [ns for f in srejs for ns in f.nrs]
+        assert listed.count(1) == 1  # gap 1 rejected exactly once
+
+    def test_poll_with_gaps_answers_final_srej(self):
+        sim = Simulator()
+        receiver, channel, delivered = make_receiver(sim)
+        receiver.on_iframe(iframe(0), corrupted=False)
+        receiver.on_iframe(iframe(2, poll=True), corrupted=False)
+        responses = channel.drain()
+        finals = [f for f in responses if getattr(f, "final", False)]
+        assert len(finals) == 1 and isinstance(finals[0], SrejFrame)
+        assert 1 in finals[0].nrs
+
+    def test_poll_without_gaps_answers_final_rr(self):
+        sim = Simulator()
+        receiver, channel, delivered = make_receiver(sim)
+        receiver.on_iframe(iframe(0, poll=True), corrupted=False)
+        responses = channel.drain()
+        finals = [f for f in responses if getattr(f, "final", False)]
+        assert len(finals) == 1 and isinstance(finals[0], RrFrame)
+        assert finals[0].nr == 1
+
+    def test_out_of_order_held_and_released_in_order(self):
+        sim = Simulator()
+        receiver, channel, delivered = make_receiver(sim)
+        receiver.on_iframe(iframe(1), corrupted=False)
+        receiver.on_iframe(iframe(2), corrupted=False)
+        assert delivered == []
+        assert receiver.hold_buffer_count == 2
+        receiver.on_iframe(iframe(0), corrupted=False)
+        assert delivered == [0, 1, 2]
+        assert receiver.hold_buffer_count == 0
+
+    def test_duplicate_discarded(self):
+        sim = Simulator()
+        receiver, channel, delivered = make_receiver(sim)
+        receiver.on_iframe(iframe(0), corrupted=False)
+        receiver.on_iframe(iframe(0), corrupted=False)
+        assert delivered == [0]
+        assert receiver.duplicates == 1
+
+    def test_gbn_discards_out_of_order_and_rejects_once(self):
+        sim = Simulator()
+        receiver, channel, delivered = make_receiver(sim, selective=False)
+        receiver.on_iframe(iframe(0), corrupted=False)
+        receiver.on_iframe(iframe(2), corrupted=False)
+        receiver.on_iframe(iframe(3), corrupted=False)
+        assert delivered == [0]
+        assert receiver.discards == 2
+        rejs = [f for f in channel.drain() if isinstance(f, RejFrame)]
+        assert len(rejs) == 1 and rejs[0].nr == 1

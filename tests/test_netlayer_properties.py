@@ -1,0 +1,105 @@
+"""Property tests for the network-layer substrate under adversarial
+arrival patterns — the destination-side contract the relaxed-I
+architecture depends on."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.netlayer.packet import Datagram
+from repro.netlayer.resequencer import Resequencer
+from repro.netlayer.forwarding import shortest_path_routes
+
+
+def make_datagram(sequence, source="s"):
+    return Datagram(source=source, destination="d", sequence=sequence, created_at=0.0)
+
+
+class TestResequencerProperties:
+    @settings(max_examples=200)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=120)
+    )
+    def test_arbitrary_streams_never_duplicate_or_reorder(self, stream):
+        """For ANY arrival stream (gaps, duplicates, reordering), the
+        output is a strictly increasing prefix of the integers —
+        exactly the delivered set with no duplicates, no inversions."""
+        out = []
+        reseq = Resequencer(deliver=out.append)
+        for sequence in stream:
+            reseq.push(make_datagram(sequence))
+        sequences = [dg.sequence for dg in out]
+        assert sequences == sorted(set(sequences))
+        assert sequences == list(range(len(sequences)))
+
+    @settings(
+        max_examples=100,
+        suppress_health_check=[HealthCheck.large_base_example],
+    )
+    @given(
+        st.permutations(list(range(15))),
+        st.data(),
+    )
+    def test_interleaved_flows_independent(self, order, data):
+        """Two sources' streams interleaved arbitrarily: each source's
+        output is in-order and exactly-once regardless of the other."""
+        out = []
+        reseq = Resequencer(deliver=out.append)
+        second_order = data.draw(st.permutations(list(range(15))))
+        streams = [("a", list(order)), ("b", list(second_order))]
+        while any(queue for _, queue in streams):
+            index = data.draw(st.integers(min_value=0, max_value=1))
+            source, queue = streams[index]
+            if queue:
+                reseq.push(make_datagram(queue.pop(0), source=source))
+        for source in ("a", "b"):
+            sequences = [dg.sequence for dg in out if dg.source == source]
+            assert sequences == list(range(15))
+
+    @settings(max_examples=100)
+    @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=80))
+    def test_held_count_bounded_by_span(self, stream):
+        """The hold buffer never exceeds the span of outstanding gaps."""
+        reseq = Resequencer()
+        for sequence in stream:
+            reseq.push(make_datagram(sequence))
+            held = reseq.held_count("s")
+            flow = reseq.flows["s"]
+            if flow.held:
+                span = max(flow.held) - flow.next_expected + 1
+                assert held <= span
+
+
+class TestRoutingProperties:
+    @settings(max_examples=50)
+    @given(st.integers(min_value=3, max_value=10), st.integers(min_value=0, max_value=9))
+    def test_ring_routes_reach_everyone(self, size, origin_index):
+        origin_index %= size
+        names = [f"n{i}" for i in range(size)]
+        topology = {name: {} for name in names}
+        for i in range(size):
+            j = (i + 1) % size
+            topology[names[i]][names[j]] = f"l{i}"
+            topology[names[j]][names[i]] = f"l{i}"
+        routes = shortest_path_routes(topology, names[origin_index])
+        assert set(routes) == set(names) - {names[origin_index]}
+        # First hops only ever use the origin's two incident links.
+        incident = set(topology[names[origin_index]].values())
+        assert set(routes.values()) <= incident
+
+    @settings(max_examples=50)
+    @given(st.integers(min_value=4, max_value=10), st.integers(min_value=0, max_value=9))
+    def test_single_link_failure_keeps_ring_connected(self, size, failed_index):
+        failed_index %= size
+        names = [f"n{i}" for i in range(size)]
+        topology = {name: {} for name in names}
+        for i in range(size):
+            j = (i + 1) % size
+            topology[names[i]][names[j]] = f"l{i}"
+            topology[names[j]][names[i]] = f"l{i}"
+        routes = shortest_path_routes(
+            topology, names[0], exclude_links={f"l{failed_index}"}
+        )
+        # A ring minus one link is a path: still fully connected.
+        assert set(routes) == set(names) - {names[0]}

@@ -1,0 +1,180 @@
+"""Tests for the LEO geometry model and the node container."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.simulator.engine import Simulator
+from repro.simulator.node import Node, PacketSink
+from repro.simulator.orbit import (
+    EARTH_RADIUS_KM,
+    IsolatedLinkGeometry,
+    Satellite,
+    link_distance_km,
+    rtt_statistics,
+    visibility_windows,
+)
+
+
+class TestSatellite:
+    def test_orbit_radius(self):
+        sat = Satellite("s", altitude_km=1000.0)
+        assert sat.orbit_radius_km == EARTH_RADIUS_KM + 1000.0
+
+    def test_period_near_105_minutes_at_1000km(self):
+        sat = Satellite("s", altitude_km=1000.0)
+        assert sat.period_s == pytest.approx(105 * 60, rel=0.02)
+
+    def test_position_stays_on_orbit_sphere(self):
+        sat = Satellite("s", altitude_km=1000.0, inclination_deg=63.4, raan_deg=40.0)
+        times = np.linspace(0, sat.period_s, 50)
+        radii = np.linalg.norm(sat.position(times), axis=-1)
+        assert np.allclose(radii, sat.orbit_radius_km, rtol=1e-9)
+
+    def test_period_closes_the_orbit(self):
+        sat = Satellite("s", altitude_km=800.0, inclination_deg=50.0)
+        start = sat.position(0.0)
+        end = sat.position(sat.period_s)
+        assert np.allclose(start, end, atol=1e-6)
+
+    def test_phase_offsets_position(self):
+        a = Satellite("a", phase_deg=0.0)
+        b = Satellite("b", phase_deg=180.0)
+        # Same plane, opposite sides: separation is the orbit diameter.
+        assert link_distance_km(a, b, 0.0) == pytest.approx(2 * a.orbit_radius_km)
+
+    def test_invalid_altitude(self):
+        with pytest.raises(ValueError):
+            Satellite("bad", altitude_km=0.0)
+
+
+class TestGeometry:
+    def test_distance_symmetric(self):
+        a = Satellite("a", raan_deg=0.0)
+        b = Satellite("b", raan_deg=30.0, phase_deg=10.0)
+        assert link_distance_km(a, b, 100.0) == pytest.approx(
+            float(link_distance_km(b, a, 100.0))
+        )
+
+    def test_coplanar_neighbors_fixed_distance(self):
+        """Two satellites in the same plane hold constant separation."""
+        a = Satellite("a", phase_deg=0.0)
+        b = Satellite("b", phase_deg=30.0)
+        times = np.linspace(0, 5000, 100)
+        distances = link_distance_km(a, b, times)
+        assert np.allclose(distances, distances[0], rtol=1e-9)
+        expected = 2 * a.orbit_radius_km * math.sin(math.radians(15))
+        assert distances[0] == pytest.approx(expected)
+
+    def test_cross_plane_distance_varies(self):
+        a = Satellite("a", raan_deg=0.0)
+        b = Satellite("b", raan_deg=60.0)
+        times = np.linspace(0, a.period_s, 200)
+        distances = link_distance_km(a, b, times)
+        assert distances.max() > 1.5 * distances.min()
+
+    def test_opposite_satellites_occluded(self):
+        a = Satellite("a", phase_deg=0.0)
+        b = Satellite("b", phase_deg=180.0)
+        windows = visibility_windows(a, b, 0.0, 600.0, max_range_km=50_000.0)
+        assert windows == []  # Earth sits exactly between them
+
+    def test_close_neighbors_always_visible(self):
+        a = Satellite("a", phase_deg=0.0)
+        b = Satellite("b", phase_deg=20.0)
+        windows = visibility_windows(a, b, 0.0, 600.0, max_range_km=10_000.0)
+        assert len(windows) == 1
+        assert windows[0].duration == pytest.approx(600.0, abs=2.0)
+
+    def test_range_limit_creates_finite_windows(self):
+        """Cross-plane pairs drift in and out of laser range (short link
+        lifetimes — the paper's defining LAMS property)."""
+        a = Satellite("a", raan_deg=0.0, inclination_deg=60)
+        b = Satellite("b", raan_deg=30.0, inclination_deg=60, phase_deg=0.0)
+        period = a.period_s
+        times = np.linspace(0, 2 * period, 2000)
+        distances = link_distance_km(a, b, times)
+        # Pick a range threshold strictly between the distance extremes so
+        # the pair must drift in and out of range.
+        threshold = 0.5 * (distances.min() + distances.max())
+        windows = visibility_windows(
+            a, b, 0.0, 2 * period, max_range_km=float(threshold), step_s=5.0
+        )
+        assert windows, "expected at least one visibility window"
+        assert all(w.duration < 2 * period for w in windows)
+
+    def test_rtt_statistics_fields(self):
+        a = Satellite("a", raan_deg=0.0)
+        b = Satellite("b", raan_deg=30.0, phase_deg=5.0)
+        stats = rtt_statistics(a, b, 0.0, 1000.0, step_s=10.0)
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+        assert stats["midrange"] == pytest.approx((stats["min"] + stats["max"]) / 2)
+        assert stats["alpha_min"] == pytest.approx(stats["max"] - stats["midrange"])
+        assert stats["variance"] >= 0.0
+
+    def test_isolated_link_geometry_delay_fn(self):
+        a = Satellite("a", phase_deg=0.0)
+        b = Satellite("b", phase_deg=30.0)
+        geometry = IsolatedLinkGeometry(a, b)
+        delay = geometry.delay_fn()
+        # ~3350 km separation -> ~11 ms one way.
+        assert 0.005 < delay(0.0) < 0.05
+        assert delay(0.0) == pytest.approx(geometry.one_way_delay(0.0))
+
+    def test_visibility_requires_valid_interval(self):
+        a, b = Satellite("a"), Satellite("b", phase_deg=10)
+        with pytest.raises(ValueError):
+            visibility_windows(a, b, 10.0, 10.0)
+
+
+class TestNode:
+    def test_packet_sink_records(self):
+        sim = Simulator()
+        sink = PacketSink(sim)
+        node = Node(sim, "sat1", network_layer=sink)
+        sim.schedule(2.0, node.deliver_up, "payload", "link0")
+        sim.run()
+        assert sink.packets == ["payload"]
+        assert sink.delivery_times == [2.0]
+
+    def test_endpoint_registration_and_send(self):
+        sim = Simulator()
+        node = Node(sim, "sat1")
+        accepted = []
+
+        class FakeEndpoint:
+            def accept(self, packet):
+                accepted.append(packet)
+                return True
+
+        node.attach_endpoint("link0", FakeEndpoint())
+        assert node.send("data", via_link="link0")
+        assert accepted == ["data"]
+
+    def test_duplicate_endpoint_rejected(self):
+        sim = Simulator()
+        node = Node(sim, "sat1")
+
+        class FakeEndpoint:
+            def accept(self, packet):
+                return True
+
+        node.attach_endpoint("link0", FakeEndpoint())
+        with pytest.raises(ValueError):
+            node.attach_endpoint("link0", FakeEndpoint())
+
+    def test_unknown_link_raises(self):
+        sim = Simulator()
+        node = Node(sim, "sat1")
+        with pytest.raises(KeyError):
+            node.send("data", via_link="nope")
+
+    def test_link_failure_reported(self):
+        sim = Simulator()
+        sink = PacketSink(sim)
+        node = Node(sim, "sat1", network_layer=sink)
+        node.report_link_failure("link0")
+        assert sink.failures == ["link0"]

@@ -1,0 +1,159 @@
+"""Tests for RNG streams and the tracer/statistics module."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.simulator.rng import StreamRegistry, derive_seed
+from repro.simulator.trace import SampleStat, TimeWeightedStat, Tracer
+
+
+class TestStreamRegistry:
+    def test_same_name_same_stream_object(self):
+        streams = StreamRegistry(seed=5)
+        assert streams.get("x") is streams.get("x")
+
+    def test_different_names_independent(self):
+        streams = StreamRegistry(seed=5)
+        a = streams.get("a").random(100)
+        b = streams.get("b").random(100)
+        assert list(a) != list(b)
+
+    def test_reproducible_across_registries(self):
+        first = StreamRegistry(seed=9).get("chan").random(10)
+        second = StreamRegistry(seed=9).get("chan").random(10)
+        assert list(first) == list(second)
+
+    def test_different_seeds_differ(self):
+        first = StreamRegistry(seed=1).get("chan").random(10)
+        second = StreamRegistry(seed=2).get("chan").random(10)
+        assert list(first) != list(second)
+
+    def test_consumption_isolation(self):
+        """Draining one stream must not perturb another (CRN discipline)."""
+        registry_a = StreamRegistry(seed=7)
+        registry_a.get("noise").random(1000)  # heavy consumption
+        after_heavy = registry_a.get("signal").random(5)
+        registry_b = StreamRegistry(seed=7)
+        fresh = registry_b.get("signal").random(5)
+        assert list(after_heavy) == list(fresh)
+
+    def test_reset_recreates_streams(self):
+        streams = StreamRegistry(seed=3)
+        first = streams.get("s").random(4)
+        streams.reset()
+        again = streams.get("s").random(4)
+        assert list(first) == list(again)
+
+    def test_names_sorted(self):
+        streams = StreamRegistry()
+        streams.get("b")
+        streams.get("a")
+        assert streams.names() == ["a", "b"]
+
+    def test_derive_seed_stable_and_distinct(self):
+        assert derive_seed(1, "x") == derive_seed(1, "x")
+        assert derive_seed(1, "x") != derive_seed(1, "y")
+        assert 0 <= derive_seed(123456, "anything") < 2**32
+
+
+class TestSampleStat:
+    def test_mean_and_extremes(self):
+        stat = SampleStat("s")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            stat.add(value)
+        assert stat.mean == pytest.approx(2.5)
+        assert stat.minimum == 1.0 and stat.maximum == 4.0
+
+    def test_variance_matches_textbook(self):
+        stat = SampleStat("s")
+        for value in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            stat.add(value)
+        assert stat.variance == pytest.approx(32.0 / 7.0)
+        assert stat.stdev == pytest.approx(math.sqrt(32.0 / 7.0))
+
+    def test_empty_stat_is_nan(self):
+        stat = SampleStat("s")
+        assert math.isnan(stat.mean)
+        assert math.isnan(stat.variance)
+
+
+class TestTimeWeightedStat:
+    def test_constant_signal(self):
+        stat = TimeWeightedStat("q", start_time=0.0, level=5.0)
+        assert stat.mean(10.0) == pytest.approx(5.0)
+
+    def test_step_signal_average(self):
+        stat = TimeWeightedStat("q")
+        stat.update(0.0, 0.0)
+        stat.update(5.0, 10.0)  # level 0 for [0,5), 10 for [5,10)
+        assert stat.mean(10.0) == pytest.approx(5.0)
+        assert stat.maximum == 10.0
+
+    def test_time_cannot_go_backwards(self):
+        stat = TimeWeightedStat("q")
+        stat.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            stat.update(4.0, 2.0)
+
+    def test_query_before_last_update_rejected(self):
+        stat = TimeWeightedStat("q")
+        stat.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            stat.mean(4.0)
+
+
+class TestTracer:
+    def test_timeline_disabled_by_default(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "src", "evt")
+        assert tracer.records == []
+
+    def test_timeline_records_when_enabled(self):
+        tracer = Tracer(record_timeline=True)
+        tracer.emit(1.0, "src", "evt", detail=7)
+        assert len(tracer.records) == 1
+        assert tracer.records[0].detail == {"detail": 7}
+
+    def test_timeline_filtering(self):
+        tracer = Tracer(record_timeline=True)
+        tracer.emit(1.0, "a", "x")
+        tracer.emit(2.0, "b", "x")
+        tracer.emit(3.0, "a", "y")
+        assert len(tracer.timeline(source="a")) == 2
+        assert len(tracer.timeline(event="x")) == 2
+        assert len(tracer.timeline(source="a", event="y")) == 1
+
+    def test_listener_receives_records_even_without_timeline(self):
+        tracer = Tracer()
+        seen = []
+        tracer.listeners.append(seen.append)
+        tracer.emit(1.0, "src", "evt")
+        assert len(seen) == 1 and tracer.records == []
+
+    def test_counters(self):
+        tracer = Tracer()
+        tracer.count("frames")
+        tracer.count("frames", 4)
+        assert tracer.value("frames") == 5
+        assert tracer.value("never") == 0
+
+    def test_summary_includes_all_metric_kinds(self):
+        tracer = Tracer()
+        tracer.count("c", 3)
+        tracer.sample("s", 2.0)
+        tracer.level("l", 0.0, 1.0)
+        tracer.level("l", 2.0, 3.0)
+        summary = tracer.summary()
+        assert summary["c"] == 3
+        assert summary["s.mean"] == 2.0
+        assert summary["s.count"] == 1
+        assert "l.avg" in summary and summary["l.max"] == 3.0
+
+    def test_format_timeline_readable(self):
+        tracer = Tracer(record_timeline=True)
+        tracer.emit(1.5, "node", "sent", seq=3)
+        text = tracer.format_timeline()
+        assert "node" in text and "sent" in text and "seq=3" in text

@@ -1,0 +1,178 @@
+"""Tests for the bit-level wire format (encode/decode + CRC detection)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.frames import CheckpointFrame, IFrame, RequestNakFrame
+from repro.core.wire import (
+    FRAME_TYPE_CHECKPOINT,
+    FRAME_TYPE_IFRAME,
+    WireFormatError,
+    decode_checkpoint,
+    decode_frame,
+    decode_iframe,
+    decode_request_nak,
+    encode_checkpoint,
+    encode_frame,
+    encode_iframe,
+    encode_request_nak,
+)
+
+
+def make_iframe(seq=7, index=42, payload_bits=64) -> IFrame:
+    return IFrame(seq=seq, payload=None, size_bits=payload_bits, transmit_index=index)
+
+
+class TestIFrameWire:
+    def test_roundtrip(self):
+        frame = make_iframe()
+        data = encode_iframe(frame, b"hello world")
+        decoded, payload, origin = decode_iframe(data)
+        assert decoded.seq == frame.seq
+        assert decoded.transmit_index == frame.transmit_index
+        assert payload == b"hello world"
+        assert origin == frame.transmit_index
+
+    def test_origin_carried(self):
+        frame = make_iframe(index=100)
+        data = encode_iframe(frame, b"x", origin=55)
+        _, _, origin = decode_iframe(data)
+        assert origin == 55
+
+    def test_size_bits_reflects_wire_length(self):
+        data = encode_iframe(make_iframe(), b"abc")
+        decoded, _, _ = decode_iframe(data)
+        assert decoded.size_bits == 8 * len(data)
+
+    def test_corruption_detected_everywhere(self):
+        data = bytearray(encode_iframe(make_iframe(), b"payload"))
+        for index in range(len(data)):
+            corrupted = bytearray(data)
+            corrupted[index] ^= 0x40
+            with pytest.raises(WireFormatError):
+                decode_iframe(bytes(corrupted))
+
+    def test_oversize_fields_rejected(self):
+        with pytest.raises(WireFormatError):
+            encode_iframe(make_iframe(seq=1 << 16), b"")
+        with pytest.raises(WireFormatError):
+            encode_iframe(make_iframe(), b"x" * (1 << 16))
+
+    @given(
+        seq=st.integers(min_value=0, max_value=(1 << 16) - 1),
+        index=st.integers(min_value=0, max_value=(1 << 32) - 1),
+        payload=st.binary(max_size=512),
+    )
+    def test_roundtrip_property(self, seq, index, payload):
+        frame = IFrame(seq=seq, payload=None, size_bits=8, transmit_index=index)
+        decoded, got_payload, origin = decode_iframe(encode_iframe(frame, payload))
+        assert (decoded.seq, decoded.transmit_index, got_payload) == (seq, index, payload)
+
+
+class TestCheckpointWire:
+    def make(self, **kwargs) -> CheckpointFrame:
+        defaults = dict(cp_index=3, issue_time=1.5, naks=(1, 2, 9),
+                        frontier=77, enforced=True, stop_go=True)
+        defaults.update(kwargs)
+        return CheckpointFrame(**defaults)
+
+    def test_roundtrip_full(self):
+        frame = self.make()
+        decoded = decode_checkpoint(encode_checkpoint(frame))
+        assert decoded.cp_index == frame.cp_index
+        assert decoded.issue_time == frame.issue_time
+        assert decoded.naks == frame.naks
+        assert decoded.frontier == frame.frontier
+        assert decoded.enforced and decoded.stop_go
+
+    def test_roundtrip_minimal(self):
+        frame = self.make(naks=(), frontier=None, enforced=False, stop_go=False)
+        decoded = decode_checkpoint(encode_checkpoint(frame))
+        assert decoded.naks == ()
+        assert decoded.frontier is None
+        assert not decoded.enforced and not decoded.stop_go
+
+    def test_corruption_detected(self):
+        data = bytearray(encode_checkpoint(self.make()))
+        data[5] ^= 0xFF
+        with pytest.raises(WireFormatError):
+            decode_checkpoint(bytes(data))
+
+    @given(
+        cp_index=st.integers(min_value=0, max_value=(1 << 32) - 1),
+        issue_time=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        naks=st.lists(
+            st.integers(min_value=0, max_value=(1 << 16) - 1),
+            max_size=50, unique=True,
+        ),
+        stop_go=st.booleans(),
+        enforced=st.booleans(),
+    )
+    def test_roundtrip_property(self, cp_index, issue_time, naks, stop_go, enforced):
+        frame = CheckpointFrame(
+            cp_index=cp_index, issue_time=issue_time, naks=tuple(naks),
+            frontier=None, enforced=enforced, stop_go=stop_go,
+        )
+        decoded = decode_checkpoint(encode_checkpoint(frame))
+        assert decoded.cp_index == cp_index
+        assert decoded.issue_time == issue_time
+        assert decoded.naks == tuple(naks)
+        assert decoded.stop_go == stop_go and decoded.enforced == enforced
+
+
+class TestRequestNakWire:
+    def test_roundtrip(self):
+        decoded = decode_request_nak(encode_request_nak(RequestNakFrame(request_time=2.25)))
+        assert decoded.request_time == 2.25
+
+    def test_corruption_detected(self):
+        data = bytearray(encode_request_nak(RequestNakFrame(request_time=2.25)))
+        data[3] ^= 0x01
+        with pytest.raises(WireFormatError):
+            decode_request_nak(bytes(data))
+
+
+class TestDispatch:
+    def test_encode_decode_any(self):
+        frames = [
+            make_iframe(),
+            CheckpointFrame(cp_index=0, issue_time=0.0),
+            RequestNakFrame(request_time=0.0),
+        ]
+        for frame in frames:
+            decoded = decode_frame(encode_frame(frame, payload=b"zz"))
+            assert type(decoded) is type(frame)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(WireFormatError):
+            decode_frame(b"\xff\x00\x00")
+        with pytest.raises(WireFormatError):
+            decode_frame(b"")
+
+    def test_wrong_type_byte_in_typed_decoder(self):
+        data = encode_checkpoint(CheckpointFrame(cp_index=0, issue_time=0.0))
+        with pytest.raises(WireFormatError):
+            decode_iframe(data)
+
+    def test_unencodable_type(self):
+        with pytest.raises(TypeError):
+            encode_frame("not a frame")  # type: ignore[arg-type]
+
+
+class TestOriginFidelity:
+    def test_frame_origin_field_encoded_by_default(self):
+        """A renumbered retransmission's incarnation id survives the wire."""
+        frame = IFrame(seq=7, payload=None, size_bits=8, transmit_index=7, origin=2)
+        decoded, _, origin = decode_iframe(encode_iframe(frame, b"x"))
+        assert origin == 2
+        assert decoded.origin == 2
+        assert decoded.effective_origin == 2
+
+    def test_first_incarnation_roundtrip(self):
+        frame = IFrame(seq=3, payload=None, size_bits=8, transmit_index=3)
+        decoded, _, origin = decode_iframe(encode_iframe(frame, b"x"))
+        assert origin == 3
+        assert decoded.effective_origin == 3
