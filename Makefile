@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench report examples clean
+.PHONY: install test bench report examples sweep-smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -16,6 +16,13 @@ bench:
 report:
 	$(PYTHON) -m repro report --output evaluation_report.txt
 
+# A two-job parallel mini-sweep: exercises the multiprocessing pool,
+# the on-disk result cache, and the unified endpoint-pair API end to end.
+sweep-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro sweep --preset short_hop \
+		--protocols lams hdlc --seeds 2 --duration 0.05 \
+		--metrics efficiency --jobs 2 --cache-dir .sweep-cache
+
 examples:
 	for script in examples/*.py; do \
 		echo "=== $$script ==="; \
@@ -23,5 +30,5 @@ examples:
 	done
 
 clean:
-	rm -rf build dist src/repro.egg-info .pytest_cache
+	rm -rf build dist src/repro.egg-info .pytest_cache .sweep-cache
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

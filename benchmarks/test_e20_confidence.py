@@ -8,33 +8,34 @@ Asserted: the intervals are tight (the DES is long enough that run-to-
 run noise is small), they do not overlap between protocols (the win is
 statistically unambiguous), and the LAMS interval contains — or sits
 within a few percent of — the Section-4 prediction.
+
+Runs serially by default; set ``REPRO_SWEEP_JOBS=N`` to fan the per-seed
+simulations over N worker processes (bit-identical summaries).
 """
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import SWEEP_JOBS, emit
 
 from repro.analysis import lams as lams_model
+from repro.experiments.parallel import MeasureSpec, parallel_replicate
 from repro.experiments.registry import ExperimentResult
-from repro.experiments.runner import measure_saturated
-from repro.experiments.sweeps import replicate
 from repro.workloads import preset
 
 SEEDS = range(100, 110)
 DURATION = 1.0
 
 
-def run_replicated() -> tuple[ExperimentResult, dict]:
+def run_replicated(jobs: int = SWEEP_JOBS) -> tuple[ExperimentResult, dict]:
     scenario = preset("noisy")
     summaries = {}
     rows = []
     for protocol in ("lams", "hdlc"):
-        summary = replicate(
-            lambda seed, p=protocol: measure_saturated(
-                scenario, p, DURATION, seed=seed
-            ),
-            metric="efficiency",
-            seeds=SEEDS,
+        spec = MeasureSpec.create(
+            "measure_saturated", scenario, protocol, duration=DURATION
+        )
+        summary = parallel_replicate(
+            spec, "efficiency", SEEDS, jobs=jobs
         )
         summaries[protocol] = summary
         rows.append(

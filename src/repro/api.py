@@ -1,0 +1,115 @@
+"""Public facade: one factory for every protocol endpoint pair.
+
+The library implements three executable link protocols — LAMS-DLC
+(:mod:`repro.core`), SR-HDLC / Go-Back-N (:mod:`repro.hdlc`), and NBDT
+(:mod:`repro.nbdt`) — all with the same endpoint shape.  This module is
+the single entry point that makes them interchangeable:
+
+>>> from repro.api import make_endpoint_pair
+>>> from repro.simulator.engine import Simulator
+>>> from repro.workloads import preset
+>>> scenario = preset("nominal")
+>>> sim = Simulator()
+>>> link = scenario.build_link(sim, seed=1)
+>>> a, b = make_endpoint_pair("lams", sim, link, scenario.lams_config())
+>>> a.start(send=True, receive=False); b.start(send=False, receive=True)
+
+Protocol names accept the experiment-level aliases (``"gbn"`` is HDLC
+with ``selective=False``, ``"nbdt-multiphase"`` is NBDT with
+``mode="multiphase"``, ...); :func:`available_protocols` lists them
+all.  New protocol families plug in through
+:func:`repro.core.endpoint.register_pair_factory` and are immediately
+constructible here.
+
+For the common "one scenario, one protocol, one-way transfer" case,
+:func:`build_simulation` goes one level higher and returns a
+ready-to-run :class:`~repro.workloads.scenarios.SimulationSetup`.
+
+The per-protocol factories (``lams_dlc_pair``, ``hdlc_pair``,
+``nbdt_pair``) remain available as thin shims over the same registry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+# Importing the protocol modules registers the built-in families.
+from . import core as _core  # noqa: F401  (registration side effect)
+from . import hdlc as _hdlc  # noqa: F401
+from . import nbdt as _nbdt  # noqa: F401
+from .core.endpoint import (
+    Endpoint,
+    EndpointPair,
+    available_protocols,
+    build_endpoint_pair,
+    register_pair_factory,
+    resolve_protocol,
+)
+
+__all__ = [
+    "Endpoint",
+    "EndpointPair",
+    "available_protocols",
+    "build_simulation",
+    "make_endpoint_pair",
+    "register_pair_factory",
+    "resolve_protocol",
+]
+
+
+def make_endpoint_pair(
+    protocol: str,
+    sim: Any,
+    link: Any,
+    config: Any,
+    *,
+    config_b: Any = None,
+    tracer: Any = None,
+    deliver_a: Optional[Callable[[Any], None]] = None,
+    deliver_b: Optional[Callable[[Any], None]] = None,
+    **extras: Any,
+) -> EndpointPair:
+    """Build a wired endpoint pair for any implemented protocol.
+
+    Parameters
+    ----------
+    protocol:
+        A name from :func:`available_protocols` (``"lams"``, ``"hdlc"``,
+        ``"gbn"``, ``"nbdt-continuous"``, ...).  Alias-implied config
+        adjustments (e.g. ``selective=False`` for ``"gbn"``) are applied
+        to *config* automatically.
+    sim, link:
+        The simulator and the full-duplex link to wire across.
+    config, config_b:
+        The protocol configuration (``LamsDlcConfig`` / ``HdlcConfig`` /
+        ``NbdtConfig``); *config_b* overrides the B side when the two
+        ends differ.
+    tracer, deliver_a, deliver_b:
+        Shared tracer and per-side delivery callbacks.
+    extras:
+        Family-specific keywords, passed through (LAMS-DLC accepts
+        ``on_failure_a``/``on_failure_b``/``delivery_interval_b``).
+
+    Returns ``(endpoint_a, endpoint_b)`` — created and wired but not
+    started; call ``start(send=..., receive=...)`` per the roles the
+    experiment needs.
+    """
+    return build_endpoint_pair(
+        protocol, sim, link, config,
+        config_b=config_b, tracer=tracer,
+        deliver_a=deliver_a, deliver_b=deliver_b,
+        **extras,
+    )
+
+
+def build_simulation(scenario, protocol: str, **kwargs):
+    """One-way transfer simulation for any protocol over *scenario*.
+
+    Convenience re-export of
+    :func:`repro.workloads.scenarios.build_simulation` (kept there so
+    the scenario module remains self-contained); see that function for
+    the keyword arguments.
+    """
+    from .workloads.scenarios import build_simulation as _build
+
+    return _build(scenario, protocol, **kwargs)

@@ -1,12 +1,15 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the library's everyday uses:
+The commands cover the library's everyday uses:
 
 - ``experiments list`` / ``experiments run <id>`` — the E1–E19 registry.
 - ``model`` — the Section-4 closed-form quantities at one operating point.
 - ``compare`` — model-level LAMS-DLC vs SR-HDLC at one operating point.
 - ``simulate`` — run an executable protocol (LAMS-DLC, SR-HDLC, GBN, or
   NBDT) over a simulated link.
+- ``sweep`` — replicated measurements (or registry experiments) over a
+  ``multiprocessing`` pool with an on-disk result cache (``--jobs N``,
+  ``--cache-dir``, ``--no-cache``).
 - ``orbit`` — LEO pair geometry: visibility windows and RTT statistics.
 - ``report`` — regenerate the full evaluation as one document.
 
@@ -125,6 +128,84 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments.parallel import (
+        MeasureSpec,
+        ResultCache,
+        parallel_replicate_all,
+        replication_seeds,
+        run_experiments_parallel,
+    )
+    from .simulator.trace import Tracer
+
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    stats = Tracer()
+
+    if args.experiments:
+        try:
+            results = run_experiments_parallel(
+                args.experiments, jobs=args.jobs, cache=cache, stats=stats,
+            )
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+        for eid in args.experiments:
+            result = results[eid]
+            print(render_table(
+                result.rows, title=f"[{result.experiment_id}] {result.title}"
+            ))
+            print()
+    else:
+        from .core.endpoint import resolve_protocol
+
+        try:
+            for protocol in args.protocols:
+                resolve_protocol(protocol)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        scenario = _scenario_from_args(args)
+        seeds = replication_seeds(args.master_seed, args.seeds)
+        rows = []
+        for protocol in args.protocols:
+            spec = MeasureSpec.create(
+                "measure_saturated", scenario, protocol, duration=args.duration
+            )
+            summaries = parallel_replicate_all(
+                spec, args.metrics, seeds, jobs=args.jobs,
+                cache=cache, stats=stats,
+            )
+            for metric in args.metrics:
+                summary = summaries[metric]
+                rows.append({
+                    "protocol": protocol,
+                    "metric": metric,
+                    "mean": summary.mean,
+                    "ci95_half_width": summary.half_width,
+                    "n": summary.count,
+                })
+        print(render_table(
+            rows,
+            title=f"replicated sweep over preset '{scenario.name}' "
+                  f"({args.seeds} seeds, master {args.master_seed})",
+        ))
+
+    executed = stats.counter("sweep.executed").value
+    hits = stats.counter("sweep.cache_hits").value
+    workers = sorted(
+        name.split(".")[2]
+        for name in stats.counters
+        if name.startswith("sweep.worker.") and name.endswith(".tasks")
+    )
+    print(f"\nsweep: {executed} executed, {hits} cached "
+          f"(jobs={args.jobs}, workers={len(workers) or 1}"
+          f"{'' if cache is None else ', cache=' + cache.root})")
+    return 0
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     from .analysis.tuning import recommend_config
 
@@ -232,6 +313,35 @@ def build_parser() -> argparse.ArgumentParser:
                             help="saturated source instead of a finite batch")
     sim_parser.add_argument("--seed", type=int, default=0)
     sim_parser.set_defaults(handler=_cmd_simulate)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="replicated measurements over a process pool"
+    )
+    _add_scenario_arguments(sweep_parser)
+    sweep_parser.add_argument(
+        "--experiments", nargs="*", default=None, metavar="ID",
+        help="registry mode: run these experiment ids instead of replications",
+    )
+    sweep_parser.add_argument(
+        "--protocols", nargs="*",
+        default=["lams", "hdlc"],
+        help="protocols to replicate (any repro.api name)",
+    )
+    sweep_parser.add_argument("--seeds", type=int, default=8,
+                              help="replications per protocol")
+    sweep_parser.add_argument("--master-seed", type=int, default=0,
+                              help="master seed the replication seeds derive from")
+    sweep_parser.add_argument("--duration", type=float, default=1.0,
+                              help="simulated seconds per replication")
+    sweep_parser.add_argument("--metrics", nargs="*", default=["efficiency"],
+                              help="measure_saturated metrics to summarise")
+    sweep_parser.add_argument("--jobs", type=int, default=1,
+                              help="worker processes")
+    sweep_parser.add_argument("--cache-dir", default=".sweep-cache",
+                              help="on-disk result cache directory")
+    sweep_parser.add_argument("--no-cache", action="store_true",
+                              help="disable the result cache")
+    sweep_parser.set_defaults(handler=_cmd_sweep)
 
     tune_parser = subparsers.add_parser(
         "tune", help="recommend a LAMS-DLC configuration for a link"

@@ -7,6 +7,13 @@ flow control) for anyone composing a custom stack.
 """
 
 from .config import LamsDlcConfig
+from .endpoint import (
+    Endpoint,
+    EndpointPair,
+    available_protocols,
+    register_pair_factory,
+    resolve_protocol,
+)
 from .flowcontrol import StopGoRateController
 from .frames import CheckpointFrame, IFrame, LamsFrame, RequestNakFrame
 from .protocol import LamsDlcEndpoint, lams_dlc_pair
@@ -22,6 +29,8 @@ from .seqspace import (
 
 __all__ = [
     "CheckpointFrame",
+    "Endpoint",
+    "EndpointPair",
     "ErrorEntry",
     "IFrame",
     "LamsDlcConfig",
@@ -36,7 +45,10 @@ __all__ = [
     "SequenceExhausted",
     "SequenceSpace",
     "StopGoRateController",
+    "available_protocols",
     "cyclic_less_equal",
     "forward_distance",
     "lams_dlc_pair",
+    "register_pair_factory",
+    "resolve_protocol",
 ]

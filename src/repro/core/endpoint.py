@@ -1,0 +1,214 @@
+"""Structural endpoint contracts and the unified pair-factory registry.
+
+Every protocol implemented here (LAMS-DLC, SR-HDLC/GBN, NBDT) wires its
+link side the same way: an *endpoint* object owning a sender and a
+receiver half, built in pairs across a full-duplex link.  This module
+captures that shape once:
+
+- :class:`Endpoint` / :class:`EndpointPair` — structural
+  ``typing.Protocol`` contracts that every concrete endpoint satisfies,
+  so harness code (session manager, experiment runner, workloads) can
+  be written against the shape instead of a concrete class.
+- a **pair-factory registry** — each protocol family registers one
+  builder (``register_pair_factory``); callers construct endpoints
+  through :func:`build_endpoint_pair` (or the public facade
+  :func:`repro.api.make_endpoint_pair`) instead of protocol-name
+  ``if``/``elif`` chains.
+- **protocol-name aliases** — the experiment-level names
+  (``"gbn"``, ``"nbdt-multiphase"``, ...) resolve to a registered
+  family plus the configuration overrides that variant implies.
+
+The registry lives here, import-free of the protocol implementations,
+so the protocol modules can register themselves without cycles; lookup
+lazily imports the built-in families on first use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+from typing import Any, Callable, Iterator, Optional, Protocol, runtime_checkable
+
+__all__ = [
+    "Endpoint",
+    "EndpointPair",
+    "PairFactory",
+    "available_protocols",
+    "build_endpoint_pair",
+    "pair_factory",
+    "register_pair_factory",
+    "registered_families",
+    "resolve_protocol",
+]
+
+
+@runtime_checkable
+class Endpoint(Protocol):
+    """What the harness needs from one side of a protocol link.
+
+    Concrete endpoints (``LamsDlcEndpoint``, ``HdlcEndpoint``,
+    ``NbdtEndpoint``) satisfy this structurally; nothing subclasses it.
+    """
+
+    name: str
+
+    def start(self, send: bool = True, receive: bool = True) -> None:
+        """Bring the endpoint's sender and/or receiver half up."""
+        ...
+
+    def stop(self) -> None:
+        """Halt both halves (timers cancelled, no further sends)."""
+        ...
+
+    def accept(self, packet: Any) -> bool:
+        """Queue a packet for transmission; False if the buffer refuses."""
+        ...
+
+    def on_frame(self, frame: Any, corrupted: bool) -> None:
+        """Dispatch one arriving frame to the proper half."""
+        ...
+
+
+class EndpointPair(Protocol):
+    """A wired A/B endpoint pair: tuple-like, unpacks to ``(a, b)``."""
+
+    def __iter__(self) -> Iterator[Endpoint]: ...
+
+    def __getitem__(self, index: int) -> Endpoint: ...
+
+    def __len__(self) -> int: ...
+
+
+PairFactory = Callable[..., "EndpointPair"]
+"""``factory(sim, link, config, *, config_b=None, tracer=None,
+deliver_a=None, deliver_b=None, **extras) -> (endpoint_a, endpoint_b)``.
+
+The factory creates *and wires* both endpoints across the link
+(endpoint A transmitting on the forward channel, B on the reverse) but
+does not start them — the caller decides which halves run.
+"""
+
+
+_FACTORIES: dict[str, PairFactory] = {}
+
+# Built-in families register themselves at import time; lookup imports
+# them on demand so the registry has no import-order requirements.
+_FAMILY_MODULES = {
+    "lams": "repro.core.protocol",
+    "hdlc": "repro.hdlc.protocol",
+    "nbdt": "repro.nbdt.protocol",
+}
+
+# Experiment-level protocol names -> (registered family, config
+# overrides the variant implies).  Overrides are applied to the given
+# config via dataclasses.replace, so ``make_endpoint_pair("gbn", ...)``
+# with a selective-repeat HdlcConfig still builds a Go-Back-N endpoint.
+_ALIASES: dict[str, tuple[str, dict[str, Any]]] = {
+    "lams": ("lams", {}),
+    "lams-dlc": ("lams", {}),
+    "hdlc": ("hdlc", {}),
+    "sr-hdlc": ("hdlc", {}),
+    "gbn": ("hdlc", {"selective": False}),
+    "nbdt": ("nbdt", {}),
+    "nbdt-continuous": ("nbdt", {"mode": "continuous"}),
+    "nbdt-multiphase": ("nbdt", {"mode": "multiphase"}),
+}
+
+
+def register_pair_factory(family: str, factory: Optional[PairFactory] = None):
+    """Register *factory* for *family*; usable as a decorator.
+
+    Registering a family name that is not yet an alias also makes the
+    bare name resolvable, so third-party protocols plug in with one
+    call.
+    """
+
+    def _register(fn: PairFactory) -> PairFactory:
+        _FACTORIES[family] = fn
+        _ALIASES.setdefault(family, (family, {}))
+        return fn
+
+    return _register(factory) if factory is not None else _register
+
+
+def resolve_protocol(protocol: str) -> tuple[str, dict[str, Any]]:
+    """Map a protocol name to ``(family, config_overrides)``.
+
+    Raises ``ValueError`` for unknown names (listing the known ones),
+    matching the contract of the old per-call-site dispatch.
+    """
+    try:
+        family, overrides = _ALIASES[protocol.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {protocol!r} "
+            f"(use one of: {', '.join(sorted(_ALIASES))})"
+        ) from None
+    return family, dict(overrides)
+
+
+def pair_factory(family: str) -> PairFactory:
+    """The registered factory for *family*, importing built-ins lazily."""
+    if family not in _FACTORIES:
+        module = _FAMILY_MODULES.get(family)
+        if module is not None:
+            importlib.import_module(module)
+    try:
+        return _FACTORIES[family]
+    except KeyError:
+        raise ValueError(
+            f"no pair factory registered for family {family!r} "
+            f"(registered: {', '.join(sorted(_FACTORIES)) or 'none'})"
+        ) from None
+
+
+def registered_families() -> list[str]:
+    """Families with a factory currently registered (sorted)."""
+    return sorted(_FACTORIES)
+
+
+def available_protocols() -> list[str]:
+    """Every resolvable protocol name, aliases included (sorted)."""
+    return sorted(_ALIASES)
+
+
+def _apply_overrides(config: Any, overrides: dict[str, Any]) -> Any:
+    """Fold alias-implied overrides into a config dataclass, if it has
+    the fields (a custom config type without them is left alone)."""
+    if not overrides or not dataclasses.is_dataclass(config):
+        return config
+    names = {f.name for f in dataclasses.fields(config)}
+    applicable = {k: v for k, v in overrides.items() if k in names}
+    return dataclasses.replace(config, **applicable) if applicable else config
+
+
+def build_endpoint_pair(
+    protocol: str,
+    sim: Any,
+    link: Any,
+    config: Any,
+    *,
+    config_b: Any = None,
+    tracer: Any = None,
+    deliver_a: Optional[Callable[[Any], None]] = None,
+    deliver_b: Optional[Callable[[Any], None]] = None,
+    **extras: Any,
+) -> "EndpointPair":
+    """Resolve *protocol* and build a wired (not started) endpoint pair.
+
+    This is the registry-level entry point; the public facade is
+    :func:`repro.api.make_endpoint_pair`, which adds documentation and
+    re-exports.  ``extras`` pass through to the family factory (e.g.
+    LAMS-DLC's ``on_failure_a``/``delivery_interval_b``).
+    """
+    family, overrides = resolve_protocol(protocol)
+    factory = pair_factory(family)
+    config = _apply_overrides(config, overrides)
+    if config_b is not None:
+        config_b = _apply_overrides(config_b, overrides)
+    return factory(
+        sim, link, config,
+        config_b=config_b, tracer=tracer,
+        deliver_a=deliver_a, deliver_b=deliver_b,
+        **extras,
+    )

@@ -28,6 +28,7 @@ from ..simulator.engine import Simulator
 from ..simulator.link import FullDuplexLink, SimplexChannel
 from ..simulator.trace import Tracer
 from .config import LamsDlcConfig
+from .endpoint import register_pair_factory
 from .frames import CheckpointFrame, IFrame, RequestNakFrame
 from .receiver import LamsReceiver
 from .sender import LamsSender
@@ -124,10 +125,12 @@ class LamsDlcEndpoint:
         return f"<LamsDlcEndpoint {self.name}>"
 
 
-def lams_dlc_pair(
+@register_pair_factory("lams")
+def _make_lams_pair(
     sim: Simulator,
     link: FullDuplexLink,
     config: LamsDlcConfig,
+    *,
     config_b: Optional[LamsDlcConfig] = None,
     tracer: Optional[Tracer] = None,
     deliver_a: Optional[Callable[[Any], None]] = None,
@@ -136,15 +139,12 @@ def lams_dlc_pair(
     on_failure_b: Optional[Callable[[], None]] = None,
     delivery_interval_b: Optional[float] = None,
 ) -> tuple[LamsDlcEndpoint, LamsDlcEndpoint]:
-    """Create and wire a pair of endpoints across *link*.
+    """The registered ``"lams"`` pair factory (see ``repro.api``).
 
     Endpoint A transmits on the link's forward channel, B on the
     reverse.  Both endpoints share the link's expected RTT, evaluated at
     the link-establishment instant (the paper's deterministic-distance
     assumption lets both ends know it).
-
-    Returns ``(endpoint_a, endpoint_b)``; call :meth:`~LamsDlcEndpoint.
-    start` on each with the roles the experiment needs.
     """
     rtt = link.round_trip_time(sim.now)
     endpoint_a = LamsDlcEndpoint(
@@ -160,3 +160,31 @@ def lams_dlc_pair(
     )
     link.attach(endpoint_a.on_frame, endpoint_b.on_frame)
     return endpoint_a, endpoint_b
+
+
+def lams_dlc_pair(
+    sim: Simulator,
+    link: FullDuplexLink,
+    config: LamsDlcConfig,
+    config_b: Optional[LamsDlcConfig] = None,
+    tracer: Optional[Tracer] = None,
+    deliver_a: Optional[Callable[[Any], None]] = None,
+    deliver_b: Optional[Callable[[Any], None]] = None,
+    on_failure_a: Optional[Callable[[], None]] = None,
+    on_failure_b: Optional[Callable[[], None]] = None,
+    delivery_interval_b: Optional[float] = None,
+) -> tuple[LamsDlcEndpoint, LamsDlcEndpoint]:
+    """Create and wire a pair of endpoints across *link*.
+
+    Thin shim over the unified factory registry — equivalent to
+    ``repro.api.make_endpoint_pair("lams", ...)``.  Returns
+    ``(endpoint_a, endpoint_b)``; call :meth:`~LamsDlcEndpoint.start`
+    on each with the roles the experiment needs.
+    """
+    return _make_lams_pair(
+        sim, link, config,
+        config_b=config_b, tracer=tracer,
+        deliver_a=deliver_a, deliver_b=deliver_b,
+        on_failure_a=on_failure_a, on_failure_b=on_failure_b,
+        delivery_interval_b=delivery_interval_b,
+    )

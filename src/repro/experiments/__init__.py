@@ -2,20 +2,47 @@
 replication, report generation, and table rendering."""
 
 from . import runner
-from .registry import REGISTRY, ExperimentResult, experiment_ids, run_experiment
+from .parallel import (
+    ExperimentPoint,
+    MeasurePoint,
+    MeasureSpec,
+    ResultCache,
+    parallel_replicate,
+    parallel_replicate_all,
+    replication_seeds,
+    run_experiments_parallel,
+    run_sweep,
+)
+from .registry import (
+    REGISTRY,
+    SIMULATED_EXPERIMENTS,
+    ExperimentResult,
+    experiment_ids,
+    run_experiment,
+)
 from .reporting import format_value, render_series, render_table
 from .sweeps import ReplicationSummary, replicate, replicate_all
 
 __all__ = [
     "REGISTRY",
+    "SIMULATED_EXPERIMENTS",
+    "ExperimentPoint",
     "ExperimentResult",
+    "MeasurePoint",
+    "MeasureSpec",
+    "ResultCache",
     "experiment_ids",
     "format_value",
+    "parallel_replicate",
+    "parallel_replicate_all",
     "render_series",
     "render_table",
     "ReplicationSummary",
     "replicate",
     "replicate_all",
+    "replication_seeds",
     "run_experiment",
+    "run_experiments_parallel",
+    "run_sweep",
     "runner",
 ]

@@ -1,0 +1,513 @@
+"""Parallel experiment execution: process pools, seed streams, caching.
+
+The paper's evaluation is Monte-Carlo replication — the same
+measurement across many independent seeds, BERs, and window settings —
+and every replication is an isolated discrete-event simulation with no
+shared state.  This module fans that work out over a
+``multiprocessing`` pool while keeping three properties the serial
+path guarantees:
+
+**Determinism.**  Each replication derives its RNG streams from its own
+seed (:mod:`repro.simulator.rng`), so a simulation's result depends
+only on ``(spec, seed)`` — never on which process ran it or in what
+order.  Parallel sweeps therefore produce *bit-identical* summaries to
+serial execution on the same seeds.  :func:`replication_seeds` derives
+the per-replication seeds from one master seed via
+:func:`~repro.simulator.rng.derive_seed`, so a sweep's seed list is
+itself stable across runs and machines.
+
+**Free re-runs.**  Results are cached on disk as JSON, keyed by
+``(experiment_id, scenario, seed, code_version)``; re-running an
+unchanged point costs one file read and zero simulations.  JSON floats
+round-trip exactly (shortest-repr encoding), so cached summaries are
+byte-identical to freshly computed ones.
+
+**Observability.**  :func:`run_sweep` reports per-worker progress and
+timing through :mod:`repro.simulator.trace`-style counters and sample
+statistics on a :class:`~repro.simulator.trace.Tracer`.
+
+Entry points:
+
+- :func:`parallel_replicate` / :func:`parallel_replicate_all` — the
+  parallel counterparts of :func:`repro.experiments.sweeps.replicate`
+  and :func:`~repro.experiments.sweeps.replicate_all`, taking a
+  picklable :class:`MeasureSpec` instead of a closure.
+- :func:`run_experiments_parallel` — fan registry experiments (E1–E20)
+  out across processes.
+- :func:`run_sweep` — the generic engine over any sequence of points.
+
+CLI: ``python -m repro sweep`` (``--jobs N``, ``--cache-dir``,
+``--no-cache``).  Benchmarks opt in via the ``REPRO_SWEEP_JOBS``
+environment variable (see ``benchmarks/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import inspect
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
+
+from .. import __version__ as CODE_VERSION
+from ..simulator.rng import derive_seed
+from ..simulator.trace import Tracer
+from ..workloads.scenarios import LinkScenario
+from . import runner as _runner_module
+from .registry import REGISTRY, ExperimentResult, run_experiment
+from .sweeps import ReplicationSummary
+
+__all__ = [
+    "ExperimentPoint",
+    "MeasurePoint",
+    "MeasureSpec",
+    "ResultCache",
+    "parallel_replicate",
+    "parallel_replicate_all",
+    "replication_seeds",
+    "run_experiments_parallel",
+    "run_sweep",
+]
+
+
+# ---------------------------------------------------------------------------
+# Deterministic seed streams
+# ---------------------------------------------------------------------------
+
+
+def replication_seeds(
+    master_seed: int, count: int, name: str = "replication"
+) -> list[int]:
+    """*count* independent replication seeds under one master seed.
+
+    Derived with :func:`repro.simulator.rng.derive_seed` from the
+    stable stream names ``"{name}[i]"``, so the list is identical
+    across runs, platforms, and serial/parallel execution — the
+    property that makes cached and parallel sweeps comparable.
+    """
+    if count < 1:
+        raise ValueError("at least one replication is required")
+    return [derive_seed(master_seed, f"{name}[{i}]") for i in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# Work specifications (picklable, cache-keyable)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MeasureSpec:
+    """A picklable description of one runner measurement.
+
+    The serial :func:`~repro.experiments.sweeps.replicate` takes an
+    arbitrary ``measure(seed)`` closure; closures do not cross process
+    boundaries, so the parallel path names the runner function instead:
+    *runner* is an attribute of :mod:`repro.experiments.runner`
+    (``"measure_saturated"``, ``"measure_batch_transfer"``, ...),
+    called as ``fn(scenario, protocol, seed=seed, **kwargs)`` (or
+    without *protocol* for runners that fix it, like
+    ``measure_failure_recovery``).
+    """
+
+    runner: str
+    scenario: LinkScenario
+    protocol: Optional[str] = None
+    kwargs: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def create(
+        cls,
+        runner: str,
+        scenario: LinkScenario,
+        protocol: Optional[str] = None,
+        **kwargs: Any,
+    ) -> "MeasureSpec":
+        """Build a spec; keyword arguments are canonicalised (sorted)."""
+        if not hasattr(_runner_module, runner):
+            raise ValueError(
+                f"unknown runner {runner!r}; not in repro.experiments.runner"
+            )
+        return cls(runner, scenario, protocol, tuple(sorted(kwargs.items())))
+
+    @property
+    def experiment_id(self) -> str:
+        """The cache-key identity of this measurement family."""
+        if self.protocol is None:
+            return self.runner
+        return f"{self.runner}:{self.protocol}"
+
+    def run(self, seed: int) -> Mapping[str, Any]:
+        """Execute the measurement at *seed* (in any process)."""
+        fn = getattr(_runner_module, self.runner)
+        kwargs = dict(self.kwargs)
+        if self.protocol is None:
+            return fn(self.scenario, seed=seed, **kwargs)
+        return fn(self.scenario, self.protocol, seed=seed, **kwargs)
+
+    def measure(self) -> Callable[[int], Mapping[str, Any]]:
+        """A serial-``replicate``-compatible ``measure(seed)`` callable."""
+        return self.run
+
+
+@dataclass(frozen=True)
+class MeasurePoint:
+    """One cacheable unit of work: a :class:`MeasureSpec` at one seed."""
+
+    spec: MeasureSpec
+    seed: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.spec.experiment_id}@{self.spec.scenario.name} seed={self.seed}"
+
+    def cache_key(self) -> dict[str, Any]:
+        return {
+            "experiment_id": self.spec.experiment_id,
+            "scenario": dataclasses.asdict(self.spec.scenario),
+            "kwargs": dict(self.spec.kwargs),
+            "seed": self.seed,
+            "code_version": CODE_VERSION,
+        }
+
+    def execute(self) -> Any:
+        return _jsonable(self.spec.run(self.seed))
+
+
+@dataclass(frozen=True)
+class ExperimentPoint:
+    """One registry experiment (E1–E20) as a cacheable work unit."""
+
+    experiment_id: str
+    seed: int
+    kwargs: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def create(
+        cls,
+        experiment_id: str,
+        seed: Optional[int] = None,
+        **kwargs: Any,
+    ) -> "ExperimentPoint":
+        """Build a point, resolving the experiment's default seed.
+
+        Every registry function accepts an explicit ``seed`` kwarg; when
+        *seed* is ``None`` the function's own default is used, so the
+        cache key is well-defined either way.
+        """
+        try:
+            fn = REGISTRY[experiment_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
+            ) from None
+        if seed is None:
+            parameter = inspect.signature(fn).parameters.get("seed")
+            if parameter is None or parameter.default is inspect.Parameter.empty:
+                seed = 0
+            else:
+                seed = parameter.default
+        return cls(experiment_id, int(seed), tuple(sorted(kwargs.items())))
+
+    @property
+    def label(self) -> str:
+        return f"{self.experiment_id} seed={self.seed}"
+
+    def cache_key(self) -> dict[str, Any]:
+        kwargs = dict(self.kwargs)
+        scenario = kwargs.pop("scenario", None)
+        return {
+            "experiment_id": self.experiment_id,
+            "scenario": dataclasses.asdict(scenario) if scenario is not None else None,
+            "kwargs": kwargs,
+            "seed": self.seed,
+            "code_version": CODE_VERSION,
+        }
+
+    def execute(self) -> Any:
+        result = run_experiment(
+            self.experiment_id, seed=self.seed, **dict(self.kwargs)
+        )
+        return {
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "rows": _jsonable(result.rows),
+            "notes": result.notes,
+        }
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a result to plain JSON types (numpy scalars included)."""
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item") and not isinstance(value, (bytes, bytearray)):
+        # numpy scalar (np.float64, np.int64, np.bool_, ...)
+        return _jsonable(value.item())
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# On-disk result cache
+# ---------------------------------------------------------------------------
+
+
+class ResultCache:
+    """JSON file cache keyed by (experiment_id, scenario, seed, version).
+
+    One file per point under *root*, named by the SHA-256 of the
+    canonical key; the key itself is stored alongside the result so a
+    (vanishingly unlikely) digest collision is detected, not served.
+    Writes are atomic (temp file + ``os.replace``), so a sweep killed
+    mid-write never leaves a torn entry.
+    """
+
+    def __init__(self, root: str, code_version: str = CODE_VERSION) -> None:
+        self.root = str(root)
+        self.code_version = code_version
+        os.makedirs(self.root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # -- keying ----------------------------------------------------------
+
+    @staticmethod
+    def _canonical(key: Mapping[str, Any]) -> str:
+        return json.dumps(key, sort_keys=True, default=str)
+
+    def path_for(self, point: Any) -> str:
+        """The cache file path for *point* (which may not exist yet)."""
+        digest = hashlib.sha256(
+            self._canonical(point.cache_key()).encode("utf-8")
+        ).hexdigest()
+        return os.path.join(self.root, f"{digest}.json")
+
+    # -- access ----------------------------------------------------------
+
+    def get(self, point: Any) -> Optional[Any]:
+        """The cached result for *point*, or None on a miss."""
+        path = self.path_for(point)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                stored = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if stored.get("key") != json.loads(self._canonical(point.cache_key())):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stored["result"]
+
+    def put(self, point: Any, result: Any) -> None:
+        """Store *result* for *point* atomically."""
+        path = self.path_for(point)
+        payload = {
+            "key": json.loads(self._canonical(point.cache_key())),
+            "result": result,
+        }
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for n in os.listdir(self.root) if n.endswith(".json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for name in os.listdir(self.root):
+            if name.endswith(".json"):
+                os.unlink(os.path.join(self.root, name))
+                removed += 1
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# The sweep engine
+# ---------------------------------------------------------------------------
+
+
+def _execute_point(point: Any) -> tuple[Any, int, float]:
+    """Worker entry: run one point, reporting (result, pid, seconds)."""
+    start = time.perf_counter()
+    result = point.execute()
+    return result, os.getpid(), time.perf_counter() - start
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits sys.path); fall back to the default."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_sweep(
+    points: Sequence[Any],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    stats: Optional[Tracer] = None,
+    progress: Optional[Callable[[Any, bool], None]] = None,
+) -> list[Any]:
+    """Execute *points*, in order, over up to *jobs* worker processes.
+
+    Cached points are answered from *cache* without touching the pool
+    (a fully warm sweep executes **zero** simulations); fresh results
+    are written back.  Counters on *stats* (a
+    :class:`~repro.simulator.trace.Tracer`):
+
+    - ``sweep.points`` / ``sweep.executed`` / ``sweep.cache_hits``
+    - ``sweep.worker.<pid>.tasks`` — per-worker task counts
+    - samples ``sweep.task_seconds`` and ``sweep.worker.<pid>.seconds``
+
+    *progress*, if given, is called as ``progress(point, from_cache)``
+    after each point resolves.  Results come back in input order
+    regardless of completion order.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    points = list(points)
+    stats = stats if stats is not None else Tracer()
+    results: list[Any] = [None] * len(points)
+
+    pending: list[tuple[int, Any]] = []
+    for index, point in enumerate(points):
+        stats.count("sweep.points")
+        cached = cache.get(point) if cache is not None else None
+        if cached is not None:
+            results[index] = cached
+            stats.count("sweep.cache_hits")
+            if progress is not None:
+                progress(point, True)
+        else:
+            pending.append((index, point))
+
+    if not pending:
+        return results
+
+    def _record(index: int, point: Any, payload: tuple[Any, int, float]) -> None:
+        result, worker, elapsed = payload
+        results[index] = result
+        stats.count("sweep.executed")
+        stats.count(f"sweep.worker.{worker}.tasks")
+        stats.sample("sweep.task_seconds", elapsed)
+        stats.sample(f"sweep.worker.{worker}.seconds", elapsed)
+        if cache is not None:
+            cache.put(point, result)
+        if progress is not None:
+            progress(point, False)
+
+    if jobs > 1 and len(pending) > 1:
+        context = _pool_context()
+        with context.Pool(processes=min(jobs, len(pending))) as pool:
+            payloads = pool.imap(
+                _execute_point, [point for _, point in pending], chunksize=1
+            )
+            for (index, point), payload in zip(pending, payloads):
+                _record(index, point, payload)
+    else:
+        for index, point in pending:
+            _record(index, point, _execute_point(point))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Replication over a pool (the parallel replicate / replicate_all)
+# ---------------------------------------------------------------------------
+
+
+def parallel_replicate(
+    spec: MeasureSpec,
+    metric: str,
+    seeds: Iterable[int],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    stats: Optional[Tracer] = None,
+    progress: Optional[Callable[[Any, bool], None]] = None,
+) -> ReplicationSummary:
+    """Parallel :func:`~repro.experiments.sweeps.replicate`.
+
+    Bit-identical to the serial version on the same seeds: sample order
+    follows seed order, values are the same per-seed simulations, and
+    NaN measurements raise the same ``ValueError``.
+    """
+    summaries = parallel_replicate_all(
+        spec, [metric], seeds, jobs=jobs, cache=cache, stats=stats,
+        progress=progress, _nan_guard=True,
+    )
+    return summaries[metric]
+
+
+def parallel_replicate_all(
+    spec: MeasureSpec,
+    metrics: Sequence[str],
+    seeds: Iterable[int],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    stats: Optional[Tracer] = None,
+    progress: Optional[Callable[[Any, bool], None]] = None,
+    _nan_guard: bool = False,
+) -> dict[str, ReplicationSummary]:
+    """Parallel :func:`~repro.experiments.sweeps.replicate_all`.
+
+    One simulation per seed feeds every metric, exactly like the serial
+    version; summaries are bit-identical to serial execution.
+    """
+    seed_list = list(seeds)
+    if not seed_list:
+        raise ValueError("at least one seed is required")
+    points = [MeasurePoint(spec, seed) for seed in seed_list]
+    results = run_sweep(points, jobs=jobs, cache=cache, stats=stats,
+                        progress=progress)
+    collected: dict[str, list[float]] = {metric: [] for metric in metrics}
+    for seed, result in zip(seed_list, results):
+        for metric in metrics:
+            value = result[metric]
+            if _nan_guard and value != value:
+                raise ValueError(f"measurement returned NaN for seed {seed}")
+            collected[metric].append(float(value))
+    return {
+        metric: ReplicationSummary(metric=metric, samples=tuple(values))
+        for metric, values in collected.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Registry fan-out
+# ---------------------------------------------------------------------------
+
+
+def run_experiments_parallel(
+    experiment_ids: Sequence[str],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    stats: Optional[Tracer] = None,
+    seed: Optional[int] = None,
+    progress: Optional[Callable[[Any, bool], None]] = None,
+) -> dict[str, ExperimentResult]:
+    """Run registry experiments across a process pool.
+
+    Each experiment is one work unit (the E-series functions are
+    internally serial); *seed* overrides every experiment's seed, or
+    each keeps its registered default.  Results preserve the requested
+    order and reconstruct as :class:`ExperimentResult`.
+    """
+    points = [ExperimentPoint.create(eid, seed=seed) for eid in experiment_ids]
+    payloads = run_sweep(points, jobs=jobs, cache=cache, stats=stats,
+                         progress=progress)
+    out: dict[str, ExperimentResult] = {}
+    for point, payload in zip(points, payloads):
+        out[point.experiment_id] = ExperimentResult(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            rows=payload["rows"],
+            notes=payload["notes"],
+        )
+    return out

@@ -29,7 +29,13 @@ from ..simulator.orbit import Satellite, rtt_statistics
 from ..workloads.scenarios import LinkScenario, preset
 from . import runner
 
-__all__ = ["ExperimentResult", "REGISTRY", "run_experiment", "experiment_ids"]
+__all__ = [
+    "ExperimentResult",
+    "REGISTRY",
+    "SIMULATED_EXPERIMENTS",
+    "run_experiment",
+    "experiment_ids",
+]
 
 
 @dataclass
@@ -51,7 +57,9 @@ class ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-def e1_retransmission_factor(scenario: LinkScenario | None = None) -> ExperimentResult:
+def e1_retransmission_factor(
+    scenario: LinkScenario | None = None, seed: int = 0
+) -> ExperimentResult:
     """``s̄_LAMS`` vs ``s̄_HDLC`` over the paper's BER envelope."""
     scenario = scenario or preset("nominal")
     rows = []
@@ -83,7 +91,9 @@ def e1_retransmission_factor(scenario: LinkScenario | None = None) -> Experiment
 # ---------------------------------------------------------------------------
 
 
-def e2_delivery_time(scenario: LinkScenario | None = None) -> ExperimentResult:
+def e2_delivery_time(
+    scenario: LinkScenario | None = None, seed: int = 0
+) -> ExperimentResult:
     """``D_low(N)`` for both protocols, model + simulation spot checks."""
     scenario = scenario or preset("noisy")
     params = scenario.model_parameters()
@@ -153,7 +163,9 @@ def e2_delivery_time_measured(
 # ---------------------------------------------------------------------------
 
 
-def e3_holding_time(scenario: LinkScenario | None = None) -> ExperimentResult:
+def e3_holding_time(
+    scenario: LinkScenario | None = None, seed: int = 0
+) -> ExperimentResult:
     """``H_frame`` vs BER and vs checkpoint interval."""
     scenario = scenario or preset("nominal")
     rows = []
@@ -189,7 +201,9 @@ def e3_holding_time(scenario: LinkScenario | None = None) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-def e4_buffer_model(scenario: LinkScenario | None = None) -> ExperimentResult:
+def e4_buffer_model(
+    scenario: LinkScenario | None = None, seed: int = 0
+) -> ExperimentResult:
     """``B_LAMS`` over distance and checkpoint interval; B_HDLC = ∞."""
     scenario = scenario or preset("nominal")
     rows = []
@@ -249,7 +263,9 @@ def e4_buffer_simulation(
 # ---------------------------------------------------------------------------
 
 
-def e5_n_total(scenario: LinkScenario | None = None) -> ExperimentResult:
+def e5_n_total(
+    scenario: LinkScenario | None = None, seed: int = 0
+) -> ExperimentResult:
     """``N_total(N)`` recursion vs the closed form ``N·s̄``."""
     scenario = scenario or preset("noisy")
     params = scenario.model_parameters()
@@ -279,7 +295,9 @@ def e5_n_total(scenario: LinkScenario | None = None) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-def e6_throughput_vs_n(scenario: LinkScenario | None = None) -> ExperimentResult:
+def e6_throughput_vs_n(
+    scenario: LinkScenario | None = None, seed: int = 0
+) -> ExperimentResult:
     """η vs channel traffic N: LAMS rises toward 1, HDLC stays flat."""
     scenario = scenario or preset("nominal")
     params = scenario.model_parameters()
@@ -302,7 +320,9 @@ def e6_throughput_vs_n(scenario: LinkScenario | None = None) -> ExperimentResult
     )
 
 
-def e6_throughput_vs_ber(scenario: LinkScenario | None = None) -> ExperimentResult:
+def e6_throughput_vs_ber(
+    scenario: LinkScenario | None = None, seed: int = 0
+) -> ExperimentResult:
     """η vs BER at fixed high traffic, model + simulation."""
     scenario = scenario or preset("nominal")
     rows = []
@@ -327,7 +347,9 @@ def e6_throughput_vs_ber(scenario: LinkScenario | None = None) -> ExperimentResu
     )
 
 
-def e6_window_sweep(scenario: LinkScenario | None = None) -> ExperimentResult:
+def e6_window_sweep(
+    scenario: LinkScenario | None = None, seed: int = 0
+) -> ExperimentResult:
     """η_HDLC vs window size, including the paper's W = B_LAMS point.
 
     Section 4's canonical comparison gives SR-HDLC a window equal to
@@ -368,7 +390,9 @@ def e6_window_sweep(scenario: LinkScenario | None = None) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-def e7_knob_ablation(scenario: LinkScenario | None = None) -> ExperimentResult:
+def e7_knob_ablation(
+    scenario: LinkScenario | None = None, seed: int = 0
+) -> ExperimentResult:
     """The paper's two knobs: checkpoint interval and cumulation depth."""
     scenario = scenario or preset("noisy")
     rows = []
@@ -440,7 +464,9 @@ def e8_burst_utilization(
 # ---------------------------------------------------------------------------
 
 
-def e9_numbering(scenario: LinkScenario | None = None) -> ExperimentResult:
+def e9_numbering(
+    scenario: LinkScenario | None = None, seed: int = 0
+) -> ExperimentResult:
     """Bounded (LAMS) vs unbounded-tail (HDLC) numbering requirements."""
     scenario = scenario or preset("long_haul")
     rows = []
@@ -497,7 +523,9 @@ def e10_recovery(
 # ---------------------------------------------------------------------------
 
 
-def e11_alpha_sensitivity(scenario: LinkScenario | None = None) -> ExperimentResult:
+def e11_alpha_sensitivity(
+    scenario: LinkScenario | None = None, seed: int = 0
+) -> ExperimentResult:
     """η_HDLC vs alpha, with the orbit model supplying realistic alphas."""
     scenario = scenario or preset("noisy")
     sat_a = Satellite("sat-a", altitude_km=1000, inclination_deg=60, phase_deg=0)
@@ -811,7 +839,9 @@ def e19_validation_matrix(
 # ---------------------------------------------------------------------------
 
 
-def e16_hybrid_arq_fec(scenario: LinkScenario | None = None) -> ExperimentResult:
+def e16_hybrid_arq_fec(
+    scenario: LinkScenario | None = None, seed: int = 0
+) -> ExperimentResult:
     """Goodput of the codec ladder across channel BERs: the ARQ/FEC trade."""
     from ..analysis import hybrid
 
@@ -838,7 +868,9 @@ def e16_hybrid_arq_fec(scenario: LinkScenario | None = None) -> ExperimentResult
 # ---------------------------------------------------------------------------
 
 
-def e17_frame_size(scenario: LinkScenario | None = None) -> ExperimentResult:
+def e17_frame_size(
+    scenario: LinkScenario | None = None, seed: int = 0
+) -> ExperimentResult:
     """Goodput vs payload size: the optimum the paper says NBDT chased."""
     from ..analysis import framesize
 
@@ -894,6 +926,17 @@ REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "E18": e18_protocol_field,
     "E19": e19_validation_matrix,
 }
+
+SIMULATED_EXPERIMENTS: frozenset[str] = frozenset(
+    {"E2-sim", "E4-sim", "E8", "E10", "E12", "E13", "E14", "E15", "E18", "E19"}
+)
+"""Experiments whose rows come from the discrete-event simulator.
+
+Every registry function accepts ``seed``; for the analytic (model-only)
+series the kwarg is accepted and ignored so callers — and the parallel
+sweep runner — can pass a uniform ``seed`` without special-casing ids.
+Only the ids listed here actually consume it.
+"""
 
 
 def experiment_ids() -> list[str]:

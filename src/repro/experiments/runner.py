@@ -13,11 +13,7 @@ from typing import Any, Optional
 from ..simulator.engine import Simulator
 from ..simulator.errormodel import ErrorModel, GilbertElliottChannel
 from ..workloads.generators import FiniteBatch, SaturatedSource
-from ..workloads.scenarios import (
-    LinkScenario,
-    build_hdlc_simulation,
-    build_lams_simulation,
-)
+from ..workloads.scenarios import LinkScenario, build_simulation
 
 __all__ = [
     "measure_batch_transfer",
@@ -31,36 +27,11 @@ def _build(scenario: LinkScenario, protocol: str, seed: int,
            overrides: Optional[dict] = None,
            iframe_errors: Optional[ErrorModel] = None,
            cframe_errors: Optional[ErrorModel] = None):
-    if protocol == "lams":
-        return build_lams_simulation(
-            scenario, seed=seed, lams_overrides=overrides,
-            iframe_errors=iframe_errors, cframe_errors=cframe_errors,
-        )
-    if protocol in ("hdlc", "sr-hdlc"):
-        return build_hdlc_simulation(
-            scenario, seed=seed, hdlc_overrides=overrides,
-            iframe_errors=iframe_errors, cframe_errors=cframe_errors,
-        )
-    if protocol in ("nbdt", "nbdt-continuous", "nbdt-multiphase"):
-        from ..workloads.scenarios import build_nbdt_simulation
-
-        mode = "multiphase" if protocol.endswith("multiphase") else "continuous"
-        merged = {"mode": mode}
-        merged.update(overrides or {})
-        return build_nbdt_simulation(
-            scenario, seed=seed, nbdt_overrides=merged,
-            iframe_errors=iframe_errors, cframe_errors=cframe_errors,
-        )
-    if protocol == "gbn":
-        merged = {"selective": False}
-        merged.update(overrides or {})
-        return build_hdlc_simulation(
-            scenario, seed=seed, hdlc_overrides=merged,
-            iframe_errors=iframe_errors, cframe_errors=cframe_errors,
-        )
-    raise ValueError(
-        f"unknown protocol {protocol!r} "
-        "(use 'lams', 'hdlc', 'gbn', 'nbdt-continuous', or 'nbdt-multiphase')"
+    # All protocol-name dispatch lives in the unified factory registry
+    # (repro.core.endpoint / repro.api); unknown names raise ValueError.
+    return build_simulation(
+        scenario, protocol, seed=seed, overrides=overrides,
+        iframe_errors=iframe_errors, cframe_errors=cframe_errors,
     )
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from ..core.endpoint import register_pair_factory
 from ..simulator.engine import Simulator
 from ..simulator.link import FullDuplexLink, SimplexChannel
 from ..simulator.trace import Tracer
@@ -84,6 +85,30 @@ class HdlcEndpoint:
         return f"<HdlcEndpoint {self.name}>"
 
 
+@register_pair_factory("hdlc")
+def _make_hdlc_pair(
+    sim: Simulator,
+    link: FullDuplexLink,
+    config: HdlcConfig,
+    *,
+    config_b: Optional[HdlcConfig] = None,
+    tracer: Optional[Tracer] = None,
+    deliver_a: Optional[Callable[[Any], None]] = None,
+    deliver_b: Optional[Callable[[Any], None]] = None,
+) -> tuple[HdlcEndpoint, HdlcEndpoint]:
+    """The registered ``"hdlc"`` pair factory (see ``repro.api``)."""
+    endpoint_a = HdlcEndpoint(
+        sim, config, outgoing=link.forward, name=f"{link.name}.A",
+        tracer=tracer, deliver=deliver_a,
+    )
+    endpoint_b = HdlcEndpoint(
+        sim, config_b or config, outgoing=link.reverse, name=f"{link.name}.B",
+        tracer=tracer, deliver=deliver_b,
+    )
+    link.attach(endpoint_a.on_frame, endpoint_b.on_frame)
+    return endpoint_a, endpoint_b
+
+
 def hdlc_pair(
     sim: Simulator,
     link: FullDuplexLink,
@@ -95,15 +120,12 @@ def hdlc_pair(
 ) -> tuple[HdlcEndpoint, HdlcEndpoint]:
     """Create and wire a pair of HDLC endpoints across *link*.
 
-    Same shape as :func:`repro.core.protocol.lams_dlc_pair`.
+    Thin shim over the unified factory registry — equivalent to
+    ``repro.api.make_endpoint_pair("hdlc", ...)``; same shape as
+    :func:`repro.core.protocol.lams_dlc_pair`.
     """
-    endpoint_a = HdlcEndpoint(
-        sim, config, outgoing=link.forward, name=f"{link.name}.A",
-        tracer=tracer, deliver=deliver_a,
+    return _make_hdlc_pair(
+        sim, link, config,
+        config_b=config_b, tracer=tracer,
+        deliver_a=deliver_a, deliver_b=deliver_b,
     )
-    endpoint_b = HdlcEndpoint(
-        sim, config_b or config, outgoing=link.reverse, name=f"{link.name}.B",
-        tracer=tracer, deliver=deliver_b,
-    )
-    link.attach(endpoint_a.on_frame, endpoint_b.on_frame)
-    return endpoint_a, endpoint_b

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from ..core.endpoint import register_pair_factory
 from ..simulator.engine import Simulator
 from ..simulator.link import FullDuplexLink, SimplexChannel
 from ..simulator.trace import Tracer
@@ -63,16 +64,18 @@ class NbdtEndpoint:
         return f"<NbdtEndpoint {self.name} mode={self.config.mode}>"
 
 
-def nbdt_pair(
+@register_pair_factory("nbdt")
+def _make_nbdt_pair(
     sim: Simulator,
     link: FullDuplexLink,
     config: NbdtConfig,
+    *,
     config_b: Optional[NbdtConfig] = None,
     tracer: Optional[Tracer] = None,
     deliver_a: Optional[Callable[[Any], None]] = None,
     deliver_b: Optional[Callable[[Any], None]] = None,
 ) -> tuple[NbdtEndpoint, NbdtEndpoint]:
-    """Create and wire a pair of NBDT endpoints across *link*."""
+    """The registered ``"nbdt"`` pair factory (see ``repro.api``)."""
     endpoint_a = NbdtEndpoint(
         sim, config, outgoing=link.forward, name=f"{link.name}.A",
         tracer=tracer, deliver=deliver_a,
@@ -83,3 +86,24 @@ def nbdt_pair(
     )
     link.attach(endpoint_a.on_frame, endpoint_b.on_frame)
     return endpoint_a, endpoint_b
+
+
+def nbdt_pair(
+    sim: Simulator,
+    link: FullDuplexLink,
+    config: NbdtConfig,
+    config_b: Optional[NbdtConfig] = None,
+    tracer: Optional[Tracer] = None,
+    deliver_a: Optional[Callable[[Any], None]] = None,
+    deliver_b: Optional[Callable[[Any], None]] = None,
+) -> tuple[NbdtEndpoint, NbdtEndpoint]:
+    """Create and wire a pair of NBDT endpoints across *link*.
+
+    Thin shim over the unified factory registry — equivalent to
+    ``repro.api.make_endpoint_pair("nbdt", ...)``.
+    """
+    return _make_nbdt_pair(
+        sim, link, config,
+        config_b=config_b, tracer=tracer,
+        deliver_a=deliver_a, deliver_b=deliver_b,
+    )

@@ -1,10 +1,15 @@
 """Standard endpoint factories for the session manager.
 
-Each factory closes over a protocol configuration and builds a fresh,
-started, one-way endpoint pair per pass.  The LAMS factory threads the
-pass's remaining time into ``link_lifetime`` so enforced recovery can
+:func:`session_factory` closes over a protocol name and configuration
+and builds a fresh, started, one-way endpoint pair per pass through the
+unified factory registry (:func:`repro.api.make_endpoint_pair`).  When
+the protocol's config carries a ``link_lifetime`` field (LAMS-DLC), the
+pass's remaining time is threaded into it so enforced recovery can
 apply the paper's "recoverable link failure" test against real pass
 boundaries.
+
+The per-protocol helpers (``lams_session_factory``,
+``hdlc_session_factory``) remain as thin shims.
 """
 
 from __future__ import annotations
@@ -13,17 +18,24 @@ import dataclasses
 from typing import Any, Callable
 
 from ..core.config import LamsDlcConfig
-from ..core.protocol import lams_dlc_pair
+from ..core.endpoint import build_endpoint_pair
 from ..hdlc.config import HdlcConfig
-from ..hdlc.protocol import hdlc_pair
 from ..simulator.engine import Simulator
 from ..simulator.link import FullDuplexLink
 
-__all__ = ["lams_session_factory", "hdlc_session_factory"]
+__all__ = ["session_factory", "lams_session_factory", "hdlc_session_factory"]
 
 
-def lams_session_factory(config: LamsDlcConfig) -> Callable:
-    """An EndpointFactory running LAMS-DLC for each pass."""
+def session_factory(protocol: str, config: Any) -> Callable:
+    """An EndpointFactory running *protocol* for each pass.
+
+    Works for any name in :func:`repro.api.available_protocols`; the
+    same configuration object is reused across passes (with
+    ``link_lifetime`` refreshed per pass when the config supports it).
+    """
+    has_lifetime = dataclasses.is_dataclass(config) and any(
+        f.name == "link_lifetime" for f in dataclasses.fields(config)
+    )
 
     def factory(
         sim: Simulator,
@@ -31,9 +43,12 @@ def lams_session_factory(config: LamsDlcConfig) -> Callable:
         deliver: Callable[[Any], None],
         pass_remaining: float,
     ):
-        session_config = dataclasses.replace(config, link_lifetime=pass_remaining)
-        endpoint_a, endpoint_b = lams_dlc_pair(
-            sim, link, session_config, deliver_b=deliver
+        session_config = (
+            dataclasses.replace(config, link_lifetime=pass_remaining)
+            if has_lifetime else config
+        )
+        endpoint_a, endpoint_b = build_endpoint_pair(
+            protocol, sim, link, session_config, deliver_b=deliver
         )
         endpoint_a.start(send=True, receive=False)
         endpoint_b.start(send=False, receive=True)
@@ -42,17 +57,11 @@ def lams_session_factory(config: LamsDlcConfig) -> Callable:
     return factory
 
 
+def lams_session_factory(config: LamsDlcConfig) -> Callable:
+    """An EndpointFactory running LAMS-DLC for each pass (shim)."""
+    return session_factory("lams", config)
+
+
 def hdlc_session_factory(config: HdlcConfig) -> Callable:
-    """An EndpointFactory running SR-HDLC (or GBN) for each pass."""
-
-    def factory(
-        sim: Simulator,
-        link: FullDuplexLink,
-        deliver: Callable[[Any], None],
-        pass_remaining: float,
-    ):
-        endpoint_a, endpoint_b = hdlc_pair(sim, link, config, deliver_b=deliver)
-        endpoint_a.start()
-        return endpoint_a, endpoint_b
-
-    return factory
+    """An EndpointFactory running SR-HDLC (or GBN) for each pass (shim)."""
+    return session_factory("hdlc", config)

@@ -36,6 +36,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Protocol, Sequence
 
+from ..core.endpoint import Endpoint
 from ..simulator.engine import Simulator
 from ..simulator.link import FullDuplexLink
 from ..simulator.orbit import VisibilityWindow
@@ -98,11 +99,13 @@ class PassSchedule:
         return iter(self.passes)
 
 
-class SessionEndpoint(Protocol):
-    """What the manager needs from a protocol endpoint pair's sender side."""
+class SessionEndpoint(Endpoint, Protocol):
+    """What the manager needs from a protocol endpoint pair's sender side.
 
-    def accept(self, packet: Any) -> bool: ...
-    def stop(self) -> None: ...
+    A narrowing re-statement of the structural
+    :class:`repro.core.endpoint.Endpoint` contract — every endpoint
+    built by :func:`repro.api.make_endpoint_pair` satisfies it.
+    """
 
 
 EndpointFactory = Callable[[Simulator, FullDuplexLink, Callable[[Any], None], float], tuple[Any, Any]]

@@ -14,6 +14,7 @@ from .scenarios import (
     build_hdlc_simulation,
     build_lams_simulation,
     build_nbdt_simulation,
+    build_simulation,
     preset,
 )
 
@@ -29,5 +30,6 @@ __all__ = [
     "build_hdlc_simulation",
     "build_lams_simulation",
     "build_nbdt_simulation",
+    "build_simulation",
     "preset",
 ]

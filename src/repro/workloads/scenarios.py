@@ -26,9 +26,8 @@ from typing import Any, Optional
 
 from ..analysis.params import ModelParameters
 from ..core.config import LamsDlcConfig
-from ..core.protocol import LamsDlcEndpoint, lams_dlc_pair
+from ..core.endpoint import Endpoint, build_endpoint_pair, resolve_protocol
 from ..hdlc.config import HdlcConfig
-from ..hdlc.protocol import HdlcEndpoint, hdlc_pair
 from ..simulator.engine import Simulator
 from ..simulator.errormodel import BernoulliChannel, ErrorModel, PerfectChannel
 from ..simulator.link import FullDuplexLink, LIGHT_SPEED_KM_S
@@ -41,6 +40,7 @@ __all__ = [
     "DeliveredList",
     "PRESETS",
     "preset",
+    "build_simulation",
     "build_lams_simulation",
     "build_hdlc_simulation",
     "build_nbdt_simulation",
@@ -142,6 +142,39 @@ class LinkScenario:
         base.update(overrides)
         return HdlcConfig(**base)
 
+    def nbdt_config(self, **overrides: Any):
+        from ..nbdt.config import NbdtConfig
+
+        base = dict(
+            timeout=self.timeout,
+            iframe_payload_bits=self.iframe_payload_bits,
+            processing_time=self.processing_time,
+        )
+        base.update(overrides)
+        return NbdtConfig(**base)
+
+    def protocol_config(self, protocol: str, **overrides: Any) -> Any:
+        """The config dataclass for any protocol name / alias.
+
+        Alias-implied settings (``"gbn"`` -> ``selective=False``,
+        ``"nbdt-multiphase"`` -> ``mode="multiphase"``) are folded in
+        before *overrides*, so explicit overrides always win.
+        """
+        family, implied = resolve_protocol(protocol)
+        builders = {
+            "lams": self.lams_config,
+            "hdlc": self.hdlc_config,
+            "nbdt": self.nbdt_config,
+        }
+        try:
+            builder = builders[family]
+        except KeyError:
+            raise ValueError(
+                f"no scenario config factory for protocol family {family!r}"
+            ) from None
+        implied.update(overrides)
+        return builder(**implied)
+
     def build_link(
         self,
         sim: Simulator,
@@ -184,13 +217,46 @@ class SimulationSetup:
 
     sim: Simulator
     link: FullDuplexLink
-    endpoint_a: LamsDlcEndpoint | HdlcEndpoint
-    endpoint_b: LamsDlcEndpoint | HdlcEndpoint
+    endpoint_a: Endpoint
+    endpoint_b: Endpoint
     delivered: DeliveredList
     tracer: Tracer
 
     def run(self, until: float) -> None:
         self.sim.run(until=until)
+
+
+def build_simulation(
+    scenario: LinkScenario,
+    protocol: str = "lams",
+    seed: int = 0,
+    tracer: Optional[Tracer] = None,
+    overrides: Optional[dict] = None,
+    iframe_errors: Optional[ErrorModel] = None,
+    cframe_errors: Optional[ErrorModel] = None,
+) -> SimulationSetup:
+    """One-way transfer over this scenario's link, any protocol.
+
+    *protocol* is any name from :func:`repro.api.available_protocols`;
+    the config is derived from the scenario (plus *overrides*) and the
+    endpoints are built through the unified pair-factory registry.  A
+    is the sender, B the receiver; the unused halves stay down so
+    one-way experiments see no reverse-direction chatter.
+    """
+    sim = Simulator()
+    tracer = tracer or Tracer()
+    link = scenario.build_link(
+        sim, seed=seed, tracer=tracer,
+        iframe_errors=iframe_errors, cframe_errors=cframe_errors,
+    )
+    delivered = DeliveredList()
+    config = scenario.protocol_config(protocol, **(overrides or {}))
+    a, b = build_endpoint_pair(
+        protocol, sim, link, config, tracer=tracer, deliver_b=delivered.append
+    )
+    a.start(send=True, receive=False)
+    b.start(send=False, receive=True)
+    return SimulationSetup(sim, link, a, b, delivered, tracer)
 
 
 def build_lams_simulation(
@@ -201,19 +267,11 @@ def build_lams_simulation(
     iframe_errors: Optional[ErrorModel] = None,
     cframe_errors: Optional[ErrorModel] = None,
 ) -> SimulationSetup:
-    """One-way LAMS-DLC transfer over this scenario's link."""
-    sim = Simulator()
-    tracer = tracer or Tracer()
-    link = scenario.build_link(
-        sim, seed=seed, tracer=tracer,
+    """One-way LAMS-DLC transfer (shim over :func:`build_simulation`)."""
+    return build_simulation(
+        scenario, "lams", seed=seed, tracer=tracer, overrides=lams_overrides,
         iframe_errors=iframe_errors, cframe_errors=cframe_errors,
     )
-    delivered = DeliveredList()
-    config = scenario.lams_config(**(lams_overrides or {}))
-    a, b = lams_dlc_pair(sim, link, config, tracer=tracer, deliver_b=delivered.append)
-    a.start(send=True, receive=False)
-    b.start(send=False, receive=True)
-    return SimulationSetup(sim, link, a, b, delivered, tracer)
 
 
 def build_nbdt_simulation(
@@ -224,27 +282,11 @@ def build_nbdt_simulation(
     iframe_errors: Optional[ErrorModel] = None,
     cframe_errors: Optional[ErrorModel] = None,
 ) -> SimulationSetup:
-    """One-way NBDT transfer (multiphase or continuous) over this link."""
-    from ..nbdt.config import NbdtConfig
-    from ..nbdt.protocol import nbdt_pair
-
-    sim = Simulator()
-    tracer = tracer or Tracer()
-    link = scenario.build_link(
-        sim, seed=seed, tracer=tracer,
+    """One-way NBDT transfer (shim over :func:`build_simulation`)."""
+    return build_simulation(
+        scenario, "nbdt", seed=seed, tracer=tracer, overrides=nbdt_overrides,
         iframe_errors=iframe_errors, cframe_errors=cframe_errors,
     )
-    delivered = DeliveredList()
-    base = dict(
-        timeout=scenario.timeout,
-        iframe_payload_bits=scenario.iframe_payload_bits,
-        processing_time=scenario.processing_time,
-    )
-    base.update(nbdt_overrides or {})
-    config = NbdtConfig(**base)
-    a, b = nbdt_pair(sim, link, config, tracer=tracer, deliver_b=delivered.append)
-    a.start()
-    return SimulationSetup(sim, link, a, b, delivered, tracer)
 
 
 def build_hdlc_simulation(
@@ -255,18 +297,11 @@ def build_hdlc_simulation(
     iframe_errors: Optional[ErrorModel] = None,
     cframe_errors: Optional[ErrorModel] = None,
 ) -> SimulationSetup:
-    """One-way SR-HDLC (or GBN) transfer over this scenario's link."""
-    sim = Simulator()
-    tracer = tracer or Tracer()
-    link = scenario.build_link(
-        sim, seed=seed, tracer=tracer,
+    """One-way SR-HDLC/GBN transfer (shim over :func:`build_simulation`)."""
+    return build_simulation(
+        scenario, "hdlc", seed=seed, tracer=tracer, overrides=hdlc_overrides,
         iframe_errors=iframe_errors, cframe_errors=cframe_errors,
     )
-    delivered = DeliveredList()
-    config = scenario.hdlc_config(**(hdlc_overrides or {}))
-    a, b = hdlc_pair(sim, link, config, tracer=tracer, deliver_b=delivered.append)
-    a.start()
-    return SimulationSetup(sim, link, a, b, delivered, tracer)
 
 
 PRESETS: dict[str, LinkScenario] = {

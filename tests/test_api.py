@@ -1,0 +1,193 @@
+"""Tests for the `repro.api` facade and the endpoint-pair registry.
+
+One factory — :func:`repro.api.make_endpoint_pair` — must build every
+executable protocol, aliases and overrides included, and the legacy
+per-protocol pair factories must be behaviour-identical shims over it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.core.config import LamsDlcConfig
+from repro.core.endpoint import build_endpoint_pair, pair_factory
+from repro.core.protocol import lams_dlc_pair
+from repro.hdlc.config import HdlcConfig
+from repro.hdlc.protocol import hdlc_pair
+from repro.nbdt.config import NbdtConfig
+from repro.nbdt.protocol import nbdt_pair
+from repro.simulator.engine import Simulator
+from repro.simulator.trace import Tracer
+from repro.workloads import build_simulation, preset
+from repro.workloads.generators import FiniteBatch
+
+ALL_PROTOCOLS = [
+    "lams", "lams-dlc", "hdlc", "sr-hdlc", "gbn",
+    "nbdt", "nbdt-continuous", "nbdt-multiphase",
+]
+
+
+def _pair(protocol: str, **kwargs):
+    scenario = preset("short_hop")
+    sim = Simulator()
+    link = scenario.build_link(sim, seed=0)
+    config = scenario.protocol_config(protocol)
+    pair = api.make_endpoint_pair(protocol, sim, link, config, **kwargs)
+    return sim, link, pair
+
+
+class TestResolveProtocol:
+    def test_known_aliases(self):
+        assert api.resolve_protocol("lams") == ("lams", {})
+        assert api.resolve_protocol("LAMS-DLC") == ("lams", {})
+        assert api.resolve_protocol("gbn") == ("hdlc", {"selective": False})
+        assert api.resolve_protocol("nbdt-multiphase") == (
+            "nbdt", {"mode": "multiphase"}
+        )
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            api.resolve_protocol("tcp")
+
+    def test_available_protocols_cover_families(self):
+        names = api.available_protocols()
+        for name in ALL_PROTOCOLS:
+            assert name in names
+
+    def test_pair_factory_unknown_family(self):
+        with pytest.raises(ValueError):
+            pair_factory("not-a-family")
+
+
+class TestMakeEndpointPair:
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_builds_structural_endpoints(self, protocol):
+        _, _, (a, b) = _pair(protocol)
+        assert isinstance(a, api.Endpoint)
+        assert isinstance(b, api.Endpoint)
+        assert a.name.endswith(".A") and b.name.endswith(".B")
+
+    def test_gbn_turns_off_selective_repeat(self):
+        _, _, (a, _) = _pair("gbn")
+        assert a.config.selective is False
+
+    def test_sr_hdlc_keeps_selective_repeat(self):
+        _, _, (a, _) = _pair("sr-hdlc")
+        assert a.config.selective is True
+
+    def test_multiphase_mode_applied(self):
+        _, _, (a, _) = _pair("nbdt-multiphase")
+        assert a.config.mode == "multiphase"
+
+    def test_explicit_config_fields_survive_aliases(self):
+        # An override-free alias must not clobber an explicit config.
+        scenario = preset("short_hop")
+        sim = Simulator()
+        link = scenario.build_link(sim, seed=0)
+        config = scenario.nbdt_config(mode="multiphase")
+        a, _ = api.make_endpoint_pair("nbdt", sim, link, config)
+        assert a.config.mode == "multiphase"
+
+    def test_tracer_threaded_through(self):
+        tracer = Tracer()
+        _, _, (a, _) = _pair("lams", tracer=tracer)
+        assert a.tracer is tracer
+
+    @pytest.mark.parametrize("protocol", ["lams", "hdlc", "gbn", "nbdt"])
+    def test_round_trip_delivers(self, protocol):
+        sim, _, (a, b) = _pair(protocol, deliver_b=(delivered := []).append)
+        a.start(send=True, receive=False)
+        b.start(send=False, receive=True)
+        FiniteBatch(sim, a, count=50).start()
+        sim.run(until=5.0)
+        assert len(delivered) == 50
+
+    def test_register_new_family(self):
+        calls = []
+
+        @api.register_pair_factory("test-fake-proto")
+        def fake(sim, link, config, **kwargs):
+            calls.append(config)
+            return None, None
+
+        try:
+            assert api.resolve_protocol("test-fake-proto") == (
+                "test-fake-proto", {}
+            )
+            build_endpoint_pair("test-fake-proto", Simulator(), None, "cfg")
+            assert calls == ["cfg"]
+        finally:
+            from repro.core import endpoint as registry
+
+            registry._FACTORIES.pop("test-fake-proto", None)
+            registry._ALIASES.pop("test-fake-proto", None)
+
+
+class TestShimEquivalence:
+    """The legacy factories defer to the registry and behave identically."""
+
+    def _run(self, build_pair, config_cls):
+        scenario = preset("short_hop")
+        sim = Simulator()
+        link = scenario.build_link(sim, seed=3)
+        delivered = []
+        if config_cls is LamsDlcConfig:
+            config = scenario.lams_config()
+        elif config_cls is HdlcConfig:
+            config = scenario.hdlc_config()
+        else:
+            config = scenario.nbdt_config()
+        a, b = build_pair(sim, link, config, deliver_b=delivered.append)
+        a.start(send=True, receive=False)
+        b.start(send=False, receive=True)
+        FiniteBatch(sim, a, count=30).start()
+        sim.run(until=5.0)
+        return delivered
+
+    @pytest.mark.parametrize("shim,unified,config_cls", [
+        (lams_dlc_pair, "lams", LamsDlcConfig),
+        (hdlc_pair, "hdlc", HdlcConfig),
+        (nbdt_pair, "nbdt", NbdtConfig),
+    ])
+    def test_shim_matches_unified(self, shim, unified, config_cls):
+        via_shim = self._run(shim, config_cls)
+        via_api = self._run(
+            lambda sim, link, config, **kw: api.make_endpoint_pair(
+                unified, sim, link, config, **kw
+            ),
+            config_cls,
+        )
+        assert via_shim == via_api
+        assert len(via_shim) == 30
+
+
+class TestBuildSimulation:
+    @pytest.mark.parametrize("protocol", ["lams", "hdlc", "gbn",
+                                          "nbdt-multiphase"])
+    def test_unified_builder_runs(self, protocol):
+        setup = build_simulation(preset("short_hop"), protocol, seed=2)
+        FiniteBatch(setup.sim, setup.endpoint_a, count=50).start()
+        setup.run(until=5.0)
+        assert len(setup.delivered) == 50
+
+    def test_matches_legacy_builder(self):
+        from repro.workloads import build_lams_simulation
+
+        new = build_simulation(preset("short_hop"), "lams", seed=9)
+        old = build_lams_simulation(preset("short_hop"), seed=9)
+        for setup in (new, old):
+            FiniteBatch(setup.sim, setup.endpoint_a, count=40).start()
+            setup.run(until=5.0)
+        assert [p for p in new.delivered] == [p for p in old.delivered]
+
+    def test_overrides_reach_config(self):
+        setup = build_simulation(
+            preset("short_hop"), "lams", seed=0,
+            overrides={"cumulation_depth": 7},
+        )
+        assert setup.endpoint_a.config.cumulation_depth == 7
+
+    def test_api_reexports_builder(self):
+        setup = api.build_simulation(preset("short_hop"), "lams", seed=1)
+        assert isinstance(setup.endpoint_a, api.Endpoint)

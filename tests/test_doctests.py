@@ -10,12 +10,14 @@ import doctest
 
 import pytest
 
+import repro.api
 import repro.core.seqspace
 import repro.fec.interleaver
 import repro.simulator.engine
 import repro.simulator.rng
 
 MODULES = [
+    repro.api,
     repro.simulator.engine,
     repro.simulator.rng,
     repro.fec.interleaver,

@@ -1,0 +1,280 @@
+"""Tests for the parallel sweep runner (`repro.experiments.parallel`).
+
+The contract under test: parallel execution is *bit-identical* to
+serial, the on-disk cache turns warm re-runs into zero simulations, and
+the cache key discriminates every input that changes a result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import ExperimentResult, run_experiment
+from repro.experiments.parallel import (
+    ExperimentPoint,
+    MeasurePoint,
+    MeasureSpec,
+    ResultCache,
+    parallel_replicate,
+    parallel_replicate_all,
+    replication_seeds,
+    run_experiments_parallel,
+    run_sweep,
+)
+from repro.experiments.sweeps import replicate, replicate_all
+from repro.simulator.trace import Tracer
+from repro.workloads.scenarios import preset
+
+DURATION = 0.2
+METRICS = ["efficiency", "eta", "delivered"]
+
+
+def _spec(protocol: str = "lams", **kwargs) -> MeasureSpec:
+    kwargs.setdefault("duration", DURATION)
+    return MeasureSpec.create(
+        "measure_saturated", preset("short_hop"), protocol, **kwargs
+    )
+
+
+# -- seed streams -----------------------------------------------------------
+
+
+class TestReplicationSeeds:
+    def test_deterministic_across_calls(self):
+        assert replication_seeds(0, 6) == replication_seeds(0, 6)
+
+    def test_prefix_stable(self):
+        # Growing the count extends the list; it never reshuffles it.
+        assert replication_seeds(7, 8)[:4] == replication_seeds(7, 4)
+
+    def test_master_seed_changes_stream(self):
+        assert replication_seeds(0, 4) != replication_seeds(1, 4)
+
+    def test_name_changes_stream(self):
+        assert replication_seeds(0, 4) != replication_seeds(0, 4, name="other")
+
+    def test_distinct_within_stream(self):
+        seeds = replication_seeds(3, 16)
+        assert len(set(seeds)) == len(seeds)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            replication_seeds(0, 0)
+
+
+# -- spec construction -------------------------------------------------------
+
+
+class TestMeasureSpec:
+    def test_unknown_runner_rejected(self):
+        with pytest.raises(ValueError, match="unknown runner"):
+            MeasureSpec.create("no_such_runner", preset("short_hop"))
+
+    def test_kwargs_canonicalised(self):
+        a = MeasureSpec.create("measure_saturated", preset("short_hop"),
+                               "lams", duration=1.0, start_time=0.0)
+        b = MeasureSpec.create("measure_saturated", preset("short_hop"),
+                               "lams", start_time=0.0, duration=1.0)
+        assert a == b
+
+    def test_measure_matches_serial_runner(self):
+        spec = _spec()
+        from repro.experiments.runner import measure_saturated
+
+        direct = measure_saturated(preset("short_hop"), "lams", DURATION, seed=5)
+        assert spec.measure()(5) == direct
+
+
+# -- parallel == serial ------------------------------------------------------
+
+
+class TestParallelDeterminism:
+    def test_replicate_all_bit_identical_to_serial(self):
+        spec = _spec()
+        seeds = replication_seeds(0, 4)
+        serial = replicate_all(spec.measure(), METRICS, seeds)
+        parallel = parallel_replicate_all(spec, METRICS, seeds, jobs=4)
+        assert parallel == serial
+        for metric in METRICS:
+            assert parallel[metric].samples == serial[metric].samples
+            assert repr(parallel[metric]) == repr(serial[metric])
+
+    def test_replicate_bit_identical_to_serial(self):
+        spec = _spec("hdlc")
+        seeds = replication_seeds(1, 3)
+        serial = replicate(spec.measure(), "efficiency", seeds)
+        parallel = parallel_replicate(spec, "efficiency", seeds, jobs=2)
+        assert parallel == serial
+
+    def test_jobs_do_not_change_results(self):
+        spec = _spec()
+        seeds = replication_seeds(2, 3)
+        one = parallel_replicate_all(spec, ["efficiency"], seeds, jobs=1)
+        four = parallel_replicate_all(spec, ["efficiency"], seeds, jobs=4)
+        assert one == four
+
+    def test_results_in_seed_order(self):
+        spec = _spec()
+        seeds = replication_seeds(0, 3)
+        points = [MeasurePoint(spec, seed) for seed in seeds]
+        results = run_sweep(points, jobs=3)
+        for seed, result in zip(seeds, results):
+            assert result == MeasurePoint(spec, seed).execute()
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_replicate_all(_spec(), ["efficiency"], [], jobs=2)
+
+
+# -- cache ------------------------------------------------------------------
+
+
+class TestResultCache:
+    def test_cold_run_executes_everything(self, tmp_path):
+        spec = _spec()
+        seeds = replication_seeds(0, 3)
+        stats = Tracer()
+        cache = ResultCache(str(tmp_path))
+        parallel_replicate_all(spec, METRICS, seeds, jobs=2,
+                               cache=cache, stats=stats)
+        assert stats.counter("sweep.executed").value == len(seeds)
+        assert stats.counter("sweep.cache_hits").value == 0
+        assert len(cache) == len(seeds)
+
+    def test_warm_run_executes_nothing(self, tmp_path):
+        spec = _spec()
+        seeds = replication_seeds(0, 3)
+        cold = parallel_replicate_all(spec, METRICS, seeds, jobs=2,
+                                      cache=ResultCache(str(tmp_path)))
+        stats = Tracer()
+        warm = parallel_replicate_all(spec, METRICS, seeds, jobs=2,
+                                      cache=ResultCache(str(tmp_path)),
+                                      stats=stats)
+        assert warm == cold
+        assert stats.counter("sweep.executed").value == 0
+        assert stats.counter("sweep.cache_hits").value == len(seeds)
+
+    def test_key_discriminates_inputs(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        base = MeasurePoint(_spec(), 0)
+        variants = [
+            MeasurePoint(_spec(), 1),                       # seed
+            MeasurePoint(_spec("hdlc"), 0),                 # protocol
+            MeasurePoint(_spec(duration=0.3), 0),           # runner kwargs
+            MeasurePoint(                                   # scenario knob
+                dataclasses.replace(_spec(), scenario=preset("noisy")), 0
+            ),
+        ]
+        paths = {cache.path_for(p) for p in [base, *variants]}
+        assert len(paths) == len(variants) + 1
+
+    def test_version_bump_invalidates(self, tmp_path):
+        spec = _spec()
+        cache = ResultCache(str(tmp_path))
+        run_sweep([MeasurePoint(spec, 0)], cache=cache)
+        other = ResultCache(str(tmp_path), code_version="other-version")
+        # Same root, different code version: path_for still keys on the
+        # point's own cache_key (which embeds the package version), so
+        # the entry is found; a *point* computed under another version
+        # would miss.  Simulate by corrupting the stored key.
+        path = cache.path_for(MeasurePoint(spec, 0))
+        import json
+
+        stored = json.load(open(path))
+        stored["key"]["code_version"] = "stale"
+        json.dump(stored, open(path, "w"))
+        assert other.get(MeasurePoint(spec, 0)) is None
+        assert other.misses == 1
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        run_sweep([MeasurePoint(_spec(), s) for s in (0, 1)], cache=cache)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        point = MeasurePoint(_spec(), 0)
+        run_sweep([point], cache=cache)
+        with open(cache.path_for(point), "w") as handle:
+            handle.write("{not json")
+        assert cache.get(point) is None
+
+
+# -- sweep engine / stats ---------------------------------------------------
+
+
+class TestRunSweep:
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            run_sweep([], jobs=0)
+
+    def test_progress_callback(self, tmp_path):
+        spec = _spec()
+        cache = ResultCache(str(tmp_path))
+        seen = []
+        points = [MeasurePoint(spec, s) for s in (0, 1)]
+        run_sweep(points, jobs=2, cache=cache,
+                  progress=lambda p, hit: seen.append((p.seed, hit)))
+        assert seen == [(0, False), (1, False)]
+        seen.clear()
+        run_sweep(points, jobs=2, cache=ResultCache(str(tmp_path)),
+                  progress=lambda p, hit: seen.append((p.seed, hit)))
+        assert seen == [(0, True), (1, True)]
+
+    def test_worker_stats_recorded(self):
+        stats = Tracer()
+        run_sweep([MeasurePoint(_spec(), s) for s in (0, 1)],
+                  jobs=2, stats=stats)
+        assert stats.counter("sweep.points").value == 2
+        assert stats.counter("sweep.executed").value == 2
+        worker_counters = [n for n in stats.counters
+                           if n.startswith("sweep.worker.")]
+        assert worker_counters
+        assert stats.samples["sweep.task_seconds"].count == 2
+
+
+# -- registry fan-out -------------------------------------------------------
+
+
+class TestRegistryFanout:
+    def test_round_trip_matches_direct_run(self, tmp_path):
+        out = run_experiments_parallel(["E1", "E3"], jobs=2,
+                                       cache=ResultCache(str(tmp_path)))
+        assert set(out) == {"E1", "E3"}
+        for eid in ("E1", "E3"):
+            direct = run_experiment(eid)
+            assert isinstance(out[eid], ExperimentResult)
+            assert out[eid].title == direct.title
+            assert out[eid].notes == direct.notes
+            assert len(out[eid].rows) == len(direct.rows)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            ExperimentPoint.create("E999")
+
+    def test_seed_default_resolved_from_signature(self):
+        # E2-sim registers seed=2; model-only E1 defaults to 0.
+        assert ExperimentPoint.create("E2-sim").seed == 2
+        assert ExperimentPoint.create("E1").seed == 0
+
+    def test_model_experiments_accept_seed(self):
+        # Satellite of the same PR: every registry entry takes `seed`.
+        result = run_experiment("E1", seed=123)
+        assert result.rows
+
+
+class TestNanGuard:
+    def test_parallel_replicate_raises_like_serial(self):
+        # measure_failure_recovery's dict has non-float fields; force a
+        # NaN through a metric that is NaN for an impossible duration.
+        spec = MeasureSpec.create(
+            "measure_saturated", preset("short_hop"), "lams", duration=DURATION
+        )
+        seeds = replication_seeds(0, 2)
+        results = parallel_replicate_all(spec, ["sendbuf_avg"], seeds, jobs=2)
+        # sendbuf_avg exists for lams; guard only fires on real NaNs, so
+        # this documents that clean metrics never trip it.
+        assert all(v == v for v in results["sendbuf_avg"].samples)
