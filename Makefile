@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench report examples sweep-smoke clean
+.PHONY: install test bench report examples sweep-smoke faults-smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -23,10 +23,17 @@ sweep-smoke:
 		--protocols lams hdlc --seeds 2 --duration 0.05 \
 		--metrics efficiency --jobs 2 --cache-dir .sweep-cache
 
+# The fault-injection matrix (E21) through the sweep runner: outage
+# detection and declared-failure latency checked against the paper's
+# C_depth*W_cp bounds, with zero frame loss in every cell.
+faults-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro sweep --experiments E21 \
+		--jobs 2 --cache-dir .sweep-cache
+
 examples:
 	for script in examples/*.py; do \
 		echo "=== $$script ==="; \
-		$(PYTHON) $$script || exit 1; \
+		PYTHONPATH=src $(PYTHON) $$script || exit 1; \
 	done
 
 clean:

@@ -45,14 +45,30 @@ from .core.endpoint import (
     register_pair_factory,
     resolve_protocol,
 )
+from .faults import FaultInjector, FaultPlan, RecoveryMetrics
+from .simulator.errormodel import (
+    ErrorModelSpec,
+    available_error_models,
+    make_error_model,
+    register_error_model,
+    resolve_error_model,
+)
 
 __all__ = [
     "Endpoint",
     "EndpointPair",
+    "ErrorModelSpec",
+    "FaultInjector",
+    "FaultPlan",
+    "RecoveryMetrics",
+    "available_error_models",
     "available_protocols",
     "build_simulation",
     "make_endpoint_pair",
+    "make_error_model",
+    "register_error_model",
     "register_pair_factory",
+    "resolve_error_model",
     "resolve_protocol",
 ]
 
@@ -67,6 +83,8 @@ def make_endpoint_pair(
     tracer: Any = None,
     deliver_a: Optional[Callable[[Any], None]] = None,
     deliver_b: Optional[Callable[[Any], None]] = None,
+    error_model: Optional[ErrorModelSpec] = None,
+    fault_plan: Optional[FaultPlan] = None,
     **extras: Any,
 ) -> EndpointPair:
     """Build a wired endpoint pair for any implemented protocol.
@@ -86,6 +104,18 @@ def make_endpoint_pair(
         ends differ.
     tracer, deliver_a, deliver_b:
         Shared tracer and per-side delivery callbacks.
+    error_model:
+        Optional :data:`~repro.simulator.errormodel.ErrorModelSpec` — a
+        registered name (``"perfect"``, ``"bernoulli"``,
+        ``"gilbert-elliott"``), ``(name, kwargs)``, a mapping with a
+        ``"model"`` key, or a ready instance.  Applied to the I-frame
+        error process of *both* link directions, replacing whatever the
+        link was built with.
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan`; when given, a
+        :class:`~repro.faults.injector.FaultInjector` is constructed and
+        its faults scheduled on *sim* before the pair is returned (the
+        simulator's event heap keeps it alive).
     extras:
         Family-specific keywords, passed through (LAMS-DLC accepts
         ``on_failure_a``/``on_failure_b``/``delivery_interval_b``).
@@ -94,12 +124,20 @@ def make_endpoint_pair(
     started; call ``start(send=..., receive=...)`` per the roles the
     experiment needs.
     """
-    return build_endpoint_pair(
+    if error_model is not None:
+        for channel in (link.forward, link.reverse):
+            channel.iframe_errors = resolve_error_model(
+                error_model, bit_rate=channel.bit_rate
+            )
+    pair = build_endpoint_pair(
         protocol, sim, link, config,
         config_b=config_b, tracer=tracer,
         deliver_a=deliver_a, deliver_b=deliver_b,
         **extras,
     )
+    if fault_plan is not None and len(fault_plan):
+        FaultInjector(sim, link, fault_plan, tracer=tracer)
+    return pair
 
 
 def build_simulation(scenario, protocol: str, **kwargs):

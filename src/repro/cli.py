@@ -116,6 +116,41 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     scenario = _scenario_from_args(args)
+    if args.error_model is not None:
+        from .simulator.errormodel import available_error_models
+
+        if args.error_model.lower() not in available_error_models():
+            print(f"error: unknown error model {args.error_model!r} "
+                  f"(use one of: {', '.join(available_error_models())})",
+                  file=sys.stderr)
+            return 2
+        scenario = scenario.with_(
+            iframe_error_model=args.error_model,
+            cframe_error_model=args.error_model,
+        )
+    if args.fault_plan is not None:
+        from .experiments.runner import measure_fault_plan
+        from .faults import FaultPlan
+
+        if args.saturated:
+            print("error: --fault-plan runs a finite batch; drop --saturated",
+                  file=sys.stderr)
+            return 2
+        try:
+            with open(args.fault_plan, "r", encoding="utf-8") as handle:
+                plan = FaultPlan.from_json(handle.read())
+        except (OSError, ValueError, TypeError) as error:
+            print(f"error: cannot load fault plan {args.fault_plan!r}: {error}",
+                  file=sys.stderr)
+            return 2
+        result = measure_fault_plan(
+            scenario, plan, total_time=args.duration,
+            n_frames=args.frames, seed=args.seed, protocol=args.protocol,
+        )
+        print(render_table([result], title=f"simulated {args.protocol} under "
+                                           f"fault plan '{plan.name}' "
+                                           f"({len(plan)} faults)"))
+        return 0
     if args.saturated:
         result = measure_saturated(scenario, args.protocol, args.duration, seed=args.seed)
     else:
@@ -312,6 +347,12 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--saturated", action="store_true",
                             help="saturated source instead of a finite batch")
     sim_parser.add_argument("--seed", type=int, default=0)
+    sim_parser.add_argument("--error-model", default=None,
+                            help="registered error-model name for both frame "
+                                 "classes (perfect/bernoulli/gilbert-elliott)")
+    sim_parser.add_argument("--fault-plan", default=None, metavar="FILE",
+                            help="JSON FaultPlan to inject during a batch "
+                                 "transfer (see docs/FAULTS.md)")
     sim_parser.set_defaults(handler=_cmd_simulate)
 
     sweep_parser = subparsers.add_parser(

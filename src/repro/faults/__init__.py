@@ -1,0 +1,40 @@
+"""Fault injection and recovery metrics for LAMS-DLC simulations.
+
+Declare what goes wrong (:class:`FaultPlan` of outages, feedback
+blackouts, BER storms, control-frame corruption), schedule it onto a
+live simulation (:class:`FaultInjector`), and measure how the protocol
+notices and recovers (:class:`RecoveryMetrics`).  See ``docs/FAULTS.md``.
+"""
+
+from .injector import ControlCorruptingModel, FaultInjector
+from .metrics import (
+    OutageRecord,
+    RecoveryMetrics,
+    declared_failure_bound,
+    detection_bound,
+)
+from .plan import (
+    BerStorm,
+    ControlCorruption,
+    Fault,
+    FaultPlan,
+    FeedbackBlackout,
+    LinkOutage,
+    fault_from_dict,
+)
+
+__all__ = [
+    "BerStorm",
+    "ControlCorruption",
+    "ControlCorruptingModel",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "FeedbackBlackout",
+    "LinkOutage",
+    "OutageRecord",
+    "RecoveryMetrics",
+    "declared_failure_bound",
+    "detection_bound",
+    "fault_from_dict",
+]

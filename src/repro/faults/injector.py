@@ -1,0 +1,186 @@
+"""Schedules a :class:`~repro.faults.plan.FaultPlan` onto a simulation.
+
+The injector is pure orchestration: at each fault's start and end it
+drives the live objects — ``SimplexChannel.down()``/``up()`` for
+outages, error-model swap/restore for BER storms, a corrupting wrapper
+for control-frame targeting — and emits ``fault_start`` / ``fault_end``
+trace events that :class:`~repro.faults.metrics.RecoveryMetrics`
+consumes.  Everything is scheduled on the :class:`Simulator` event
+heap at construction time, so a plan is fully deterministic: the same
+plan and seed produce the same event sequence regardless of process or
+job count.
+
+Outages are depth-counted per channel, so overlapping faults nest
+correctly, and a channel that was already down when a fault began
+(e.g. between session-manager passes) is *not* forced up when the
+fault ends — the injector only restores state it took down itself.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..simulator.engine import Simulator
+from ..simulator.errormodel import ErrorModel, make_error_model
+from ..simulator.link import FullDuplexLink, SimplexChannel
+from ..simulator.trace import Tracer
+from .plan import BerStorm, ControlCorruption, Fault, FaultPlan
+
+__all__ = ["FaultInjector", "ControlCorruptingModel"]
+
+
+class ControlCorruptingModel:
+    """Wraps a base model, adding forced corruption for control frames.
+
+    Draws one uniform variate per frame from the channel's own named
+    RNG stream, so corruption decisions are deterministic under the
+    simulation seed and independent of every other stream.
+    """
+
+    def __init__(self, base: ErrorModel, probability: float) -> None:
+        self.base = base
+        self.probability = probability
+
+    def frame_error(self, start: float, bits: int, rng: np.random.Generator) -> bool:
+        forced = bool(rng.random() < self.probability)
+        # Always consult the base model so its RNG/state consumption is
+        # identical with and without the fault window active.
+        underlying = self.base.frame_error(start, bits, rng)
+        return forced or underlying
+
+    def __repr__(self) -> str:
+        return f"ControlCorruptingModel(p={self.probability:g}, base={self.base!r})"
+
+
+class FaultInjector:
+    """Drives one fault plan against one full-duplex link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: FullDuplexLink,
+        plan: FaultPlan,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.sim = sim
+        self.link = link
+        self.plan = plan
+        self.tracer = tracer if tracer is not None else link.tracer
+        self.faults_started = 0
+        self.faults_ended = 0
+        self._outage_depth: dict[str, int] = {}
+        self._took_down: dict[str, bool] = {}
+        self._stashed: dict[tuple[str, str], list[ErrorModel]] = {}
+        for index, fault in enumerate(plan):
+            sim.schedule_at(fault.start, self._begin, index, fault)
+            sim.schedule_at(fault.end, self._finish, index, fault)
+
+    # -- wiring -----------------------------------------------------------
+
+    def _channels(self, direction: str) -> list[SimplexChannel]:
+        if direction == "forward":
+            return [self.link.forward]
+        if direction == "reverse":
+            return [self.link.reverse]
+        return [self.link.forward, self.link.reverse]
+
+    # -- fault lifecycle --------------------------------------------------
+
+    def _begin(self, index: int, fault: Fault) -> None:
+        self.faults_started += 1
+        if fault.kind in ("outage", "feedback-blackout"):
+            self._begin_outage(fault)
+        elif fault.kind == "ber-storm":
+            self._begin_storm(fault)
+        elif fault.kind == "control-corruption":
+            self._begin_corruption(fault)
+        self.tracer.emit(
+            self.sim.now, "faults", "fault_start",
+            index=index, kind=fault.kind, direction=fault.direction,
+            duration=fault.duration,
+        )
+
+    def _finish(self, index: int, fault: Fault) -> None:
+        self.faults_ended += 1
+        if fault.kind in ("outage", "feedback-blackout"):
+            self._finish_outage(fault)
+        elif fault.kind == "ber-storm":
+            self._finish_storm(fault)
+        elif fault.kind == "control-corruption":
+            self._finish_corruption(fault)
+        self.tracer.emit(
+            self.sim.now, "faults", "fault_end",
+            index=index, kind=fault.kind, direction=fault.direction,
+        )
+
+    # -- outages ----------------------------------------------------------
+
+    def _begin_outage(self, fault: Fault) -> None:
+        for channel in self._channels(fault.direction):
+            depth = self._outage_depth.get(channel.name, 0)
+            if depth == 0:
+                # Only restore later what we actually took down now.
+                self._took_down[channel.name] = channel.is_up
+                if channel.is_up:
+                    channel.down()
+            self._outage_depth[channel.name] = depth + 1
+
+    def _finish_outage(self, fault: Fault) -> None:
+        for channel in self._channels(fault.direction):
+            depth = self._outage_depth.get(channel.name, 0) - 1
+            self._outage_depth[channel.name] = max(depth, 0)
+            if depth <= 0 and self._took_down.pop(channel.name, False):
+                channel.up()
+
+    # -- BER storms -------------------------------------------------------
+
+    def _begin_storm(self, fault: BerStorm) -> None:
+        for channel in self._channels(fault.direction):
+            model = make_error_model(
+                fault.model, {"bit_rate": channel.bit_rate}, **fault.model_kwargs
+            )
+            if "iframe" in fault.targets:
+                self._stash(channel, "iframe_errors")
+                channel.iframe_errors = model
+            if "cframe" in fault.targets:
+                self._stash(channel, "cframe_errors")
+                channel.cframe_errors = model
+
+    def _finish_storm(self, fault: BerStorm) -> None:
+        for channel in self._channels(fault.direction):
+            if "iframe" in fault.targets:
+                self._restore(channel, "iframe_errors")
+            if "cframe" in fault.targets:
+                self._restore(channel, "cframe_errors")
+
+    # -- control-frame corruption ----------------------------------------
+
+    def _begin_corruption(self, fault: ControlCorruption) -> None:
+        for channel in self._channels(fault.direction):
+            self._stash(channel, "cframe_errors")
+            channel.cframe_errors = ControlCorruptingModel(
+                channel.cframe_errors, fault.probability
+            )
+
+    def _finish_corruption(self, fault: ControlCorruption) -> None:
+        for channel in self._channels(fault.direction):
+            self._restore(channel, "cframe_errors")
+
+    # -- model stash (supports overlapping windows, LIFO) -----------------
+
+    def _stash(self, channel: SimplexChannel, attr: str) -> None:
+        stack = self._stashed.setdefault((channel.name, attr), [])
+        stack.append(getattr(channel, attr))
+
+    def _restore(self, channel: SimplexChannel, attr: str) -> None:
+        stack = self._stashed.get((channel.name, attr))
+        if stack:
+            setattr(channel, attr, stack.pop())
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultInjector plan={self.plan.name!r} "
+            f"faults={len(self.plan)} started={self.faults_started}>"
+        )

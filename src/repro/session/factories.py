@@ -15,10 +15,11 @@ The per-protocol helpers (``lams_session_factory``,
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable
+import inspect
+from typing import Any, Callable, Optional
 
 from ..core.config import LamsDlcConfig
-from ..core.endpoint import build_endpoint_pair
+from ..core.endpoint import build_endpoint_pair, pair_factory, resolve_protocol
 from ..hdlc.config import HdlcConfig
 from ..simulator.engine import Simulator
 from ..simulator.link import FullDuplexLink
@@ -32,23 +33,41 @@ def session_factory(protocol: str, config: Any) -> Callable:
     Works for any name in :func:`repro.api.available_protocols`; the
     same configuration object is reused across passes (with
     ``link_lifetime`` refreshed per pass when the config supports it).
+
+    The returned factory accepts the session manager's ``on_failure``
+    keyword; when the protocol's pair factory takes an ``on_failure_a``
+    extra (LAMS-DLC), the callback is threaded into the sending
+    endpoint so a mid-pass declared link failure tears the session down
+    instead of going unnoticed.
     """
     has_lifetime = dataclasses.is_dataclass(config) and any(
         f.name == "link_lifetime" for f in dataclasses.fields(config)
     )
+    family, _ = resolve_protocol(protocol)
+    try:
+        takes_failure = "on_failure_a" in inspect.signature(
+            pair_factory(family)
+        ).parameters
+    except (TypeError, ValueError):
+        takes_failure = False
 
     def factory(
         sim: Simulator,
         link: FullDuplexLink,
         deliver: Callable[[Any], None],
         pass_remaining: float,
+        on_failure: Optional[Callable[[], None]] = None,
     ):
         session_config = (
             dataclasses.replace(config, link_lifetime=pass_remaining)
             if has_lifetime else config
         )
+        extras = (
+            {"on_failure_a": on_failure}
+            if on_failure is not None and takes_failure else {}
+        )
         endpoint_a, endpoint_b = build_endpoint_pair(
-            protocol, sim, link, session_config, deliver_b=deliver
+            protocol, sim, link, session_config, deliver_b=deliver, **extras
         )
         endpoint_a.start(send=True, receive=False)
         endpoint_b.start(send=False, receive=True)

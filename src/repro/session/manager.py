@@ -32,6 +32,7 @@ pair, so LAMS-DLC and SR-HDLC sessions are directly comparable
 
 from __future__ import annotations
 
+import inspect
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Protocol, Sequence
@@ -114,6 +115,13 @@ EndpointFactory = Callable[[Simulator, FullDuplexLink, Callable[[Any], None], fl
 The factory creates and *starts* both endpoints; ``deliver`` receives
 payloads at the B side; ``pass_remaining`` is the usable time left in
 the current pass (for protocols that take a link-lifetime hint).
+
+A factory may additionally accept an ``on_failure`` keyword: the
+manager then passes a callback the protocol should invoke when it
+declares the link failed (LAMS-DLC's enforced-recovery outcome), and
+the manager tears the session down early, carrying the backlog to the
+next pass.  Factories built by :func:`repro.session.factories.session_factory`
+support this automatically.
 """
 
 
@@ -144,10 +152,17 @@ class LinkSessionManager:
         self._endpoint_a: Optional[Any] = None
         self._endpoint_b: Optional[Any] = None
         self._session_up = False
+        self._current_pass: Optional[LinkPass] = None
         self.passes_run = 0
         self.delivered_count = 0
         self.carried_over = 0
+        self.failures = 0
         self.session_history: list[dict[str, Any]] = []
+        try:
+            parameters = inspect.signature(endpoint_factory).parameters
+            self._factory_takes_failure = "on_failure" in parameters
+        except (TypeError, ValueError):
+            self._factory_takes_failure = False
 
         self.link.down()  # no pass active until the schedule says so
         for link_pass in self.schedule:
@@ -182,10 +197,15 @@ class LinkSessionManager:
             return  # the whole pass fit inside the overhead
         self.link.up()
         remaining = link_pass.end - self.sim.now
+        kwargs = (
+            {"on_failure": self._on_link_failure}
+            if self._factory_takes_failure else {}
+        )
         self._endpoint_a, self._endpoint_b = self.endpoint_factory(
-            self.sim, self.link, self._on_deliver, remaining
+            self.sim, self.link, self._on_deliver, remaining, **kwargs
         )
         self._session_up = True
+        self._current_pass = link_pass
         self.passes_run += 1
         self.tracer.emit(self.sim.now, "session", "session_up", remaining=remaining)
         self._feed()
@@ -194,6 +214,24 @@ class LinkSessionManager:
         if not self._session_up:
             self.link.down()
             return
+        self._teardown(link_pass, reason="pass_end")
+
+    def _on_link_failure(self) -> None:
+        """The protocol declared the link failed mid-pass.
+
+        Invoked from inside the sender's failure path, so the sender has
+        already marked itself failed; tearing down here is re-entrancy
+        safe.  The backlog — queued payloads plus everything reclaimed
+        from the dying sender — survives for the next pass, preserving
+        the zero-loss property across declared failures.
+        """
+        if not self._session_up or self._current_pass is None:
+            return
+        self.failures += 1
+        self.tracer.emit(self.sim.now, "session", "session_failure")
+        self._teardown(self._current_pass, reason="link_failure")
+
+    def _teardown(self, link_pass: LinkPass, reason: str) -> None:
         self._session_up = False
         self.link.down()
         # Reclaim everything the sender could not resolve in time; it is
@@ -208,6 +246,7 @@ class LinkSessionManager:
             if endpoint is not None:
                 endpoint.stop()
         self._endpoint_a = self._endpoint_b = None
+        self._current_pass = None
         self.carried_over += reclaimed
         self.session_history.append(
             {
@@ -215,9 +254,13 @@ class LinkSessionManager:
                 "pass_end": link_pass.end,
                 "reclaimed": reclaimed,
                 "delivered_so_far": self.delivered_count,
+                "reason": reason,
             }
         )
-        self.tracer.emit(self.sim.now, "session", "session_down", reclaimed=reclaimed)
+        self.tracer.emit(
+            self.sim.now, "session", "session_down",
+            reclaimed=reclaimed, reason=reason,
+        )
 
     # -- plumbing --------------------------------------------------------------------
 

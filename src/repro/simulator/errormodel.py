@@ -22,17 +22,23 @@ Three models are provided:
 
 from __future__ import annotations
 
+import inspect
 import math
-from typing import Protocol
+from typing import Any, Callable, Mapping, Optional, Protocol, Union
 
 import numpy as np
 
 __all__ = [
     "ErrorModel",
+    "ErrorModelSpec",
     "PerfectChannel",
     "BernoulliChannel",
     "GilbertElliottChannel",
+    "available_error_models",
     "frame_error_probability",
+    "make_error_model",
+    "register_error_model",
+    "resolve_error_model",
 ]
 
 
@@ -195,3 +201,110 @@ class GilbertElliottChannel:
             f"bad_ber={self.bad_ber:g}, mean_good={self.mean_good:g}, "
             f"mean_bad={self.mean_bad:g})"
         )
+
+
+# ---------------------------------------------------------------------------
+# The error-model registry
+# ---------------------------------------------------------------------------
+
+ErrorModelSpec = Union[
+    "ErrorModel", str, tuple, Mapping[str, Any], None
+]
+"""Anything :func:`resolve_error_model` accepts: a ready instance, a
+registered name (``"perfect"``, ``"bernoulli"``, ``"gilbert-elliott"``),
+a ``(name, kwargs)`` pair, a ``{"model": name, **kwargs}`` mapping, or
+``None`` (pick from the link's BER)."""
+
+
+_ERROR_MODELS: dict[str, Callable[..., ErrorModel]] = {}
+
+
+def register_error_model(name: str, factory: Optional[Callable[..., ErrorModel]] = None):
+    """Register *factory* under *name*; usable as a decorator.
+
+    Mirrors the protocol-alias registry of :mod:`repro.core.endpoint`:
+    third-party models plug in with one call and are immediately
+    constructible by name from :class:`~repro.workloads.scenarios.LinkScenario`,
+    :func:`repro.api.build_simulation`, and the fault layer.
+    """
+
+    def _register(fn: Callable[..., ErrorModel]) -> Callable[..., ErrorModel]:
+        _ERROR_MODELS[name.lower()] = fn
+        return fn
+
+    return _register(factory) if factory is not None else _register
+
+
+def available_error_models() -> list[str]:
+    """Every registered error-model name (sorted)."""
+    return sorted(_ERROR_MODELS)
+
+
+def make_error_model(
+    name: str,
+    context: Optional[Mapping[str, Any]] = None,
+    **kwargs: Any,
+) -> ErrorModel:
+    """Build the registered model *name* from keyword arguments.
+
+    *context* supplies defaults for constructor parameters the caller
+    did not pass explicitly — the link layer uses it to thread its own
+    ``ber`` and ``bit_rate`` into whichever model a scenario names, so
+    ``make_error_model("bernoulli", {"ber": 1e-6})`` and
+    ``make_error_model("gilbert-elliott", {"bit_rate": 3e8}, ...)`` both
+    work without the caller knowing each model's signature.
+    """
+    try:
+        factory = _ERROR_MODELS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown error model {name!r} "
+            f"(use one of: {', '.join(available_error_models())})"
+        ) from None
+    if context:
+        accepted = inspect.signature(factory).parameters
+        for key, value in context.items():
+            if key in accepted and key not in kwargs and value is not None:
+                kwargs[key] = value
+    return factory(**kwargs)
+
+
+def resolve_error_model(
+    spec: ErrorModelSpec,
+    *,
+    ber: float = 0.0,
+    bit_rate: Optional[float] = None,
+) -> ErrorModel:
+    """Turn any :data:`ErrorModelSpec` into a live :class:`ErrorModel`.
+
+    ``None`` keeps the historical default — Bernoulli at *ber* when the
+    BER is nonzero, perfect otherwise — so every existing call site is a
+    degenerate case of the registry.
+    """
+    if spec is None:
+        return BernoulliChannel(ber) if ber else PerfectChannel()
+    if isinstance(spec, str):
+        name, kwargs = spec, {}
+    elif isinstance(spec, Mapping):
+        kwargs = dict(spec)
+        try:
+            name = kwargs.pop("model")
+        except KeyError:
+            raise ValueError(
+                f"error-model mapping needs a 'model' key: {spec!r}"
+            ) from None
+    elif isinstance(spec, tuple):
+        if len(spec) != 2:
+            raise ValueError(f"error-model tuple must be (name, kwargs): {spec!r}")
+        name, kwargs = spec[0], dict(spec[1])
+    else:
+        # Already a model instance (anything with frame_error).
+        if not hasattr(spec, "frame_error"):
+            raise TypeError(f"not an error-model spec: {spec!r}")
+        return spec
+    return make_error_model(name, {"ber": ber, "bit_rate": bit_rate}, **kwargs)
+
+
+register_error_model("perfect", PerfectChannel)
+register_error_model("bernoulli", BernoulliChannel)
+register_error_model("gilbert-elliott", GilbertElliottChannel)

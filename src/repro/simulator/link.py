@@ -159,8 +159,7 @@ class SimplexChannel:
         if self._is_up:
             self._propagate(frame, departure)
         else:
-            self.frames_lost_outage += 1
-            self.tracer.emit(self.sim.now, self.name, "frame_lost_outage")
+            self._lose_to_outage(frame, phase="serialize")
         self._start_next()
 
     def _propagate(self, frame: Transmittable, departure: float) -> None:
@@ -177,9 +176,22 @@ class SimplexChannel:
             self.frames_corrupted += 1
         self.sim.schedule_at(arrival, self._deliver, frame, corrupted)
 
+    def _lose_to_outage(self, frame: Transmittable, phase: str) -> None:
+        """Account one frame swallowed by a down channel.
+
+        ``phase`` distinguishes where the outage caught the frame:
+        ``"serialize"`` (still occupying the transmitter) vs
+        ``"propagate"`` (in flight when the channel went down).
+        """
+        self.frames_lost_outage += 1
+        self.tracer.emit(
+            self.sim.now, self.name, "frame_lost_outage",
+            phase=phase, control=frame.is_control,
+        )
+
     def _deliver(self, frame: Transmittable, corrupted: bool) -> None:
         if not self._is_up:
-            self.frames_lost_outage += 1
+            self._lose_to_outage(frame, phase="propagate")
             return
         if self.receiver is None:
             raise RuntimeError(f"channel {self.name!r} has no receiver attached")

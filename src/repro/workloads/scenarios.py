@@ -27,9 +27,12 @@ from typing import Any, Optional
 from ..analysis.params import ModelParameters
 from ..core.config import LamsDlcConfig
 from ..core.endpoint import Endpoint, build_endpoint_pair, resolve_protocol
+from ..faults.injector import FaultInjector
+from ..faults.metrics import RecoveryMetrics
+from ..faults.plan import FaultPlan
 from ..hdlc.config import HdlcConfig
 from ..simulator.engine import Simulator
-from ..simulator.errormodel import BernoulliChannel, ErrorModel, PerfectChannel
+from ..simulator.errormodel import ErrorModel, ErrorModelSpec, resolve_error_model
 from ..simulator.link import FullDuplexLink, LIGHT_SPEED_KM_S
 from ..simulator.rng import StreamRegistry
 from ..simulator.trace import Tracer
@@ -66,6 +69,12 @@ class LinkScenario:
     alpha: float = 0.05
     sequence_bits: int = 7
     numbering_bits: int = 16
+    # Registered error-model names (see repro.simulator.errormodel).
+    # None keeps the historical default: Bernoulli at the scenario BER
+    # when nonzero, perfect otherwise.  Strings only, so the dataclass
+    # stays asdict/JSON-clean for sweep cache keys.
+    iframe_error_model: Optional[str] = None
+    cframe_error_model: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.bit_rate <= 0 or self.distance_km <= 0:
@@ -180,19 +189,31 @@ class LinkScenario:
         sim: Simulator,
         seed: int = 0,
         tracer: Optional[Tracer] = None,
-        iframe_errors: Optional[ErrorModel] = None,
-        cframe_errors: Optional[ErrorModel] = None,
+        iframe_errors: Optional[ErrorModelSpec] = None,
+        cframe_errors: Optional[ErrorModelSpec] = None,
     ) -> FullDuplexLink:
-        """A live link with this scenario's rate/delay/error models."""
+        """A live link with this scenario's rate/delay/error models.
+
+        *iframe_errors* / *cframe_errors* accept any
+        :data:`~repro.simulator.errormodel.ErrorModelSpec` (instance,
+        registered name, ``(name, kwargs)``, mapping) and default to the
+        scenario's ``iframe_error_model`` / ``cframe_error_model``
+        fields; everything resolves through the error-model registry
+        with the scenario's BER and bit rate as context.
+        """
         return FullDuplexLink(
             sim,
             bit_rate=self.bit_rate,
             propagation_delay=self.one_way_delay,
             name=self.name,
-            iframe_errors=iframe_errors
-            or (BernoulliChannel(self.iframe_ber) if self.iframe_ber else PerfectChannel()),
-            cframe_errors=cframe_errors
-            or (BernoulliChannel(self.cframe_ber) if self.cframe_ber else PerfectChannel()),
+            iframe_errors=resolve_error_model(
+                self.iframe_error_model if iframe_errors is None else iframe_errors,
+                ber=self.iframe_ber, bit_rate=self.bit_rate,
+            ),
+            cframe_errors=resolve_error_model(
+                self.cframe_error_model if cframe_errors is None else cframe_errors,
+                ber=self.cframe_ber, bit_rate=self.bit_rate,
+            ),
             streams=StreamRegistry(seed=seed),
             tracer=tracer,
         )
@@ -213,7 +234,11 @@ class DeliveredList(list):
 
 @dataclass
 class SimulationSetup:
-    """A ready-to-run one-way transfer: A sends, B receives."""
+    """A ready-to-run one-way transfer: A sends, B receives.
+
+    ``fault_injector`` and ``recovery`` are populated when the setup was
+    built with a fault plan; otherwise they stay ``None``.
+    """
 
     sim: Simulator
     link: FullDuplexLink
@@ -221,6 +246,8 @@ class SimulationSetup:
     endpoint_b: Endpoint
     delivered: DeliveredList
     tracer: Tracer
+    fault_injector: Optional[FaultInjector] = None
+    recovery: Optional[RecoveryMetrics] = None
 
     def run(self, until: float) -> None:
         self.sim.run(until=until)
@@ -232,8 +259,10 @@ def build_simulation(
     seed: int = 0,
     tracer: Optional[Tracer] = None,
     overrides: Optional[dict] = None,
-    iframe_errors: Optional[ErrorModel] = None,
-    cframe_errors: Optional[ErrorModel] = None,
+    iframe_errors: Optional[ErrorModelSpec] = None,
+    cframe_errors: Optional[ErrorModelSpec] = None,
+    error_model: Optional[ErrorModelSpec] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> SimulationSetup:
     """One-way transfer over this scenario's link, any protocol.
 
@@ -242,7 +271,20 @@ def build_simulation(
     endpoints are built through the unified pair-factory registry.  A
     is the sender, B the receiver; the unused halves stay down so
     one-way experiments see no reverse-direction chatter.
+
+    *error_model* is a shorthand :data:`ErrorModelSpec` for the data
+    (I-frame) error process — ``"gilbert-elliott"``, ``("bernoulli",
+    {"ber": 1e-5})``, an instance — equivalent to passing
+    *iframe_errors*.  *fault_plan* schedules a
+    :class:`~repro.faults.plan.FaultPlan` on the link via a
+    :class:`~repro.faults.injector.FaultInjector` and attaches
+    :class:`~repro.faults.metrics.RecoveryMetrics` to the tracer; both
+    land on the returned setup.
     """
+    if error_model is not None:
+        if iframe_errors is not None:
+            raise ValueError("pass error_model or iframe_errors, not both")
+        iframe_errors = error_model
     sim = Simulator()
     tracer = tracer or Tracer()
     link = scenario.build_link(
@@ -256,7 +298,14 @@ def build_simulation(
     )
     a.start(send=True, receive=False)
     b.start(send=False, receive=True)
-    return SimulationSetup(sim, link, a, b, delivered, tracer)
+    injector = recovery = None
+    if fault_plan is not None and len(fault_plan):
+        recovery = RecoveryMetrics(tracer)
+        injector = FaultInjector(sim, link, fault_plan, tracer=tracer)
+    return SimulationSetup(
+        sim, link, a, b, delivered, tracer,
+        fault_injector=injector, recovery=recovery,
+    )
 
 
 def build_lams_simulation(

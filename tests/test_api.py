@@ -191,3 +191,131 @@ class TestBuildSimulation:
     def test_api_reexports_builder(self):
         setup = api.build_simulation(preset("short_hop"), "lams", seed=1)
         assert isinstance(setup.endpoint_a, api.Endpoint)
+
+
+class TestErrorModelRegistry:
+    def test_available_names(self):
+        names = api.available_error_models()
+        for name in ("perfect", "bernoulli", "gilbert-elliott"):
+            assert name in names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown error model"):
+            api.make_error_model("carrier-pigeon")
+
+    def test_context_fills_missing_params(self):
+        model = api.make_error_model("bernoulli", {"ber": 1e-5, "bit_rate": 1e6})
+        assert model.ber == pytest.approx(1e-5)
+        # Explicit kwargs beat context.
+        model = api.make_error_model("bernoulli", {"ber": 1e-5}, ber=1e-3)
+        assert model.ber == pytest.approx(1e-3)
+
+    def test_resolve_variants(self):
+        from repro.simulator.errormodel import (
+            BernoulliChannel,
+            GilbertElliottChannel,
+            PerfectChannel,
+        )
+
+        assert isinstance(api.resolve_error_model(None), PerfectChannel)
+        assert isinstance(api.resolve_error_model(None, ber=1e-6),
+                          BernoulliChannel)
+        assert isinstance(api.resolve_error_model("perfect"), PerfectChannel)
+        by_tuple = api.resolve_error_model(("bernoulli", {"ber": 1e-4}))
+        assert by_tuple.ber == pytest.approx(1e-4)
+        by_map = api.resolve_error_model({"model": "bernoulli", "ber": 1e-4})
+        assert by_map.ber == pytest.approx(1e-4)
+        ge = api.resolve_error_model(
+            {"model": "gilbert-elliott", "good_ber": 1e-7, "bad_ber": 1e-3,
+             "mean_good": 1.0, "mean_bad": 0.01},
+            bit_rate=1e6,
+        )
+        assert isinstance(ge, GilbertElliottChannel)
+        instance = BernoulliChannel(1e-2)
+        assert api.resolve_error_model(instance) is instance
+
+    def test_resolve_rejects_garbage(self):
+        with pytest.raises(ValueError, match="'model' key"):
+            api.resolve_error_model({"ber": 1e-4})
+        with pytest.raises(TypeError, match="not an error-model spec"):
+            api.resolve_error_model(42)
+
+    def test_register_custom_model(self):
+        from repro.simulator.errormodel import _ERROR_MODELS, PerfectChannel
+
+        @api.register_error_model("test-always-clean")
+        class AlwaysClean(PerfectChannel):
+            pass
+
+        try:
+            assert "test-always-clean" in api.available_error_models()
+            assert isinstance(
+                api.resolve_error_model("test-always-clean"), AlwaysClean
+            )
+        finally:
+            _ERROR_MODELS.pop("test-always-clean", None)
+
+
+class TestFacadeFaultKwargs:
+    def test_error_model_kwarg_replaces_channel_models(self):
+        from repro.simulator.errormodel import BernoulliChannel
+
+        _, link, _ = _pair("lams", error_model=("bernoulli", {"ber": 1e-3}))
+        assert isinstance(link.forward.iframe_errors, BernoulliChannel)
+        assert link.forward.iframe_errors.ber == pytest.approx(1e-3)
+        assert link.reverse.iframe_errors.ber == pytest.approx(1e-3)
+
+    def test_fault_plan_kwarg_schedules_injector(self):
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.single_outage(start=0.05, duration=0.02)
+        sim, link, (a, b) = _pair("lams", fault_plan=plan)
+        states = {}
+        sim.schedule_at(0.06, lambda: states.update(mid=link.forward.is_up))
+        a.start(send=True, receive=False)
+        b.start(send=False, receive=True)
+        sim.run(until=0.1)
+        assert states["mid"] is False
+        assert link.forward.is_up  # restored after the fault window
+
+    def test_build_simulation_error_model_kwarg(self):
+        from repro.simulator.errormodel import GilbertElliottChannel
+
+        setup = build_simulation(
+            preset("short_hop"), "lams", seed=0,
+            error_model={"model": "gilbert-elliott", "good_ber": 1e-7,
+                         "bad_ber": 1e-3, "mean_good": 1.0, "mean_bad": 0.01},
+        )
+        assert isinstance(setup.link.forward.iframe_errors,
+                          GilbertElliottChannel)
+
+    def test_build_simulation_rejects_conflicting_error_specs(self):
+        from repro.simulator.errormodel import BernoulliChannel
+
+        with pytest.raises(ValueError, match="not both"):
+            build_simulation(
+                preset("short_hop"), "lams", seed=0,
+                error_model="perfect",
+                iframe_errors=BernoulliChannel(1e-6),
+            )
+
+    def test_build_simulation_fault_plan_populates_setup(self):
+        from repro.faults import FaultInjector, FaultPlan, RecoveryMetrics
+
+        plan = FaultPlan.single_outage(start=0.05, duration=0.02)
+        setup = build_simulation(
+            preset("short_hop"), "lams", seed=0, fault_plan=plan,
+        )
+        assert isinstance(setup.fault_injector, FaultInjector)
+        assert isinstance(setup.recovery, RecoveryMetrics)
+
+    def test_scenario_error_model_fields(self):
+        from repro.simulator.errormodel import PerfectChannel
+
+        scenario = preset("short_hop").with_(
+            iframe_error_model="perfect", cframe_error_model="perfect",
+        )
+        sim = Simulator()
+        link = scenario.build_link(sim, seed=0)
+        assert isinstance(link.forward.iframe_errors, PerfectChannel)
+        assert isinstance(link.forward.cframe_errors, PerfectChannel)

@@ -201,6 +201,45 @@ class TestOutage:
         sim.run()
         assert received == ["ok"]
 
+    def outage_events(self, when_down):
+        """Trace records from one frame sent at t=0 with a cut at *when_down*."""
+        from repro.simulator.trace import Tracer
+
+        sim = Simulator()
+        events = []
+        tracer = Tracer()
+        tracer.listeners.append(
+            lambda r: r.event == "frame_lost_outage" and events.append(r)
+        )
+        channel = make_channel(sim, tracer=tracer)
+        channel.attach_receiver(lambda f, c: None)
+        channel.send(Frame(is_control=True))
+        sim.schedule(when_down, channel.down)
+        sim.run()
+        return events
+
+    def test_loss_during_propagation_traced(self):
+        # Serialization ends at 1 ms; the 5 ms cut catches the frame
+        # in flight, so the loss is attributed to the propagate phase.
+        [record] = self.outage_events(0.005)
+        assert record.detail == {"phase": "propagate", "control": True}
+
+    def test_loss_during_serialization_traced(self):
+        # The cut lands at 0.5 ms, while the transmitter still owns the
+        # frame: same counter, but the phase tells the two cases apart.
+        [record] = self.outage_events(0.0005)
+        assert record.detail == {"phase": "serialize", "control": True}
+
+    def test_both_phases_count_identically(self):
+        for when in (0.005, 0.0005):
+            sim = Simulator()
+            channel = make_channel(sim)
+            channel.attach_receiver(lambda f, c: None)
+            channel.send(Frame())
+            sim.schedule(when, channel.down)
+            sim.run()
+            assert channel.frames_lost_outage == 1
+
 
 class TestFullDuplexLink:
     def test_two_independent_directions(self):

@@ -1,0 +1,159 @@
+"""Session-manager behaviour under mid-pass faults.
+
+A declared link failure during an active pass must tear the session
+down early (reason="link_failure"), reclaim the sender's unresolved
+frames into the backlog, and let the next pass finish the job — the
+zero-loss property of the session layer extended across the fault
+layer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LamsDlcConfig
+from repro.faults import FaultInjector, FaultPlan
+from repro.hdlc import HdlcConfig
+from repro.session import LinkSessionManager, PassSchedule
+from repro.session.factories import hdlc_session_factory, lams_session_factory
+from repro.simulator import (
+    BernoulliChannel,
+    FullDuplexLink,
+    Simulator,
+    StreamRegistry,
+)
+from repro.simulator.trace import Tracer
+
+
+def make_link(sim, tracer, seed=1):
+    return FullDuplexLink(
+        sim, bit_rate=100e6, propagation_delay=0.010, name="x",
+        iframe_errors=BernoulliChannel(1e-7),
+        streams=StreamRegistry(seed=seed), tracer=tracer,
+    )
+
+
+def run_faulted_session(factory, config, plan, n=2000, seed=2,
+                        pass_duration=1.0, count=2, until=3.5):
+    sim = Simulator()
+    tracer = Tracer(record_timeline=True)
+    link = make_link(sim, tracer, seed=seed)
+    schedule = PassSchedule.periodic(
+        first_start=0.1, duration=pass_duration, gap=0.3, count=count,
+    )
+    delivered = []
+    manager = LinkSessionManager(
+        sim, link, schedule, factory(config),
+        init_time=0.05, deliver=delivered.append, tracer=tracer,
+    )
+    FaultInjector(sim, link, plan, tracer=tracer)
+    for i in range(n):
+        manager.send(("pkt", i))
+    sim.run(until=until)
+    return manager, delivered, tracer
+
+
+LAMS_CONFIG_KW = dict(checkpoint_interval=0.005, cumulation_depth=3)
+
+
+class TestMidPassFailure:
+    def run_one(self, n=2000):
+        # Outage [0.3, 0.8) inside pass 1 [0.1, 1.1); with C_depth=3 and
+        # W_cp=5ms the failure budget is tens of ms, far below 500 ms,
+        # so the sender declares the link failed mid-pass.
+        plan = FaultPlan.single_outage(start=0.3, duration=0.5)
+        return run_faulted_session(
+            lams_session_factory, LamsDlcConfig(**LAMS_CONFIG_KW), plan, n=n,
+        )
+
+    def test_failure_tears_session_down_early(self):
+        manager, delivered, tracer = self.run_one()
+        assert manager.failures == 1
+        assert manager.session_history[0]["reason"] == "link_failure"
+        [failure] = tracer.timeline("session", "session_failure")
+        assert 0.3 < failure.time < 0.8  # well before the pass boundary
+
+    def test_backlog_survives_declared_failure(self):
+        manager, delivered, tracer = self.run_one()
+        assert manager.session_history[0]["reclaimed"] > 0
+        assert manager.carried_over > 0
+        # Pass 2 ran and drained the carried-over backlog.
+        assert manager.passes_run == 2
+        assert manager.session_history[1]["reason"] == "pass_end"
+
+    def test_zero_loss_across_failure(self):
+        n = 2000
+        manager, delivered, tracer = self.run_one(n=n)
+        ids = {p[1] for p in delivered}
+        # Nothing vanished: every payload was delivered or still queued.
+        assert len(ids) + manager.backlog >= n
+        # The fault cost duplicates at most, never loss.
+        assert ids >= set(range(500))
+
+    def test_session_down_reason_in_trace(self):
+        manager, delivered, tracer = self.run_one()
+        downs = tracer.timeline("session", "session_down")
+        assert [d.detail["reason"] for d in downs] == ["link_failure", "pass_end"]
+
+
+class TestRideOutFault:
+    def test_short_outage_recovers_without_teardown(self):
+        """An outage inside the failure budget never reaches the manager."""
+        # C_depth=8 → 40 ms watchdog; a 20 ms cut ends before even the
+        # detection bound, so enforced recovery (or plain checkpoints)
+        # resolves it with the session still up.
+        config = LamsDlcConfig(checkpoint_interval=0.005, cumulation_depth=8)
+        plan = FaultPlan.single_outage(start=0.3, duration=0.02)
+        manager, delivered, tracer = run_faulted_session(
+            lams_session_factory, config, plan, n=1500,
+        )
+        assert manager.failures == 0
+        assert all(h["reason"] == "pass_end" for h in manager.session_history)
+        ids = {p[1] for p in delivered}
+        assert len(ids) + manager.backlog >= 1500
+
+    def test_hdlc_sessions_never_declare_failure(self):
+        """A protocol without a failure path just stalls through the cut."""
+        config = HdlcConfig(window_size=32, sequence_bits=7, timeout=0.06)
+        plan = FaultPlan.single_outage(start=0.3, duration=0.1)
+        manager, delivered, tracer = run_faulted_session(
+            hdlc_session_factory, config, plan, n=1000,
+        )
+        assert manager.failures == 0
+        ids = {p[1] for p in delivered}
+        assert len(ids) + manager.backlog >= 1000
+
+
+class TestInjectorManagerInterplay:
+    def test_fault_end_between_passes_leaves_link_down(self):
+        """The injector never forces up a link the manager downed.
+
+        An outage spanning a pass boundary ends in the gap; the link
+        must stay down until the next pass activates.
+        """
+        sim = Simulator()
+        tracer = Tracer(record_timeline=True)
+        link = make_link(sim, tracer)
+        schedule = PassSchedule.periodic(
+            first_start=0.1, duration=0.4, gap=0.6, count=2,
+        )
+        manager = LinkSessionManager(
+            sim, link, schedule, lams_session_factory(
+                LamsDlcConfig(**LAMS_CONFIG_KW)
+            ),
+            init_time=0.05, deliver=lambda p: None, tracer=tracer,
+        )
+        # Fault starts in the gap (link already down) and ends there too.
+        FaultInjector(
+            sim, link,
+            FaultPlan.single_outage(start=0.6, duration=0.2), tracer=tracer,
+        )
+        states = {}
+        sim.schedule_at(0.9, lambda: states.update(gap=link.forward.is_up))
+        sim.schedule_at(1.2, lambda: states.update(pass2=link.forward.is_up))
+        for i in range(50):
+            manager.send(("pkt", i))
+        sim.run(until=2.0)
+        assert states["gap"] is False   # injector did not resurrect the link
+        assert states["pass2"] is True  # second pass activated normally
+        assert manager.failures == 0
