@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench report examples sweep-smoke faults-smoke clean
+.PHONY: install test bench report examples sweep-smoke faults-smoke soak-smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -29,6 +29,14 @@ sweep-smoke:
 faults-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro sweep --experiments E21 \
 		--jobs 2 --cache-dir .sweep-cache
+
+# A short randomized chaos soak under the runtime invariant monitors
+# (docs/INVARIANTS.md): every episode draws a fresh scenario, fault
+# plan, and workload from the fixed master seed; any invariant
+# violation fails the target with a reproducer command.
+soak-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro soak --episodes 12 --seed 20260806 \
+		--jobs 2 --fail-fast
 
 examples:
 	for script in examples/*.py; do \

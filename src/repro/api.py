@@ -27,6 +27,12 @@ ready-to-run :class:`~repro.workloads.scenarios.SimulationSetup`.
 
 The per-protocol factories (``lams_dlc_pair``, ``hdlc_pair``,
 ``nbdt_pair``) remain available as thin shims over the same registry.
+
+The runtime-verification surface is re-exported here too: pass
+``run_with_invariants=True`` to :func:`build_simulation` (or call
+:func:`attach_monitors` yourself) to arm the :class:`MonitorSuite`
+of protocol invariants, and :func:`run_soak` drives randomized chaos
+episodes under that suite (see ``docs/INVARIANTS.md``).
 """
 
 from __future__ import annotations
@@ -45,7 +51,9 @@ from .core.endpoint import (
     register_pair_factory,
     resolve_protocol,
 )
+from .chaos import EpisodeSpec, SoakResult, generate_episodes, run_soak
 from .faults import FaultInjector, FaultPlan, RecoveryMetrics
+from .invariants import InvariantMonitor, MonitorSuite, Violation, attach_monitors
 from .simulator.errormodel import (
     ErrorModelSpec,
     available_error_models,
@@ -57,19 +65,27 @@ from .simulator.errormodel import (
 __all__ = [
     "Endpoint",
     "EndpointPair",
+    "EpisodeSpec",
     "ErrorModelSpec",
     "FaultInjector",
     "FaultPlan",
+    "InvariantMonitor",
+    "MonitorSuite",
     "RecoveryMetrics",
+    "SoakResult",
+    "Violation",
+    "attach_monitors",
     "available_error_models",
     "available_protocols",
     "build_simulation",
+    "generate_episodes",
     "make_endpoint_pair",
     "make_error_model",
     "register_error_model",
     "register_pair_factory",
     "resolve_error_model",
     "resolve_protocol",
+    "run_soak",
 ]
 
 

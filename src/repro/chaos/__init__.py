@@ -1,0 +1,22 @@
+"""Randomized chaos-soak harness over the invariant monitors.
+
+- :mod:`repro.chaos.episodes` — seeded random episode generation
+  (scenario × fault plan × workload), exactly reproducible from
+  ``(master_seed, index)``.
+- :mod:`repro.chaos.soak` — :func:`run_soak`, fanning episodes over
+  the parallel sweep pool with the full :mod:`repro.invariants` suite
+  armed; ``python -m repro soak`` is the CLI surface.
+"""
+
+from .episodes import EpisodeSpec, generate_episode, generate_episodes
+from .soak import ChaosPoint, SoakResult, run_episode, run_soak
+
+__all__ = [
+    "ChaosPoint",
+    "EpisodeSpec",
+    "SoakResult",
+    "generate_episode",
+    "generate_episodes",
+    "run_episode",
+    "run_soak",
+]

@@ -1,0 +1,206 @@
+"""Seeded random chaos episodes: scenario × fault plan × workload.
+
+An :class:`EpisodeSpec` is one fully-determined randomized trial — a
+link operating point drawn from the preset envelope, protocol knobs
+jittered inside the paper's stated ranges, a random
+:class:`~repro.faults.plan.FaultPlan`, and a finite workload — all
+derived from ``derive_seed(master_seed, "episode[i]")``, so any episode
+regenerates bit-identically from ``(master_seed, index)`` alone.  That
+pair is the *reproducer*: a soak violation report names it, and
+``python -m repro soak --seed S --episodes N`` replays it.
+
+Specs are frozen, picklable (parallel soak workers), and their
+``repr`` is stable (sweep-cache keys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from ..faults.plan import (
+    BerStorm,
+    ControlCorruption,
+    Fault,
+    FaultPlan,
+    FeedbackBlackout,
+    LinkOutage,
+)
+from ..simulator.rng import derive_seed
+from ..workloads.scenarios import PRESETS, LinkScenario
+
+__all__ = ["EpisodeSpec", "generate_episode", "generate_episodes"]
+
+# Presets the generator perturbs; every draw stays inside the paper's
+# Section 2.1 envelope (300 Mbps–1 Gbps, 2,000–10,000 km).
+_PRESET_NAMES = ("short_hop", "nominal", "long_haul", "noisy")
+
+# Error-model choices for the data channel: the default (Bernoulli at
+# the scenario BER), an explicit Bernoulli, or a Gilbert–Elliott burst
+# process (whose parameters the generator draws).
+_IFRAME_MODELS = ("default", "bernoulli", "gilbert-elliott")
+
+
+@dataclass(frozen=True)
+class EpisodeSpec:
+    """One reproducible randomized trial for the soak runner."""
+
+    index: int
+    seed: int
+    master_seed: int
+    scenario: LinkScenario
+    fault_plan: FaultPlan
+    overrides: tuple[tuple[str, Any], ...] = ()
+    n_frames: int = 500
+    max_time: float = 2.0
+    iframe_errors: Optional[tuple[str, tuple[tuple[str, Any], ...]]] = None
+    """Optional ``(name, params)`` error-model spec for the data
+    channel, overriding the scenario's string field (used for models
+    needing drawn parameters, like Gilbert–Elliott)."""
+
+    @property
+    def label(self) -> str:
+        return (
+            f"episode[{self.index}]@{self.scenario.name} "
+            f"faults={len(self.fault_plan)} seed={self.seed}"
+        )
+
+    @property
+    def overrides_dict(self) -> dict[str, Any]:
+        return dict(self.overrides)
+
+    def reproducer(self) -> dict[str, Any]:
+        """Everything needed to regenerate and re-run this episode."""
+        return {
+            "master_seed": self.master_seed,
+            "episode": self.index,
+            "seed": self.seed,
+            "scenario": self.scenario.name,
+            "command": (
+                f"python -m repro soak --seed {self.master_seed} "
+                f"--episodes {self.index + 1} --only {self.index}"
+            ),
+        }
+
+
+def _random_faults(
+    rng: np.random.Generator, horizon: float, checkpoint_interval: float,
+) -> list[Fault]:
+    """1–3 faults with windows that fit inside the run horizon."""
+    faults: list[Fault] = []
+    for _ in range(int(rng.integers(1, 4))):
+        start = float(rng.uniform(0.02, horizon * 0.6))
+        kind = rng.choice(
+            ["outage", "feedback-blackout", "ber-storm", "control-corruption"],
+        )
+        if kind == "outage":
+            duration = float(rng.uniform(2 * checkpoint_interval, horizon * 0.3))
+            direction = str(rng.choice(["forward", "reverse", "both"]))
+            faults.append(LinkOutage(start=start, duration=duration, direction=direction))
+        elif kind == "feedback-blackout":
+            duration = float(rng.uniform(2 * checkpoint_interval, horizon * 0.3))
+            faults.append(FeedbackBlackout(start=start, duration=duration))
+        elif kind == "ber-storm":
+            duration = float(rng.uniform(0.01, horizon * 0.25))
+            target = str(rng.choice(["iframe", "cframe", "both"]))
+            targets = ("iframe", "cframe") if target == "both" else (target,)
+            faults.append(
+                BerStorm(
+                    start=start, duration=duration,
+                    model="bernoulli",
+                    params=(("ber", float(rng.choice([1e-5, 1e-4, 1e-3]))),),
+                    direction=str(rng.choice(["forward", "reverse"])),
+                    targets=targets,
+                )
+            )
+        else:
+            duration = float(rng.uniform(0.01, horizon * 0.25))
+            faults.append(
+                ControlCorruption(
+                    start=start, duration=duration,
+                    probability=float(rng.choice([0.25, 0.5, 1.0])),
+                    direction="reverse",
+                )
+            )
+    return faults
+
+
+def generate_episode(master_seed: int, index: int) -> EpisodeSpec:
+    """The *index*-th randomized episode under *master_seed*.
+
+    Pure function of its arguments: the episode's own RNG is seeded
+    with ``derive_seed(master_seed, "episode[index]")`` and drives
+    every draw, so regeneration is exact.
+    """
+    seed = derive_seed(master_seed, f"episode[{index}]")
+    rng = np.random.Generator(np.random.PCG64(seed))
+
+    base = PRESETS[str(rng.choice(_PRESET_NAMES))]
+    # Jitter the protocol knobs inside sane ranges.  W_cp stays well
+    # above the frame time and t_proc so checkpoints remain "short and
+    # frequent" rather than degenerate; BERs stay at or below the
+    # preset's (the fault plan supplies the violence instead — the base
+    # control channel must be quiet enough that spontaneous C_depth-long
+    # corruption streaks stay out of the latency monitors' error budget).
+    checkpoint_interval = float(rng.uniform(0.002, 0.02))
+    cumulation_depth = int(rng.integers(2, 5))
+    iframe_ber = float(base.iframe_ber * rng.choice([0.1, 0.5, 1.0]))
+    model_choice = _IFRAME_MODELS[int(rng.integers(0, len(_IFRAME_MODELS)))]
+    iframe_errors: Optional[tuple[str, tuple[tuple[str, Any], ...]]] = None
+    if model_choice == "gilbert-elliott":
+        iframe_errors = (
+            "gilbert-elliott",
+            (
+                ("good_ber", iframe_ber * 0.1),
+                ("bad_ber", float(rng.choice([1e-4, 1e-3]))),
+                ("mean_good", float(rng.uniform(0.05, 0.2))),
+                ("mean_bad", float(rng.uniform(0.001, 0.01))),
+            ),
+        )
+    scenario = base.with_(
+        name=f"{base.name}~chaos{index}",
+        checkpoint_interval=checkpoint_interval,
+        cumulation_depth=cumulation_depth,
+        iframe_ber=iframe_ber,
+        cframe_ber=float(min(base.cframe_ber, 1e-8) * rng.choice([0.0, 0.5, 1.0])),
+        iframe_error_model="bernoulli" if model_choice == "bernoulli" else None,
+    )
+
+    overrides: dict[str, Any] = {}
+    if rng.random() < 0.3:
+        overrides["zero_duplication"] = True
+    if rng.random() < 0.3:
+        overrides["flow_control_enabled"] = False
+
+    n_frames = int(rng.integers(200, 1501))
+    # Run long enough for several fault/recovery cycles at this RTT and
+    # checkpoint cadence, then a quiet tail for the backlog to drain.
+    max_time = float(
+        4.0 * scenario.round_trip_time
+        + 60.0 * checkpoint_interval
+        + rng.uniform(0.5, 1.5)
+    )
+    plan = FaultPlan(
+        faults=tuple(_random_faults(rng, max_time * 0.6, checkpoint_interval)),
+        name=f"chaos[{index}]",
+    )
+    return EpisodeSpec(
+        index=index,
+        seed=seed,
+        master_seed=master_seed,
+        scenario=scenario,
+        fault_plan=plan,
+        overrides=tuple(sorted(overrides.items())),
+        n_frames=n_frames,
+        max_time=max_time,
+        iframe_errors=iframe_errors,
+    )
+
+
+def generate_episodes(master_seed: int, count: int) -> list[EpisodeSpec]:
+    """The first *count* episodes under *master_seed*."""
+    if count < 1:
+        raise ValueError("need at least one episode")
+    return [generate_episode(master_seed, index) for index in range(count)]

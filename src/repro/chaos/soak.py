@@ -1,0 +1,202 @@
+"""The chaos soak: randomized episodes under full invariant monitoring.
+
+Each :class:`ChaosPoint` wraps one
+:class:`~repro.chaos.episodes.EpisodeSpec` as a sweep work unit: build
+the simulation with the invariant suite armed
+(``build_simulation(..., run_with_invariants=True)``), wire a
+destination :class:`~repro.netlayer.resequencer.Resequencer` so the
+ordering monitor sees end-to-end releases, drive a finite workload
+through the random fault plan, and report every invariant violation
+with its trace window and reproducer seed.
+
+:func:`run_soak` fans N episodes over the parallel sweep pool
+(:func:`repro.experiments.parallel.run_sweep`); ``fail_fast`` aborts on
+the first violating episode via
+:class:`~repro.experiments.parallel.SweepStop` without losing the
+violating report.  CLI: ``python -m repro soak``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from .. import __version__ as CODE_VERSION
+from ..experiments.parallel import SweepStop, _jsonable, run_sweep
+from ..netlayer.packet import Datagram
+from ..netlayer.resequencer import Resequencer
+from ..workloads.generators import FiniteBatch
+from ..workloads.scenarios import build_simulation
+from .episodes import EpisodeSpec, generate_episodes
+
+__all__ = ["ChaosPoint", "SoakResult", "run_episode", "run_soak"]
+
+
+def run_episode(spec: EpisodeSpec) -> dict[str, Any]:
+    """Run one chaos episode under monitors; returns a plain-data report."""
+    setup = build_simulation(
+        spec.scenario, "lams",
+        seed=spec.seed,
+        overrides=spec.overrides_dict,
+        iframe_errors=spec.iframe_errors,
+        fault_plan=spec.fault_plan,
+        run_with_invariants=True,
+    )
+    suite = setup.monitors
+    suite.context.update(spec.reproducer())
+
+    # Destination resequencer: DLC delivery order is relaxed, so the
+    # ordering invariant is only checkable past this component.
+    reseq = Resequencer(tracer=setup.tracer, clock=lambda: setup.sim.now)
+
+    def on_append() -> None:
+        payload = setup.delivered[-1]
+        reseq.push(
+            Datagram(
+                source="a", destination="b",
+                sequence=payload[1], created_at=setup.sim.now,
+            )
+        )
+
+    setup.delivered.on_append = on_append
+    batch = FiniteBatch(setup.sim, setup.endpoint_a, spec.n_frames)
+    batch.start()
+    setup.run(until=spec.max_time)
+    setup.finalize_monitors()
+
+    violations = [v.as_dict() for v in suite.violations]
+    return {
+        "episode": spec.index,
+        "seed": spec.seed,
+        "master_seed": spec.master_seed,
+        "scenario": spec.scenario.name,
+        "fault_plan": spec.fault_plan.to_dict(),
+        "n_frames": spec.n_frames,
+        "offered": batch.offered,
+        "delivered": len(setup.delivered),
+        "dest_released": reseq.delivered,
+        "duplicates_dropped": reseq.duplicates_dropped,
+        "failures_declared": (
+            setup.recovery.failures_declared if setup.recovery else 0
+        ),
+        "monitor_summary": suite.summary(),
+        "violations": violations,
+        "ok": not violations,
+        "reproducer": spec.reproducer(),
+    }
+
+
+@dataclass(frozen=True)
+class ChaosPoint:
+    """One episode as a cacheable, picklable sweep work unit."""
+
+    spec: EpisodeSpec
+
+    @property
+    def label(self) -> str:
+        return self.spec.label
+
+    def cache_key(self) -> dict[str, Any]:
+        return {
+            "experiment_id": "chaos-soak",
+            "scenario": dataclasses.asdict(self.spec.scenario),
+            "kwargs": {
+                "fault_plan": self.spec.fault_plan.to_dict(),
+                "overrides": dict(self.spec.overrides),
+                "n_frames": self.spec.n_frames,
+                "max_time": self.spec.max_time,
+                "episode": self.spec.index,
+                "iframe_errors": repr(self.spec.iframe_errors),
+            },
+            "seed": self.spec.seed,
+            "code_version": CODE_VERSION,
+        }
+
+    def execute(self) -> Any:
+        return _jsonable(run_episode(self.spec))
+
+
+@dataclass
+class SoakResult:
+    """Aggregate outcome of one soak run."""
+
+    master_seed: int
+    requested: int
+    episodes: list[dict[str, Any]]
+    stopped_early: bool = False
+
+    @property
+    def completed(self) -> int:
+        return len(self.episodes)
+
+    @property
+    def violations(self) -> list[dict[str, Any]]:
+        out: list[dict[str, Any]] = []
+        for episode in self.episodes:
+            out.extend(episode.get("violations", ()))
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.stopped_early
+
+    def summary(self) -> dict[str, Any]:
+        totals: dict[str, int] = {}
+        for episode in self.episodes:
+            for name, count in episode.get("monitor_summary", {}).items():
+                totals[name] = totals.get(name, 0) + count
+        return {
+            "master_seed": self.master_seed,
+            "episodes_requested": self.requested,
+            "episodes_completed": self.completed,
+            "stopped_early": self.stopped_early,
+            "violations": len(self.violations),
+            "violations_by_invariant": totals,
+            "ok": self.ok,
+        }
+
+
+def run_soak(
+    episodes: int = 50,
+    master_seed: int = 0,
+    jobs: int = 1,
+    fail_fast: bool = False,
+    only: Optional[int] = None,
+    cache: Any = None,
+    progress: Optional[Callable[[dict[str, Any]], None]] = None,
+) -> SoakResult:
+    """Run *episodes* randomized chaos episodes under full monitoring.
+
+    *only* restricts the run to one episode index (reproducing a
+    violation from its report).  *fail_fast* stops scheduling new
+    episodes once any violation is seen; the violating episode's report
+    is always retained.  *progress*, if given, receives each episode's
+    report dict as it completes.
+    """
+    specs = generate_episodes(master_seed, episodes)
+    if only is not None:
+        if not 0 <= only < len(specs):
+            raise ValueError(
+                f"--only index {only} outside the generated range 0..{len(specs) - 1}"
+            )
+        specs = [specs[only]]
+    points = [ChaosPoint(spec) for spec in specs]
+    stopped = False
+
+    def on_progress(point: ChaosPoint, from_cache: bool, result: Any = None) -> None:
+        nonlocal stopped
+        if result is not None and progress is not None:
+            progress(result)
+        if fail_fast and result is not None and not result.get("ok", True):
+            stopped = True
+            raise SweepStop(point.label)
+
+    results = run_sweep(points, jobs=jobs, cache=cache, progress=on_progress)
+    reports = [r for r in results if r is not None]
+    return SoakResult(
+        master_seed=master_seed,
+        requested=len(points),
+        episodes=reports,
+        stopped_early=stopped,
+    )

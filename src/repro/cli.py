@@ -10,6 +10,10 @@ The commands cover the library's everyday uses:
 - ``sweep`` — replicated measurements (or registry experiments) over a
   ``multiprocessing`` pool with an on-disk result cache (``--jobs N``,
   ``--cache-dir``, ``--no-cache``).
+- ``soak`` — randomized chaos episodes under the full invariant-monitor
+  suite (``--episodes N --seed S --jobs J --fail-fast``); exits
+  non-zero if any invariant was violated, printing each violation with
+  its trace window and reproducer command.
 - ``orbit`` — LEO pair geometry: visibility windows and RTT statistics.
 - ``report`` — regenerate the full evaluation as one document.
 
@@ -271,6 +275,54 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from .chaos import run_soak
+
+    if args.episodes < 1:
+        print("error: --episodes must be >= 1", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    def progress(report: dict) -> None:
+        status = "ok" if report["ok"] else "VIOLATION"
+        print(f"episode[{report['episode']:>3}] {report['scenario']:<28} "
+              f"faults={len(report['fault_plan'].get('faults', ()))} "
+              f"delivered={report['delivered']}/{report['offered']} "
+              f"failures={report['failures_declared']} {status}")
+
+    try:
+        result = run_soak(
+            episodes=args.episodes, master_seed=args.seed, jobs=args.jobs,
+            fail_fast=args.fail_fast, only=args.only, progress=progress,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    summary = result.summary()
+    print(f"\nsoak: {summary['episodes_completed']}/"
+          f"{summary['episodes_requested']} episodes "
+          f"(master seed {summary['master_seed']}), "
+          f"{summary['violations']} violation(s)"
+          f"{', stopped early' if summary['stopped_early'] else ''}")
+    if not result.violations:
+        print("all invariants held")
+        return 0
+    for episode in result.episodes:
+        for violation in episode.get("violations", ()):
+            print(f"\n-- {violation['invariant']} at t={violation['time']:.6f} "
+                  f"(episode {episode['episode']})")
+            print(f"   {violation['message']}")
+            command = episode.get("reproducer", {}).get("command")
+            if command:
+                print(f"   reproduce: {command}")
+            for line in violation.get("trace_window", ())[-10:]:
+                print(f"   | {line}")
+    return 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments.report import generate_report
 
@@ -396,6 +448,23 @@ def build_parser() -> argparse.ArgumentParser:
     tune_parser.add_argument("--wait-budget", type=float, default=0.10,
                              help="checkpoint wait as a fraction of RTT")
     tune_parser.set_defaults(handler=_cmd_tune)
+
+    soak_parser = subparsers.add_parser(
+        "soak", help="randomized chaos soak under invariant monitors"
+    )
+    soak_parser.add_argument("--episodes", type=int, default=50,
+                             help="number of randomized episodes")
+    soak_parser.add_argument("--seed", type=int, default=0,
+                             help="master seed the episodes derive from")
+    soak_parser.add_argument("--jobs", type=int, default=1,
+                             help="worker processes")
+    soak_parser.add_argument("--fail-fast", action="store_true",
+                             help="stop scheduling new episodes after the "
+                                  "first violation")
+    soak_parser.add_argument("--only", type=int, default=None, metavar="INDEX",
+                             help="run a single episode index (reproducing "
+                                  "a violation report)")
+    soak_parser.set_defaults(handler=_cmd_soak)
 
     report_parser = subparsers.add_parser(
         "report", help="regenerate the full evaluation report"

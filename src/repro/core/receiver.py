@@ -233,6 +233,7 @@ class LamsReceiver:
         entry = ErrorEntry(seq=seq, detect_time=self.sim.now)
         self._error_log[seq] = entry
         self._resolving_log.append(entry)
+        self.tracer.emit(self.sim.now, self.name, "error_logged", seq=seq)
 
     def _resolving_period_errors(self) -> tuple[int, ...]:
         """All distinct error seqs logged within the resolving period."""
@@ -280,6 +281,7 @@ class LamsReceiver:
         self.tracer.emit(
             self.sim.now, self.name, "checkpoint_sent",
             index=frame.cp_index, naks=len(naks), enforced=enforced, stop_go=stop_go,
+            seqs=naks,
         )
 
     # -- delivery / flow control --------------------------------------------------------
@@ -307,7 +309,9 @@ class LamsReceiver:
             self.tracer.emit(self.sim.now, self.name, "overflow_discard", seq=frame.seq)
             return
         self._receive_queue.append(frame.payload)
-        self.tracer.level(f"{self.name}.rxqueue", self.sim.now, len(self._receive_queue))
+        depth = len(self._receive_queue)
+        self.tracer.level(f"{self.name}.rxqueue", self.sim.now, depth)
+        self.tracer.emit(self.sim.now, self.name, "rxqueue_level", depth=depth)
         if not self._draining:
             self._draining = True
             self.sim.schedule(self._drain_delay(), self._drain_one)
@@ -324,6 +328,7 @@ class LamsReceiver:
         packet = self._receive_queue.popleft()
         self.tracer.level(f"{self.name}.rxqueue", self.sim.now, len(self._receive_queue))
         self.delivered += 1
+        self.tracer.emit(self.sim.now, self.name, "payload_delivered", payload=packet)
         self.deliver(packet)
         if self._receive_queue:
             self.sim.schedule(self._drain_delay(), self._drain_one)
@@ -333,6 +338,11 @@ class LamsReceiver:
     @property
     def receive_queue_length(self) -> int:
         return len(self._receive_queue)
+
+    def queued_payloads(self) -> list[Any]:
+        """Payloads accepted but not yet drained upward (zero-loss ledger:
+        these count as held, not lost, at end of run)."""
+        return list(self._receive_queue)
 
     def __repr__(self) -> str:
         return (

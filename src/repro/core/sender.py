@@ -156,6 +156,9 @@ class LamsSender:
             return False
         accepted = self.buffer.enqueue(packet, self.sim.now)
         if accepted:
+            self.tracer.emit(
+                self.sim.now, self.name, "payload_accepted", payload=packet,
+            )
             self._record_occupancy()
             self._maybe_send()
         return accepted
@@ -396,7 +399,12 @@ class LamsSender:
             released = self.buffer.release(seq, self.sim.now)
             self.seqspace.release(seq)
             self.releases += 1
-            self.tracer.sample(f"{self.name}.holding_time", self.sim.now - released.first_send_time)
+            holding = self.sim.now - released.first_send_time
+            self.tracer.sample(f"{self.name}.holding_time", holding)
+            self.tracer.emit(
+                self.sim.now, self.name, "iframe_released",
+                seq=seq, holding=holding, retx=released.retransmit_count,
+            )
         if to_release or to_retransmit:
             self._record_occupancy()
 

@@ -120,14 +120,17 @@ def decode_iframe(data: bytes) -> tuple[IFrame, bytes, int]:
     payload = body[14:]
     if len(payload) != payload_len:
         raise WireFormatError("payload length mismatch")
-    frame = IFrame(
-        seq=seq,
-        payload=payload,
-        size_bits=8 * len(data),
-        transmit_index=transmit_index,
-        origin=origin,
-        stop_go=bool(flags & _FLAG_STOP_GO),
-    )
+    try:
+        frame = IFrame(
+            seq=seq,
+            payload=payload,
+            size_bits=8 * len(data),
+            transmit_index=transmit_index,
+            origin=origin,
+            stop_go=bool(flags & _FLAG_STOP_GO),
+        )
+    except ValueError as error:
+        raise WireFormatError(f"I-frame rejected: {error}") from error
     return frame, payload, origin
 
 
@@ -183,15 +186,21 @@ def decode_checkpoint(data: bytes) -> CheckpointFrame:
     if len(body) != cursor + 2 * nak_count:
         raise WireFormatError("checkpoint NAK list length mismatch")
     naks = struct.unpack(f">{nak_count}H", body[cursor:]) if nak_count else ()
-    return CheckpointFrame(
-        cp_index=cp_index,
-        issue_time=issue_time,
-        naks=tuple(naks),
-        frontier=frontier,
-        enforced=bool(flags & _FLAG_ENFORCED),
-        stop_go=bool(flags & _FLAG_STOP_GO),
-        size_bits=8 * len(data),
-    )
+    try:
+        return CheckpointFrame(
+            cp_index=cp_index,
+            issue_time=issue_time,
+            naks=tuple(naks),
+            frontier=frontier,
+            enforced=bool(flags & _FLAG_ENFORCED),
+            stop_go=bool(flags & _FLAG_STOP_GO),
+            size_bits=8 * len(data),
+        )
+    except ValueError as error:
+        # A CRC-valid body can still be semantically invalid (e.g. a
+        # duplicate NAK entry); the frame constructor's plain ValueError
+        # must not escape a wire decoder.
+        raise WireFormatError(f"checkpoint rejected: {error}") from error
 
 
 def encode_request_nak(frame: RequestNakFrame) -> bytes:
@@ -209,7 +218,10 @@ def decode_request_nak(data: bytes) -> RequestNakFrame:
     frame_type, request_time = struct.unpack(">Bd", body)
     if frame_type != FRAME_TYPE_REQUEST_NAK:
         raise WireFormatError(f"not a Request-NAK (type 0x{frame_type:02x})")
-    return RequestNakFrame(request_time=request_time, size_bits=8 * len(data))
+    try:
+        return RequestNakFrame(request_time=request_time, size_bits=8 * len(data))
+    except ValueError as error:
+        raise WireFormatError(f"Request-NAK rejected: {error}") from error
 
 
 WireDecodable = Union[IFrame, CheckpointFrame, RequestNakFrame]
@@ -227,7 +239,18 @@ def encode_frame(frame: WireDecodable, payload: bytes = b"") -> bytes:
 
 
 def decode_frame(data: bytes) -> WireDecodable:
-    """Decode any LAMS-DLC frame by its leading type octet."""
+    """Decode any LAMS-DLC frame by its leading type octet.
+
+    Accepts arbitrary octets: anything that is not a well-formed,
+    CRC-passing LAMS-DLC frame raises :class:`WireFormatError` (and
+    nothing else) — the paper's "detectable error" contract at the
+    byte level.
+    """
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise WireFormatError(
+            f"wire data must be bytes-like, not {type(data).__name__}"
+        )
+    data = bytes(data)
     if not data:
         raise WireFormatError("empty frame")
     frame_type = data[0]

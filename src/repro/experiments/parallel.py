@@ -66,12 +66,23 @@ __all__ = [
     "MeasurePoint",
     "MeasureSpec",
     "ResultCache",
+    "SweepStop",
     "parallel_replicate",
     "parallel_replicate_all",
     "replication_seeds",
     "run_experiments_parallel",
     "run_sweep",
 ]
+
+
+class SweepStop(Exception):
+    """Raised by a ``progress`` callback to end a sweep early.
+
+    :func:`run_sweep` catches it, stops dispatching further points, and
+    returns the partial result list (unexecuted points stay ``None``).
+    The chaos soak runner's ``--fail-fast`` uses this to abort on the
+    first invariant violation without losing completed episodes.
+    """
 
 
 # ---------------------------------------------------------------------------
@@ -335,6 +346,22 @@ class ResultCache:
 # ---------------------------------------------------------------------------
 
 
+def _progress_adapter(
+    progress: Optional[Callable[..., None]],
+) -> Callable[[Any, bool, Any], None]:
+    """Normalise a progress callback to the (point, from_cache, result)
+    calling convention, keeping 2-parameter callbacks working."""
+    if progress is None:
+        return lambda point, from_cache, result: None
+    try:
+        takes_result = len(inspect.signature(progress).parameters) >= 3
+    except (TypeError, ValueError):
+        takes_result = False
+    if takes_result:
+        return progress
+    return lambda point, from_cache, result: progress(point, from_cache)
+
+
 def _execute_point(point: Any) -> tuple[Any, int, float]:
     """Worker entry: run one point, reporting (result, pid, seconds)."""
     start = time.perf_counter()
@@ -368,26 +395,32 @@ def run_sweep(
     - samples ``sweep.task_seconds`` and ``sweep.worker.<pid>.seconds``
 
     *progress*, if given, is called as ``progress(point, from_cache)``
-    after each point resolves.  Results come back in input order
-    regardless of completion order.
+    after each point resolves — or ``progress(point, from_cache,
+    result)`` when the callback accepts a third parameter; raising
+    :class:`SweepStop` from it ends the sweep early with the partial
+    results.  Results come back in input order regardless of
+    completion order.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     points = list(points)
     stats = stats if stats is not None else Tracer()
     results: list[Any] = [None] * len(points)
+    notify = _progress_adapter(progress)
 
     pending: list[tuple[int, Any]] = []
-    for index, point in enumerate(points):
-        stats.count("sweep.points")
-        cached = cache.get(point) if cache is not None else None
-        if cached is not None:
-            results[index] = cached
-            stats.count("sweep.cache_hits")
-            if progress is not None:
-                progress(point, True)
-        else:
-            pending.append((index, point))
+    try:
+        for index, point in enumerate(points):
+            stats.count("sweep.points")
+            cached = cache.get(point) if cache is not None else None
+            if cached is not None:
+                results[index] = cached
+                stats.count("sweep.cache_hits")
+                notify(point, True, cached)
+            else:
+                pending.append((index, point))
+    except SweepStop:
+        return results
 
     if not pending:
         return results
@@ -401,20 +434,24 @@ def run_sweep(
         stats.sample(f"sweep.worker.{worker}.seconds", elapsed)
         if cache is not None:
             cache.put(point, result)
-        if progress is not None:
-            progress(point, False)
+        notify(point, False, result)
 
-    if jobs > 1 and len(pending) > 1:
-        context = _pool_context()
-        with context.Pool(processes=min(jobs, len(pending))) as pool:
-            payloads = pool.imap(
-                _execute_point, [point for _, point in pending], chunksize=1
-            )
-            for (index, point), payload in zip(pending, payloads):
-                _record(index, point, payload)
-    else:
-        for index, point in pending:
-            _record(index, point, _execute_point(point))
+    try:
+        if jobs > 1 and len(pending) > 1:
+            context = _pool_context()
+            # Leaving the with-block terminates outstanding workers, so
+            # a SweepStop raised mid-iteration cancels undispatched work.
+            with context.Pool(processes=min(jobs, len(pending))) as pool:
+                payloads = pool.imap(
+                    _execute_point, [point for _, point in pending], chunksize=1
+                )
+                for (index, point), payload in zip(pending, payloads):
+                    _record(index, point, payload)
+        else:
+            for index, point in pending:
+                _record(index, point, _execute_point(point))
+    except SweepStop:
+        pass
     return results
 
 

@@ -14,11 +14,20 @@ Outages are depth-counted per channel, so overlapping faults nest
 correctly, and a channel that was already down when a fault began
 (e.g. between session-manager passes) is *not* forced up when the
 fault ends — the injector only restores state it took down itself.
+
+Error-model faults (BER storms and control corruption) are tracked as
+an ordered stack of *layers* over the channel's base model, rebuilt on
+every fault boundary, so interleaved windows (fault A starts, fault B
+starts, fault A ends while B is still active) keep B's effect applied.
+A plain last-in-first-out stash restores in the wrong order for that
+shape — a bug the chaos-soak invariant monitors caught: an "ended"
+fault would strip a still-active deterministic corruption window,
+letting checkpoints through a window the plan declares silent.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
@@ -72,7 +81,10 @@ class FaultInjector:
         self.faults_ended = 0
         self._outage_depth: dict[str, int] = {}
         self._took_down: dict[str, bool] = {}
-        self._stashed: dict[tuple[str, str], list[ErrorModel]] = {}
+        # Per (channel, attr): the untouched base model plus the ordered
+        # list of active fault layers applied over it.
+        self._base_models: dict[tuple[str, str], ErrorModel] = {}
+        self._layers: dict[tuple[str, str], list[tuple[int, str, Any]]] = {}
         for index, fault in enumerate(plan):
             sim.schedule_at(fault.start, self._begin, index, fault)
             sim.schedule_at(fault.end, self._finish, index, fault)
@@ -93,9 +105,9 @@ class FaultInjector:
         if fault.kind in ("outage", "feedback-blackout"):
             self._begin_outage(fault)
         elif fault.kind == "ber-storm":
-            self._begin_storm(fault)
+            self._begin_storm(index, fault)
         elif fault.kind == "control-corruption":
-            self._begin_corruption(fault)
+            self._begin_corruption(index, fault)
         self.tracer.emit(
             self.sim.now, "faults", "fault_start",
             index=index, kind=fault.kind, direction=fault.direction,
@@ -107,9 +119,9 @@ class FaultInjector:
         if fault.kind in ("outage", "feedback-blackout"):
             self._finish_outage(fault)
         elif fault.kind == "ber-storm":
-            self._finish_storm(fault)
+            self._finish_storm(index, fault)
         elif fault.kind == "control-corruption":
-            self._finish_corruption(fault)
+            self._finish_corruption(index, fault)
         self.tracer.emit(
             self.sim.now, "faults", "fault_end",
             index=index, kind=fault.kind, direction=fault.direction,
@@ -136,48 +148,75 @@ class FaultInjector:
 
     # -- BER storms -------------------------------------------------------
 
-    def _begin_storm(self, fault: BerStorm) -> None:
+    def _begin_storm(self, index: int, fault: BerStorm) -> None:
         for channel in self._channels(fault.direction):
             model = make_error_model(
                 fault.model, {"bit_rate": channel.bit_rate}, **fault.model_kwargs
             )
             if "iframe" in fault.targets:
-                self._stash(channel, "iframe_errors")
-                channel.iframe_errors = model
+                self._push_layer(channel, "iframe_errors", index, "replace", model)
             if "cframe" in fault.targets:
-                self._stash(channel, "cframe_errors")
-                channel.cframe_errors = model
+                self._push_layer(channel, "cframe_errors", index, "replace", model)
 
-    def _finish_storm(self, fault: BerStorm) -> None:
+    def _finish_storm(self, index: int, fault: BerStorm) -> None:
         for channel in self._channels(fault.direction):
             if "iframe" in fault.targets:
-                self._restore(channel, "iframe_errors")
+                self._pop_layer(channel, "iframe_errors", index)
             if "cframe" in fault.targets:
-                self._restore(channel, "cframe_errors")
+                self._pop_layer(channel, "cframe_errors", index)
 
     # -- control-frame corruption ----------------------------------------
 
-    def _begin_corruption(self, fault: ControlCorruption) -> None:
+    def _begin_corruption(self, index: int, fault: ControlCorruption) -> None:
         for channel in self._channels(fault.direction):
-            self._stash(channel, "cframe_errors")
-            channel.cframe_errors = ControlCorruptingModel(
-                channel.cframe_errors, fault.probability
+            self._push_layer(
+                channel, "cframe_errors", index, "wrap", fault.probability
             )
 
-    def _finish_corruption(self, fault: ControlCorruption) -> None:
+    def _finish_corruption(self, index: int, fault: ControlCorruption) -> None:
         for channel in self._channels(fault.direction):
-            self._restore(channel, "cframe_errors")
+            self._pop_layer(channel, "cframe_errors", index)
 
-    # -- model stash (supports overlapping windows, LIFO) -----------------
+    # -- model layering (correct for arbitrary window overlap) ------------
 
-    def _stash(self, channel: SimplexChannel, attr: str) -> None:
-        stack = self._stashed.setdefault((channel.name, attr), [])
-        stack.append(getattr(channel, attr))
+    def _push_layer(
+        self, channel: SimplexChannel, attr: str, index: int, mode: str, payload: Any,
+    ) -> None:
+        key = (channel.name, attr)
+        if key not in self._base_models:
+            self._base_models[key] = getattr(channel, attr)
+        self._layers.setdefault(key, []).append((index, mode, payload))
+        self._rebuild(channel, attr)
 
-    def _restore(self, channel: SimplexChannel, attr: str) -> None:
-        stack = self._stashed.get((channel.name, attr))
-        if stack:
-            setattr(channel, attr, stack.pop())
+    def _pop_layer(self, channel: SimplexChannel, attr: str, index: int) -> None:
+        key = (channel.name, attr)
+        layers = self._layers.get(key)
+        if not layers:
+            return
+        self._layers[key] = [layer for layer in layers if layer[0] != index]
+        self._rebuild(channel, attr)
+
+    def _rebuild(self, channel: SimplexChannel, attr: str) -> None:
+        """Reapply the active layers, in activation order, over the base.
+
+        Removing *any* fault's layer — not just the most recent — leaves
+        every other active fault's effect in place, which a LIFO stash
+        cannot do for interleaved windows.
+        """
+        key = (channel.name, attr)
+        model = self._base_models.get(key)
+        if model is None:
+            return
+        layers = self._layers.get(key, [])
+        for _, mode, payload in layers:
+            if mode == "replace":
+                model = payload
+            else:
+                model = ControlCorruptingModel(model, payload)
+        setattr(channel, attr, model)
+        if not layers:
+            del self._base_models[key]
+            del self._layers[key]
 
     def __repr__(self) -> str:
         return (

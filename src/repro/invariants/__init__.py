@@ -1,0 +1,40 @@
+"""Online invariant monitors for the paper's correctness claims.
+
+- :mod:`repro.invariants.monitors` — the monitor framework and the
+  per-invariant checkers (zero-loss ledger, destination ordering,
+  receiver queue bound, holding-time bound, checkpoint coverage,
+  fault-aware failure-latency bounds).
+- :mod:`repro.invariants.harness` — :func:`attach_monitors`, which
+  derives every bound from a scenario + configuration and arms the
+  suite on a built simulation.
+
+The randomized soak runner living on top is :mod:`repro.chaos`.
+"""
+
+from .harness import attach_monitors, fault_risk_windows, fault_silence_windows
+from .monitors import (
+    CheckpointCoverageMonitor,
+    DestinationOrderingMonitor,
+    FailureLatencyMonitor,
+    HoldingTimeBoundMonitor,
+    InvariantMonitor,
+    MonitorSuite,
+    ReceiverQueueBoundMonitor,
+    Violation,
+    ZeroLossLedger,
+)
+
+__all__ = [
+    "CheckpointCoverageMonitor",
+    "DestinationOrderingMonitor",
+    "FailureLatencyMonitor",
+    "HoldingTimeBoundMonitor",
+    "InvariantMonitor",
+    "MonitorSuite",
+    "ReceiverQueueBoundMonitor",
+    "Violation",
+    "ZeroLossLedger",
+    "attach_monitors",
+    "fault_risk_windows",
+    "fault_silence_windows",
+]

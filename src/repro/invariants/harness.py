@@ -1,0 +1,158 @@
+"""Wires the invariant monitors onto a built simulation.
+
+:func:`attach_monitors` takes the :class:`~repro.workloads.scenarios.SimulationSetup`
+produced by ``build_simulation`` (or anything shaped like it), derives
+every monitor's bounds from the scenario and the LAMS configuration,
+precomputes the fault-plan timelines the fault-aware monitors need,
+and returns an armed :class:`~repro.invariants.monitors.MonitorSuite`.
+
+``build_simulation(..., run_with_invariants=True)`` calls this for you;
+use it directly to monitor hand-assembled simulations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..faults.metrics import declared_failure_bound, detection_bound
+from ..faults.plan import FaultPlan
+from .monitors import (
+    CheckpointCoverageMonitor,
+    DestinationOrderingMonitor,
+    FailureLatencyMonitor,
+    HoldingTimeBoundMonitor,
+    InvariantMonitor,
+    MonitorSuite,
+    ReceiverQueueBoundMonitor,
+    ZeroLossLedger,
+)
+
+__all__ = ["attach_monitors", "fault_silence_windows", "fault_risk_windows"]
+
+# Extra receive-queue headroom above the Stop-Go watermark: the stop
+# indication takes one checkpoint flight to reach the sender, so a
+# short burst can legitimately overshoot the watermark.
+_QUEUE_SLACK = 16
+
+
+def _cuts_feedback(fault: Any) -> bool:
+    """Does this fault deterministically stop checkpoint *arrivals*?"""
+    if fault.kind in ("outage", "feedback-blackout"):
+        return fault.direction in ("reverse", "both")
+    if fault.kind == "control-corruption":
+        return fault.probability >= 1.0 and fault.direction in ("reverse", "both")
+    return False
+
+
+def _threatens_feedback(fault: Any) -> bool:
+    """Could this fault plausibly starve the sender of checkpoints?"""
+    if _cuts_feedback(fault):
+        return True
+    if fault.kind == "control-corruption":
+        return fault.direction in ("reverse", "both")
+    if fault.kind == "ber-storm":
+        return "cframe" in fault.targets and fault.direction in ("reverse", "both")
+    return False
+
+
+def fault_silence_windows(plan: FaultPlan) -> list[tuple[float, float]]:
+    """Windows during which checkpoint arrival is *guaranteed* cut."""
+    return [(f.start, f.end) for f in plan if _cuts_feedback(f)]
+
+
+def fault_risk_windows(plan: FaultPlan) -> list[tuple[float, float]]:
+    """Windows during which checkpoint loss is at least *possible*."""
+    return [(f.start, f.end) for f in plan if _threatens_feedback(f)]
+
+
+def attach_monitors(
+    setup: Any,
+    scenario: Any,
+    fault_plan: Optional[FaultPlan] = None,
+    context: Optional[dict[str, Any]] = None,
+    window: int = 40,
+) -> MonitorSuite:
+    """Build and attach the full monitor suite for a one-way transfer.
+
+    *setup* must expose ``tracer``, ``endpoint_a`` (the sending side)
+    and ``endpoint_b``; the endpoints must be LAMS-family (``sender`` /
+    ``receiver`` halves with ``held_payloads()`` / ``queued_payloads()``)
+    — other protocol families don't state the monitored invariants.
+
+    Run the simulation, then call ``suite.finalize(setup.sim.now)`` and
+    inspect ``suite.violations`` / ``suite.report()``.
+    """
+    sender = getattr(setup.endpoint_a, "sender", None)
+    receiver = getattr(setup.endpoint_b, "receiver", None)
+    if sender is None or not hasattr(sender, "held_payloads"):
+        raise ValueError(
+            "invariant monitors need a LAMS-family sending endpoint "
+            f"(got {type(setup.endpoint_a).__name__})"
+        )
+    if receiver is None or not hasattr(receiver, "queued_payloads"):
+        raise ValueError(
+            "invariant monitors need a LAMS-family receiving endpoint "
+            f"(got {type(setup.endpoint_b).__name__})"
+        )
+    config = sender.config
+    rtt = scenario.round_trip_time
+    plan = fault_plan if fault_plan is not None else FaultPlan()
+
+    monitors: list[InvariantMonitor] = [
+        ZeroLossLedger(),
+        DestinationOrderingMonitor(
+            dlc_no_duplicates=bool(getattr(config, "zero_duplication", False)),
+        ),
+        CheckpointCoverageMonitor(cumulation_depth=config.cumulation_depth),
+    ]
+
+    # Receiver queue bound — only meaningful when the DCE outpaces the
+    # line (t_proc < t_f), the regime the paper's buffer argument
+    # assumes; an explicit capacity is always a bound.
+    if config.receive_queue_capacity is not None:
+        monitors.append(ReceiverQueueBoundMonitor(bound=config.receive_queue_capacity))
+    elif scenario.processing_time < scenario.iframe_time:
+        monitors.append(
+            ReceiverQueueBoundMonitor(
+                bound=config.receive_high_watermark + _QUEUE_SLACK,
+            )
+        )
+
+    # Holding time: each recovery round costs at most one resolving
+    # period; fault windows (padded by the failure budget, during which
+    # recovery is legitimately stalled) extend the allowance, and the
+    # guard absorbs in-flight checkpoints plus throttled-drain slack.
+    declared_bound = declared_failure_bound(config, rtt)
+    resolving = config.resolving_period(rtt)
+    pad = declared_bound + rtt
+    monitors.append(
+        HoldingTimeBoundMonitor(
+            resolving_period=resolving,
+            fault_windows=[(f.start, f.end + pad) for f in plan],
+            guard=resolving + rtt,
+            send_buffer_capacity=config.send_buffer_capacity,
+        )
+    )
+
+    # Failure latency: consumes the fault-plan timeline.  The guard
+    # covers a checkpoint already in flight when the fault begins, the
+    # startup watchdog's extra RTT, and receiver processing.
+    monitors.append(
+        FailureLatencyMonitor(
+            silence_windows=fault_silence_windows(plan),
+            risk_windows=fault_risk_windows(plan),
+            detection_bound=detection_bound(config),
+            declared_bound=declared_bound,
+            guard=rtt + config.checkpoint_interval + config.processing_time + 1e-6,
+        )
+    )
+
+    def held_snapshot() -> list[Any]:
+        held = sender.held_payloads()
+        held.extend(receiver.queued_payloads())
+        return held
+
+    return MonitorSuite(
+        setup.tracer, monitors, context=context, window=window,
+        held_snapshot=held_snapshot,
+    )

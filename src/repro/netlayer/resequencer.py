@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Hashable, Optional
 
+from ..simulator.trace import Tracer
 from .packet import Datagram
 
 __all__ = ["Resequencer", "FlowState"]
@@ -44,10 +45,22 @@ class Resequencer:
     prefix is complete, then released through *deliver*.
     """
 
-    def __init__(self, deliver: Optional[Callable[[Datagram], None]] = None) -> None:
+    def __init__(
+        self,
+        deliver: Optional[Callable[[Datagram], None]] = None,
+        tracer: Optional[Tracer] = None,
+        clock: Optional[Callable[[], float]] = None,
+        name: str = "dest",
+    ) -> None:
         # Explicit None check: callables with __len__ (e.g. DeliveryLog)
         # are falsy when empty and must not be replaced.
         self.deliver = deliver if deliver is not None else (lambda dg: None)
+        # Optional trace wiring: with a tracer, every in-order release
+        # emits ``dest_deliver`` (and drops emit ``duplicate_dropped``),
+        # which the destination-ordering invariant monitor consumes.
+        self.tracer = tracer
+        self.clock = clock or (lambda: 0.0)
+        self.name = name
         self.flows: dict[Hashable, FlowState] = {}
         self.delivered = 0
         self.duplicates_dropped = 0
@@ -65,6 +78,11 @@ class Resequencer:
         seq = datagram.sequence
         if seq < flow.next_expected or seq in flow.held:
             self.duplicates_dropped += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.clock(), self.name, "duplicate_dropped",
+                    flow=datagram.source, seq=seq,
+                )
             return []
         if seq != flow.next_expected:
             self.out_of_order_arrivals += 1
@@ -77,6 +95,11 @@ class Resequencer:
             flow.next_expected += 1
             released.append(out)
             self.delivered += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.clock(), self.name, "dest_deliver",
+                    flow=out.source, seq=out.sequence,
+                )
             self.deliver(out)
         return released
 

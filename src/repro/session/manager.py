@@ -82,6 +82,10 @@ class PassSchedule:
         """``count`` equal passes separated by ``gap`` seconds."""
         if count < 1:
             raise ValueError("need at least one pass")
+        if duration <= 0:
+            raise ValueError(f"pass duration must be positive, got {duration!r}")
+        if gap < 0:
+            raise ValueError(f"pass gap cannot be negative, got {gap!r}")
         passes = []
         start = first_start
         for _ in range(count):
@@ -242,6 +246,13 @@ class LinkSessionManager:
             held = sender.held_payloads()
             reclaimed = len(held)
             self._queue.extendleft(reversed(held))
+            if reclaimed:
+                # Invariant hook: the zero-loss ledger treats reclaimed
+                # payloads as held, and tests assert the replay order.
+                self.tracer.emit(
+                    self.sim.now, "session", "backlog_reclaimed",
+                    count=reclaimed, backlog=len(self._queue),
+                )
         for endpoint in (self._endpoint_a, self._endpoint_b):
             if endpoint is not None:
                 endpoint.stop()

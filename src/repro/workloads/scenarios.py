@@ -248,9 +248,18 @@ class SimulationSetup:
     tracer: Tracer
     fault_injector: Optional[FaultInjector] = None
     recovery: Optional[RecoveryMetrics] = None
+    monitors: Optional[Any] = None
+    """Armed :class:`~repro.invariants.monitors.MonitorSuite` when the
+    setup was built with ``run_with_invariants=True``."""
 
     def run(self, until: float) -> None:
         self.sim.run(until=until)
+
+    def finalize_monitors(self) -> Any:
+        """Run the monitors' end-of-run checks; returns the suite."""
+        if self.monitors is not None:
+            self.monitors.finalize(self.sim.now)
+        return self.monitors
 
 
 def build_simulation(
@@ -263,6 +272,7 @@ def build_simulation(
     cframe_errors: Optional[ErrorModelSpec] = None,
     error_model: Optional[ErrorModelSpec] = None,
     fault_plan: Optional[FaultPlan] = None,
+    run_with_invariants: bool = False,
 ) -> SimulationSetup:
     """One-way transfer over this scenario's link, any protocol.
 
@@ -280,6 +290,11 @@ def build_simulation(
     :class:`~repro.faults.injector.FaultInjector` and attaches
     :class:`~repro.faults.metrics.RecoveryMetrics` to the tracer; both
     land on the returned setup.
+
+    *run_with_invariants* arms the full
+    :mod:`repro.invariants` monitor suite on the tracer (LAMS-family
+    protocols only); the armed suite lands on ``setup.monitors`` and
+    ``setup.finalize_monitors()`` runs its end-of-run checks.
     """
     if error_model is not None:
         if iframe_errors is not None:
@@ -302,10 +317,20 @@ def build_simulation(
     if fault_plan is not None and len(fault_plan):
         recovery = RecoveryMetrics(tracer)
         injector = FaultInjector(sim, link, fault_plan, tracer=tracer)
-    return SimulationSetup(
+    setup = SimulationSetup(
         sim, link, a, b, delivered, tracer,
         fault_injector=injector, recovery=recovery,
     )
+    if run_with_invariants:
+        # Lazy import: the invariants package sits above workloads in
+        # the layering and is only needed when monitoring is requested.
+        from ..invariants.harness import attach_monitors
+
+        setup.monitors = attach_monitors(
+            setup, scenario, fault_plan=fault_plan,
+            context={"scenario": scenario.name, "protocol": protocol, "seed": seed},
+        )
+    return setup
 
 
 def build_lams_simulation(

@@ -157,3 +157,119 @@ class TestInjectorManagerInterplay:
         assert states["gap"] is False   # injector did not resurrect the link
         assert states["pass2"] is True  # second pass activated normally
         assert manager.failures == 0
+
+
+class TestPassScheduleValidation:
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration must be positive"):
+            PassSchedule.periodic(first_start=0.0, duration=0.0, gap=1.0, count=3)
+        with pytest.raises(ValueError, match="duration must be positive"):
+            PassSchedule.periodic(first_start=0.0, duration=-2.0, gap=1.0, count=3)
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError, match="gap cannot be negative"):
+            PassSchedule.periodic(first_start=0.0, duration=1.0, gap=-0.1, count=3)
+
+    def test_zero_gap_back_to_back_passes_allowed(self):
+        schedule = PassSchedule.periodic(
+            first_start=0.0, duration=1.0, gap=0.0, count=3,
+        )
+        assert len(schedule) == 3
+        assert schedule.total_link_time == pytest.approx(3.0)
+
+    def test_count_still_validated(self):
+        with pytest.raises(ValueError, match="at least one pass"):
+            PassSchedule.periodic(first_start=0.0, duration=1.0, gap=1.0, count=0)
+
+
+class _ScriptedEndpoint:
+    """Test double: accepts up to *capacity* payloads; the last
+    *unresolved_tail* of them are still held at teardown."""
+
+    def __init__(self, capacity, unresolved_tail=0):
+        self.capacity = capacity
+        self.unresolved_tail = unresolved_tail
+        self.accepted = []
+        self.sender = self
+
+    def held_payloads(self):
+        if not self.unresolved_tail:
+            return []
+        return list(self.accepted[-self.unresolved_tail:])
+
+    def accept(self, payload):
+        if len(self.accepted) >= self.capacity:
+            return False
+        self.accepted.append(payload)
+        return True
+
+    def stop(self):
+        pass
+
+
+class TestBacklogReplayOrder:
+    """Regression: payloads reclaimed from a failed pass must be re-sent
+    *before* queued traffic, in their original order (the deque
+    ``extendleft(reversed(...))`` dance in ``_teardown``)."""
+
+    def run_scripted(self):
+        sim = Simulator()
+        tracer = Tracer(record_timeline=True)
+        link = make_link(sim, tracer)
+        schedule = PassSchedule.periodic(
+            first_start=0.0, duration=1.0, gap=0.5, count=2,
+        )
+        endpoints = []
+
+        def factory(sim_, link_, deliver, remaining, on_failure=None):
+            first = not endpoints
+            endpoint = _ScriptedEndpoint(
+                capacity=6 if first else 100,
+                unresolved_tail=4 if first else 0,
+            )
+            endpoints.append(endpoint)
+            if first and on_failure is not None:
+                # Declare the link failed mid-pass, as the LAMS sender
+                # would after an exhausted enforced recovery.
+                sim_.schedule(0.5, on_failure)
+            return endpoint, endpoint
+
+        manager = LinkSessionManager(
+            sim, link, schedule, factory,
+            init_time=0.0, deliver=lambda p: None, tracer=tracer,
+        )
+        for i in range(10):
+            manager.send(("pkt", i))
+        sim.run(until=3.0)
+        return manager, endpoints, tracer
+
+    def test_reclaimed_replayed_first_in_original_order(self):
+        manager, endpoints, tracer = self.run_scripted()
+        assert len(endpoints) == 2
+        # Pass 1 accepted pkt0..pkt5 and held pkt2..pkt5 unresolved at
+        # the declared failure; pass 2 must see the reclaimed frames
+        # first, in order, then the never-sent backlog pkt6..pkt9.
+        assert endpoints[0].accepted == [("pkt", i) for i in range(6)]
+        assert endpoints[1].accepted == [("pkt", i) for i in (2, 3, 4, 5, 6, 7, 8, 9)]
+        assert manager.backlog == 0
+
+    def test_failure_teardown_reported_and_traced(self):
+        manager, endpoints, tracer = self.run_scripted()
+        assert manager.failures == 1
+        assert manager.session_history[0]["reason"] == "link_failure"
+        assert manager.session_history[0]["reclaimed"] == 4
+        assert manager.carried_over == 4
+        [event] = tracer.timeline("session", "backlog_reclaimed")
+        assert event.detail["count"] == 4
+        assert event.detail["backlog"] == 8  # 4 reclaimed + 4 never sent
+
+    def test_real_protocol_failure_pass_loses_nothing(self):
+        """End-to-end flavor: across a declared-failure LAMS pass every
+        queued payload is either delivered or still in the backlog."""
+        plan = FaultPlan.single_outage(start=0.3, duration=0.5)
+        manager, delivered, _ = run_faulted_session(
+            lams_session_factory, LamsDlcConfig(**LAMS_CONFIG_KW), plan, n=800,
+        )
+        assert manager.failures == 1
+        ids = sorted({p[1] for p in delivered})
+        assert len(ids) + manager.backlog >= 800

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import struct
+
 import pytest
-from hypothesis import given
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.frames import CheckpointFrame, IFrame, RequestNakFrame
@@ -160,6 +162,69 @@ class TestDispatch:
     def test_unencodable_type(self):
         with pytest.raises(TypeError):
             encode_frame("not a frame")  # type: ignore[arg-type]
+
+
+class TestDecoderFuzzing:
+    """decode_frame must reject arbitrary octets with WireFormatError only.
+
+    This is the paper's detectable-error contract at the byte level: no
+    input, however mangled, may crash a decoder or leak any exception
+    other than :class:`WireFormatError`.
+    """
+
+    @given(data=st.binary(max_size=256))
+    @settings(max_examples=500)
+    def test_arbitrary_bytes_never_leak_other_exceptions(self, data):
+        try:
+            decode_frame(data)
+        except WireFormatError:
+            pass
+
+    @given(
+        payload=st.binary(max_size=64),
+        position=st.integers(min_value=0, max_value=10_000),
+        mask=st.integers(min_value=1, max_value=255),
+    )
+    def test_mutated_valid_frames_never_leak(self, payload, position, mask):
+        encoded = bytearray(encode_iframe(make_iframe(), payload))
+        encoded[position % len(encoded)] ^= mask
+        try:
+            decode_frame(bytes(encoded))
+        except WireFormatError:
+            pass
+
+    @given(cut=st.integers(min_value=0, max_value=64))
+    def test_truncations_never_leak(self, cut):
+        encoded = encode_checkpoint(
+            CheckpointFrame(cp_index=9, issue_time=0.5, naks=(1, 4), frontier=3)
+        )
+        try:
+            decode_frame(encoded[: min(cut, len(encoded))])
+        except WireFormatError:
+            pass
+
+    def test_crc_valid_duplicate_naks_raise_wire_error(self):
+        """A CRC-passing body with a duplicate NAK entry must surface as
+        WireFormatError, not as the frame constructor's plain ValueError."""
+        from repro.fec.crc import append_crc16
+
+        body = struct.pack(">BBId", FRAME_TYPE_CHECKPOINT, 0, 1, 0.0)
+        body += struct.pack(">HHH", 2, 5, 5)  # nak_count=2, naks=(5, 5)
+        crafted = append_crc16(body)
+        with pytest.raises(WireFormatError):
+            decode_frame(crafted)
+        with pytest.raises(WireFormatError):
+            decode_checkpoint(crafted)
+
+    def test_non_bytes_input_raises_wire_error(self):
+        for bad in (None, 17, "abc", [1, 2, 3], 4.2):
+            with pytest.raises(WireFormatError):
+                decode_frame(bad)  # type: ignore[arg-type]
+
+    def test_bytes_like_inputs_accepted(self):
+        encoded = encode_request_nak(RequestNakFrame(request_time=1.0))
+        for view in (bytearray(encoded), memoryview(encoded)):
+            assert decode_frame(view).request_time == 1.0
 
 
 class TestOriginFidelity:
