@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench report examples sweep-smoke faults-smoke soak-smoke clean
+.PHONY: install test bench bench-smoke report examples sweep-smoke faults-smoke soak-smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -12,6 +12,13 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Fast (<60s) hot-path regression check: the E22 micro/meso benchmarks
+# plus a fresh BENCH_hotpath.json perf baseline (see docs/TUNING.md).
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_e22_hotpath.py -q -s
+	PYTHONPATH=src $(PYTHON) -m repro bench-baseline --repeats 2 \
+		--duration 1.0 --micro-events 100000
 
 report:
 	$(PYTHON) -m repro report --output evaluation_report.txt

@@ -1,0 +1,101 @@
+"""E22 — simulator hot-path performance (engine dispatch + E6 workload).
+
+Unlike E1–E21 this series regenerates no paper figure: it benchmarks
+the *simulator itself*, so hot-path regressions surface in CI before
+they slow every other experiment down.  Two levels:
+
+- **Micro**: pure engine dispatch over pre-scheduled no-op events —
+  the heap + dispatch loop with zero protocol work.
+- **Meso**: the E6 saturated-throughput workload (the hottest real
+  configuration), measured in simulator events/sec and frames/sec.
+
+The assertions are deliberately loose sanity floors (orders of
+magnitude below any machine this runs on) — the real regression gate
+is comparing ``BENCH_hotpath.json`` artifacts from the same machine
+(``python -m repro bench-baseline`` / ``make bench-smoke``).
+
+Also asserted here: the perf work's correctness contract — identical
+seeds produce bit-identical tracer summaries whether or not a timeline
+or listeners are attached (the Tracer fast path must never change what
+a simulation computes, only how fast).
+"""
+
+from __future__ import annotations
+
+from repro.benchmark import bench_engine_dispatch, bench_saturated
+
+# Loose floors: CI containers are slow and noisy, so these only catch
+# catastrophic regressions (an accidentally quadratic loop, per-event
+# allocation storms), not percent-level drift.
+MIN_DISPATCH_EVENTS_PER_SEC = 50_000
+MIN_SATURATED_EVENTS_PER_SEC = 10_000
+
+
+def test_engine_dispatch_micro(run_once):
+    result = run_once(bench_engine_dispatch, total_events=100_000)
+    print(f"\n[E22] engine dispatch: {result['events_per_sec']:,.0f} events/s "
+          f"(p50 {result['per_event_p50_us']:.3f}us, "
+          f"p95 {result['per_event_p95_us']:.3f}us)")
+    assert result["events"] == 100_000
+    assert result["events_per_sec"] > MIN_DISPATCH_EVENTS_PER_SEC
+    assert result["per_event_p50_us"] <= result["per_event_p95_us"]
+
+
+def test_saturated_meso(run_once):
+    result = run_once(bench_saturated, duration=1.0)
+    print(f"\n[E22] saturated E6: {result['events_per_sec']:,.0f} events/s, "
+          f"{result['frames_per_sec']:,.0f} frames/s, "
+          f"{result['delivered']:,} delivered")
+    assert result["delivered"] > 1_000  # the run did real protocol work
+    assert result["events_per_sec"] > MIN_SATURATED_EVENTS_PER_SEC
+    assert result["frames"] >= result["delivered"]
+
+
+def test_observers_do_not_change_results():
+    """Same seed ⇒ identical counters with and without observers.
+
+    The Tracer fast path (``active`` flag) skips record construction
+    when nobody is listening; attaching a timeline or a listener must
+    change *observability only* — every counter, sample statistic, and
+    delivered count stays bit-identical.
+    """
+    from repro.workloads.generators import SaturatedSource
+    from repro.workloads.scenarios import build_simulation, preset
+
+    def run(record_timeline: bool, attach_listener: bool):
+        scenario = preset("noisy")  # nonzero BER exercises the RNG path
+        setup = build_simulation(scenario, "lams", seed=7)
+        if record_timeline:
+            setup.tracer.record_timeline = True
+        events_seen = []
+        if attach_listener:
+            setup.tracer.listeners.append(events_seen.append)
+        sender = setup.endpoint_a.sender
+        source = SaturatedSource(
+            setup.sim, setup.endpoint_a,
+            backlog_fn=lambda: sender.pending_count,
+            low_water=64, chunk=128,
+            poll_interval=scenario.iframe_time * 64,
+        )
+        source.start()
+        setup.sim.run(until=0.25)
+        summary = setup.tracer.summary()
+        return (
+            summary,
+            len(setup.delivered),
+            setup.sim.event_count,
+            sender.iframes_sent,
+            sender.retransmissions,
+            len(events_seen),
+        )
+
+    bare = run(record_timeline=False, attach_listener=False)
+    timeline = run(record_timeline=True, attach_listener=False)
+    listened = run(record_timeline=False, attach_listener=True)
+    both = run(record_timeline=True, attach_listener=True)
+
+    # Simulation outcomes identical across observer configurations...
+    assert bare[:5] == timeline[:5] == listened[:5] == both[:5]
+    # ...while the observers really were live (records were produced).
+    assert bare[5] == 0 and timeline[5] == 0
+    assert listened[5] > 0 and both[5] > 0

@@ -323,6 +323,40 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_bench_baseline(args: argparse.Namespace) -> int:
+    from .benchmark import run_hotpath_bench, write_baseline
+
+    if args.repeats < 1:
+        print("error: --repeats must be >= 1", file=sys.stderr)
+        return 2
+    if args.duration <= 0:
+        print("error: --duration must be positive", file=sys.stderr)
+        return 2
+    try:
+        payload = run_hotpath_bench(
+            repeats=args.repeats,
+            micro_events=args.micro_events,
+            duration=args.duration,
+            scenario=args.scenario,
+            protocol=args.protocol,
+            seed=args.seed,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    write_baseline(args.output, payload=payload)
+    micro = payload["engine_dispatch"]
+    meso = payload["saturated_throughput"]
+    print(f"engine dispatch : {micro['events_per_sec']:,.0f} events/sec "
+          f"(p50 {micro['per_event_p50_us']:.3f}us, "
+          f"p95 {micro['per_event_p95_us']:.3f}us per event)")
+    print(f"saturated (E6)  : {meso['events_per_sec']:,.0f} events/sec, "
+          f"{meso['frames_per_sec']:,.0f} frames/sec, "
+          f"{meso['delivered']:,} delivered")
+    print(f"baseline written to {args.output}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments.report import generate_report
 
@@ -465,6 +499,26 @@ def build_parser() -> argparse.ArgumentParser:
                              help="run a single episode index (reproducing "
                                   "a violation report)")
     soak_parser.set_defaults(handler=_cmd_soak)
+
+    bench_parser = subparsers.add_parser(
+        "bench-baseline",
+        help="measure hot-path performance and write BENCH_hotpath.json",
+    )
+    bench_parser.add_argument("--output", default="BENCH_hotpath.json",
+                              help="baseline file to write")
+    bench_parser.add_argument("--repeats", type=int, default=3,
+                              help="repeat count (best-of is reported)")
+    bench_parser.add_argument("--micro-events", type=int, default=200_000,
+                              help="events for the dispatch micro-benchmark")
+    bench_parser.add_argument("--duration", type=float, default=2.0,
+                              help="simulated seconds for the saturated run")
+    bench_parser.add_argument("--scenario", default="nominal",
+                              help="link scenario preset")
+    bench_parser.add_argument("--protocol", default="lams",
+                              help="protocol under test")
+    bench_parser.add_argument("--seed", type=int, default=1,
+                              help="simulation seed")
+    bench_parser.set_defaults(handler=_cmd_bench_baseline)
 
     report_parser = subparsers.add_parser(
         "report", help="regenerate the full evaluation report"

@@ -26,7 +26,7 @@ from typing import Any, Optional
 __all__ = ["IFrame", "CheckpointFrame", "RequestNakFrame", "LamsFrame"]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, eq=False)
 class IFrame:
     """An information frame: one sequence number, one payload.
 
@@ -34,6 +34,12 @@ class IFrame:
     I-frame transmissions; because LAMS-DLC renumbers retransmissions,
     sequence numbers are issued in transmit order and the index gives a
     total order usable for trailing-loss detection.
+
+    I-frames are constructed once per transmission on the simulation's
+    hottest path, so unlike the (rare) control frames below the class is
+    not ``frozen`` — a frozen dataclass pays an ``object.__setattr__``
+    call per field on every construction.  Treat instances as immutable
+    once on the wire regardless.
     """
 
     seq: int
@@ -73,7 +79,7 @@ class IFrame:
             raise ValueError("I-frame must have positive size")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CheckpointFrame:
     """Check-Point command / Check-Point-NAK / Enforced-NAK.
 
@@ -133,7 +139,7 @@ class CheckpointFrame:
         return self.enforced and not self.naks
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestNakFrame:
     """Sender's probe of a suspected link failure (Section 3.2).
 

@@ -79,6 +79,13 @@ class LamsDlcEndpoint:
         # Section 3.1 piggybacking: outgoing I-frames carry the local
         # receive queue's Stop-Go state.
         self.sender.stop_go_provider = self.receiver.stop_indicated
+        # Hoisted per-frame dispatch constants.
+        self._piggyback = config.piggyback_flow_control
+        self._header_protected = config.header_protected
+        # Per-packet fast path: bind accept straight to the sender half
+        # unless a subclass overrides it.
+        if type(self).accept is LamsDlcEndpoint.accept:
+            self.accept = self.sender.accept
 
     # -- lifecycle --------------------------------------------------------
 
@@ -101,18 +108,26 @@ class LamsDlcEndpoint:
     # -- node-facing interface ------------------------------------------------
 
     def accept(self, packet: Any) -> bool:
-        """Queue a packet for transmission (node/network-layer entry point)."""
+        """Queue a packet for transmission (node/network-layer entry point).
+
+        Bound to the sender half's ``accept`` in ``__init__`` so the
+        per-packet hot path skips this wrapper; kept as the documented
+        interface (and for subclasses that override it).
+        """
         return self.sender.accept(packet)
 
     # -- link-facing interface ---------------------------------------------------
 
     def on_frame(self, frame: Any, corrupted: bool) -> None:
         """Dispatch one arriving frame to the proper half."""
-        if isinstance(frame, IFrame):
+        # Exact-type check first: I-frames dominate the arrival stream
+        # and `type(...) is` beats isinstance on the hot path; the
+        # isinstance fallbacks keep subclasses working.
+        if type(frame) is IFrame or isinstance(frame, IFrame):
             self.receiver.on_iframe(frame, corrupted)
             # The piggybacked Stop-Go bit rides in the (FEC-protected)
             # header, so it is readable whenever the header is.
-            if not corrupted or self.config.header_protected:
+            if self._piggyback and (not corrupted or self._header_protected):
                 self.sender.note_piggyback_stop_go(frame.stop_go)
         elif isinstance(frame, CheckpointFrame):
             self.sender.on_checkpoint(frame, corrupted)

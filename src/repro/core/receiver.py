@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from heapq import heappush
 from typing import Any, Callable, Optional
 
 from ..simulator.engine import Simulator
@@ -36,7 +37,7 @@ from .seqspace import forward_distance
 __all__ = ["LamsReceiver", "ErrorEntry"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ErrorEntry:
     """One erroneous I-frame awaiting recovery via cumulative NAKs."""
 
@@ -83,6 +84,21 @@ class LamsReceiver:
         # delivery_interval the queue drains at one frame per t_proc.
         self._receive_queue: deque[Any] = deque()
         self._draining = False
+        # Per-frame constants hoisted out of the hot path (all fixed for
+        # the lifetime of the endpoint).
+        self._header_protected = config.header_protected
+        self._numbering_size = config.numbering_size
+        self._zero_duplication = config.zero_duplication
+        self._rx_capacity = config.receive_queue_capacity
+        self._drain_delay_value = (
+            delivery_interval if delivery_interval is not None
+            else config.processing_time
+        )
+        self._origin_retention_value = 4.0 * config.resolving_period(expected_rtt)
+        # Cached occupancy stat for the per-frame enqueue/drain path
+        # (created lazily so its start time matches first use).
+        self._rxqueue_stat = None
+        self._rxqueue_stat_name = f"{self.name}.rxqueue"
 
         # Zero-duplication extension: stable incarnation identities of
         # recently delivered frames.  Duplicates only arise within the
@@ -133,30 +149,40 @@ class LamsReceiver:
     def on_iframe(self, frame: IFrame, corrupted: bool) -> None:
         """Handle an arriving I-frame (possibly corrupted)."""
         self.iframes_received += 1
-        if corrupted and not self.config.header_protected:
+        if corrupted and not self._header_protected:
             # Header unreadable: an effective loss. A later frame's gap
             # or the sender's trailing-loss check will recover it.
             self.iframes_corrupted += 1
-            self.tracer.emit(self.sim.now, self.name, "iframe_header_lost")
+            if self.tracer.active:
+                self.tracer.emit(self.sim.now, self.name, "iframe_header_lost")
             return
 
-        self._detect_gap(frame.seq)
-        self._next_expected_seq = (frame.seq + 1) % self.config.numbering_size
-        if self.frontier is None or frame.transmit_index > self.frontier:
+        seq = frame.seq
+        # In-order arrival (the overwhelmingly common case) has no gap;
+        # only jumps take the full modular-distance path.
+        if seq != self._next_expected_seq:
+            self._detect_gap(seq)
+        self._next_expected_seq = (seq + 1) % self._numbering_size
+        frontier = self.frontier
+        if frontier is None or frame.transmit_index > frontier:
             self.frontier = frame.transmit_index
 
         if corrupted:
             self.iframes_corrupted += 1
-            self._log_error(frame.seq)
-            self.tracer.emit(self.sim.now, self.name, "iframe_corrupted", seq=frame.seq)
+            self._log_error(seq)
+            if self.tracer.active:
+                self.tracer.emit(
+                    self.sim.now, self.name, "iframe_corrupted", seq=seq
+                )
             return
 
-        if self.config.zero_duplication and self._is_duplicate_incarnation(frame):
+        if self._zero_duplication and self._is_duplicate_incarnation(frame):
             self.duplicates_suppressed += 1
-            self.tracer.emit(
-                self.sim.now, self.name, "duplicate_suppressed",
-                origin=frame.effective_origin,
-            )
+            if self.tracer.active:
+                self.tracer.emit(
+                    self.sim.now, self.name, "duplicate_suppressed",
+                    origin=frame.effective_origin,
+                )
             return
 
         self._enqueue_for_delivery(frame)
@@ -177,11 +203,14 @@ class LamsReceiver:
     def _is_duplicate_incarnation(self, frame: IFrame) -> bool:
         """Record-and-test the frame's stable incarnation identity."""
         now = self.sim.now
-        horizon = now - self._origin_retention
+        horizon = now - self._origin_retention_value
         while self._origin_prune_queue and self._origin_prune_queue[0][0] < horizon:
             _, stale = self._origin_prune_queue.popleft()
             self._delivered_origins.pop(stale, None)
-        origin = frame.effective_origin
+        # Inlined IFrame.effective_origin (property call per frame).
+        origin = frame.origin
+        if origin < 0:
+            origin = frame.transmit_index
         if origin in self._delivered_origins:
             return True
         self._delivered_origins[origin] = now
@@ -217,15 +246,18 @@ class LamsReceiver:
             # first arrival reveals the loss of everything before it.
             gap = seq
         else:
-            gap = forward_distance(self._next_expected_seq, seq, self.config.numbering_size)
+            gap = forward_distance(self._next_expected_seq, seq, self._numbering_size)
         if gap == 0:
             return
         start = 0 if self._next_expected_seq is None else self._next_expected_seq
         for offset in range(gap):
-            lost = (start + offset) % self.config.numbering_size
+            lost = (start + offset) % self._numbering_size
             self._log_error(lost)
         self.gap_losses_detected += gap
-        self.tracer.emit(self.sim.now, self.name, "gap_detected", count=gap, upto=seq)
+        if self.tracer.active:
+            self.tracer.emit(
+                self.sim.now, self.name, "gap_detected", count=gap, upto=seq
+            )
 
     def _log_error(self, seq: int) -> None:
         if seq in self._error_log:
@@ -233,7 +265,8 @@ class LamsReceiver:
         entry = ErrorEntry(seq=seq, detect_time=self.sim.now)
         self._error_log[seq] = entry
         self._resolving_log.append(entry)
-        self.tracer.emit(self.sim.now, self.name, "error_logged", seq=seq)
+        if self.tracer.active:
+            self.tracer.emit(self.sim.now, self.name, "error_logged", seq=seq)
 
     def _resolving_period_errors(self) -> tuple[int, ...]:
         """All distinct error seqs logged within the resolving period."""
@@ -300,38 +333,74 @@ class LamsReceiver:
     _stop_indicated = stop_indicated
 
     def _enqueue_for_delivery(self, frame: IFrame) -> None:
-        capacity = self.config.receive_queue_capacity
+        capacity = self._rx_capacity
         if capacity is not None and len(self._receive_queue) >= capacity:
             # Overflow: discard, but log as erroneous so the cumulative
             # NAK triggers a retransmission — zero loss is preserved.
             self.discards += 1
             self._log_error(frame.seq)
-            self.tracer.emit(self.sim.now, self.name, "overflow_discard", seq=frame.seq)
+            if self.tracer.active:
+                self.tracer.emit(
+                    self.sim.now, self.name, "overflow_discard", seq=frame.seq
+                )
             return
         self._receive_queue.append(frame.payload)
         depth = len(self._receive_queue)
-        self.tracer.level(f"{self.name}.rxqueue", self.sim.now, depth)
-        self.tracer.emit(self.sim.now, self.name, "rxqueue_level", depth=depth)
+        now = self.sim.now
+        # Inlined _record_queue_depth (once per queued frame).
+        stat = self._rxqueue_stat
+        if stat is None:
+            stat = self._rxqueue_stat = self.tracer.level_stat(
+                self._rxqueue_stat_name, start_time=now
+            )
+        stat.update(now, depth)
+        if self.tracer.active:
+            self.tracer.emit(now, self.name, "rxqueue_level", depth=depth)
         if not self._draining:
             self._draining = True
-            self.sim.schedule(self._drain_delay(), self._drain_one)
+            # Inlined sim.schedule (hot: once per queued frame).
+            sim = self.sim
+            sim._sequence = sequence = sim._sequence + 1
+            heappush(sim._heap, (now + self._drain_delay_value, sequence,
+                                 self._drain_one, ()))
+
+    def _record_queue_depth(self, depth: int) -> None:
+        stat = self._rxqueue_stat
+        if stat is None:
+            stat = self._rxqueue_stat = self.tracer.level_stat(
+                self._rxqueue_stat_name, start_time=self.sim.now
+            )
+        stat.update(self.sim.now, depth)
 
     def _drain_delay(self) -> float:
-        if self.delivery_interval is not None:
-            return self.delivery_interval
-        return self.config.processing_time
+        return self._drain_delay_value
 
     def _drain_one(self) -> None:
-        if not self._receive_queue:
+        queue = self._receive_queue
+        if not queue:
             self._draining = False
             return
-        packet = self._receive_queue.popleft()
-        self.tracer.level(f"{self.name}.rxqueue", self.sim.now, len(self._receive_queue))
+        packet = queue.popleft()
+        now = self.sim.now
+        # Inlined _record_queue_depth (once per delivered frame).
+        stat = self._rxqueue_stat
+        if stat is None:
+            stat = self._rxqueue_stat = self.tracer.level_stat(
+                self._rxqueue_stat_name, start_time=now
+            )
+        stat.update(now, len(queue))
         self.delivered += 1
-        self.tracer.emit(self.sim.now, self.name, "payload_delivered", payload=packet)
+        if self.tracer.active:
+            self.tracer.emit(
+                now, self.name, "payload_delivered", payload=packet
+            )
         self.deliver(packet)
-        if self._receive_queue:
-            self.sim.schedule(self._drain_delay(), self._drain_one)
+        if queue:
+            # Inlined sim.schedule (hot: once per delivered frame).
+            sim = self.sim
+            sim._sequence = sequence = sim._sequence + 1
+            heappush(sim._heap, (sim.now + self._drain_delay_value, sequence,
+                                 self._drain_one, ()))
         else:
             self._draining = False
 

@@ -18,7 +18,7 @@ from typing import Any, Iterator, Optional
 __all__ = ["OutstandingFrame", "SendBuffer"]
 
 
-@dataclass
+@dataclass(slots=True)
 class OutstandingFrame:
     """Bookkeeping for one transmitted-but-unresolved I-frame."""
 
@@ -55,6 +55,11 @@ class SendBuffer:
         self.capacity = capacity
         self._pending: deque[tuple[Any, float]] = deque()
         self._outstanding: dict[int, OutstandingFrame] = {}
+        # LAMS issues transmit indices in send order, so the outstanding
+        # dict is normally already insertion-ordered by transmit_index;
+        # track that so outstanding_frames() can skip the sort.
+        self._last_recorded_index = -1
+        self._insertion_ordered = True
         # Statistics.
         self.enqueued_total = 0
         self.refused_total = 0
@@ -93,13 +98,15 @@ class SendBuffer:
 
     def enqueue(self, packet: Any, now: float) -> bool:
         """Add a packet from the network layer; False if buffer is full."""
-        if self.is_full:
+        occ = len(self._pending) + len(self._outstanding)
+        if self.capacity is not None and occ >= self.capacity:
             self.refused_total += 1
             return False
         self._pending.append((packet, now))
         self.enqueued_total += 1
-        if self.occupancy > self.peak_occupancy:
-            self.peak_occupancy = self.occupancy
+        occ += 1
+        if occ > self.peak_occupancy:
+            self.peak_occupancy = occ
         return True
 
     def has_pending(self) -> bool:
@@ -116,8 +123,13 @@ class SendBuffer:
         if frame.seq in self._outstanding:
             raise ValueError(f"sequence {frame.seq} already outstanding")
         self._outstanding[frame.seq] = frame
-        if self.occupancy > self.peak_occupancy:
-            self.peak_occupancy = self.occupancy
+        if frame.transmit_index >= self._last_recorded_index:
+            self._last_recorded_index = frame.transmit_index
+        else:
+            self._insertion_ordered = False
+        occ = len(self._pending) + len(self._outstanding)
+        if occ > self.peak_occupancy:
+            self.peak_occupancy = occ
 
     def find(self, seq: int) -> Optional[OutstandingFrame]:
         """The outstanding record for *seq*, or None if already resolved."""
@@ -147,12 +159,16 @@ class SendBuffer:
 
     def outstanding_frames(self) -> Iterator[OutstandingFrame]:
         """Snapshot iteration over outstanding records (sorted by transmit order)."""
+        if self._insertion_ordered:
+            return iter(list(self._outstanding.values()))
         return iter(sorted(self._outstanding.values(), key=lambda f: f.transmit_index))
 
     def clear(self) -> None:
         """Drop everything (link teardown)."""
         self._pending.clear()
         self._outstanding.clear()
+        self._last_recorded_index = -1
+        self._insertion_ordered = True
 
     def __len__(self) -> int:
         return self.occupancy

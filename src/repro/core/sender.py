@@ -48,7 +48,7 @@ from .seqspace import SequenceSpace
 __all__ = ["LamsSender", "PendingRetransmission"]
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingRetransmission:
     """A frame detached from the outstanding map, awaiting renumbering."""
 
@@ -116,6 +116,18 @@ class LamsSender:
 
         self.data_channel.on_idle(self._maybe_send)
 
+        # Cached stat objects for the per-frame paths (created lazily so
+        # their start times match first use, exactly like Tracer.level).
+        self._sendbuf_stat = None
+        self._sendbuf_stat_name = f"{self.name}.sendbuf"
+        self._holding_stat = None
+
+        # Per-frame constants hoisted out of _transmit (the I-frame size
+        # and line rate are fixed for the lifetime of the endpoint).
+        self._iframe_bits = config.iframe_bits
+        self._iframe_tx_time = config.iframe_bits / data_channel.bit_rate
+        self._piggyback = config.piggyback_flow_control
+
         # Statistics.
         self.iframes_sent = 0
         self.retransmissions = 0
@@ -154,13 +166,32 @@ class LamsSender:
         """Offer a packet for transmission; False if the buffer refuses."""
         if self.failed:
             return False
-        accepted = self.buffer.enqueue(packet, self.sim.now)
+        now = self.sim.now
+        buffer = self.buffer
+        accepted = buffer.enqueue(packet, now)
         if accepted:
-            self.tracer.emit(
-                self.sim.now, self.name, "payload_accepted", payload=packet,
-            )
-            self._record_occupancy()
-            self._maybe_send()
+            if self.tracer.active:
+                self.tracer.emit(
+                    now, self.name, "payload_accepted", payload=packet,
+                )
+            # Inlined _record_occupancy (once per accepted packet).
+            stat = self._sendbuf_stat
+            if stat is None:
+                stat = self._sendbuf_stat = self.tracer.level_stat(
+                    self._sendbuf_stat_name, start_time=now
+                )
+            stat.update(now, len(buffer._pending) + len(buffer._outstanding))
+            # Inlined busy-channel early-exit of _maybe_send: saturated
+            # sources accept in bursts while a frame is serializing.
+            # (try/except is free when no exception fires; the fallback
+            # keeps duck-typed channels without the private fields working.)
+            channel = self.data_channel
+            try:
+                busy = channel._transmitting or channel._queue
+            except AttributeError:
+                busy = not channel.is_idle
+            if not busy:
+                self._maybe_send()
         return accepted
 
     @property
@@ -196,10 +227,19 @@ class LamsSender:
         """Transmit the next frame if pacing, channel, and state allow."""
         if self.failed or not self._started:
             return
-        if not self.data_channel.is_idle:
+        # Inlined SimplexChannel.is_idle (hot: runs once per idle event
+        # and once per accepted packet); falls back to the public
+        # property for duck-typed channels without the private fields.
+        channel = self.data_channel
+        try:
+            busy = channel._transmitting or channel._queue
+        except AttributeError:
+            busy = not channel.is_idle
+        if busy:
             return  # the channel's idle callback re-enters here
         has_retransmission = bool(self._retransmit_queue)
-        has_new = self.buffer.has_pending() and not self.suspended
+        # Inlined SendBuffer.has_pending (hot: same call rate as above).
+        has_new = bool(self.buffer._pending) and not self.suspended
         if not has_retransmission and not has_new:
             return
         now = self.sim.now
@@ -240,18 +280,18 @@ class LamsSender:
         frame = IFrame(
             seq=seq,
             payload=payload,
-            size_bits=self.config.iframe_bits,
+            size_bits=self._iframe_bits,
             transmit_index=self._transmit_index,
             origin=origin,
-            stop_go=(
-                self.stop_go_provider()
-                if self.config.piggyback_flow_control
-                else False
-            ),
+            stop_go=self.stop_go_provider() if self._piggyback else False,
         )
         self._transmit_index += 1
-        tx_time = self.data_channel.transmission_time(frame)
-        expected_arrival = now + tx_time + self.data_channel.propagation_delay(now)
+        tx_time = self._iframe_tx_time
+        channel = self.data_channel
+        delay = getattr(channel, "_fixed_delay", None)
+        if delay is None:
+            delay = channel.propagation_delay(now)
+        expected_arrival = now + tx_time + delay
         record = OutstandingFrame(
             seq=seq,
             payload=payload,
@@ -264,14 +304,26 @@ class LamsSender:
             origin=origin if origin >= 0 else frame.transmit_index,
         )
         self.buffer.record_outstanding(record)
-        self._record_occupancy()
-        self.data_channel.send(frame)
+        # Inlined _record_occupancy (once per frame).
+        stat = self._sendbuf_stat
+        if stat is None:
+            stat = self._sendbuf_stat = self.tracer.level_stat(
+                self._sendbuf_stat_name, start_time=now
+            )
+        buffer = self.buffer
+        stat.update(now, len(buffer._pending) + len(buffer._outstanding))
+        channel.send(frame)
         self.iframes_sent += 1
-        self._next_allowed_send = now + self.flow.inter_frame_gap(tx_time)
-        self.tracer.emit(
-            now, self.name, "iframe_sent",
-            seq=seq, index=frame.transmit_index, retx=retransmit_count,
+        # Inlined StopGoRateController.inter_frame_gap (hot: once per frame).
+        flow = self.flow
+        self._next_allowed_send = now + (
+            tx_time / flow.rate_fraction if flow.enabled else tx_time
         )
+        if self.tracer.active:
+            self.tracer.emit(
+                now, self.name, "iframe_sent",
+                seq=seq, index=frame.transmit_index, retx=retransmit_count,
+            )
         # Try to queue the next frame right behind this one only when
         # pacing is at line rate; otherwise the pacing timer drives it.
 
@@ -283,7 +335,7 @@ class LamsSender:
         Rate-limited to one application per checkpoint interval;
         frame-rate application would re-scale the AIMD constants.
         """
-        if not self.config.piggyback_flow_control or self.failed:
+        if not self._piggyback or self.failed:
             return
         if self.sim.now - self._last_piggyback_applied < self.config.checkpoint_interval:
             return
@@ -355,9 +407,10 @@ class LamsSender:
                 origin=record.origin,
             )
         )
-        self.tracer.emit(
-            self.sim.now, self.name, "requeue", seq=record.seq, cause=cause,
-        )
+        if self.tracer.active:
+            self.tracer.emit(
+                self.sim.now, self.name, "requeue", seq=record.seq, cause=cause,
+            )
 
     def _release_covered(self, cp: CheckpointFrame, nak_set: set[int]) -> None:
         """Release covered frames the checkpoint implicitly acknowledged.
@@ -380,14 +433,19 @@ class LamsSender:
         vouch_horizon = None
         if cp.enforced:
             vouch_horizon = cp.issue_time - self.config.resolving_period(self.expected_rtt)
+        # Hoisted loop invariants: this scan walks every outstanding
+        # frame once per checkpoint, which makes it the hottest
+        # non-per-frame loop in the sender.
+        issue_time = cp.issue_time
+        frontier = cp.frontier
         to_release: list[int] = []
         to_retransmit: list[tuple[OutstandingFrame, str]] = []
         for record in self.buffer.outstanding_frames():
-            if record.expected_arrival + guard > cp.issue_time:
+            if record.expected_arrival + guard > issue_time:
                 continue  # not yet covered by this checkpoint
             if record.seq in nak_set:
                 continue  # handled by the NAK pass
-            if cp.frontier is None or record.transmit_index > cp.frontier:
+            if frontier is None or record.transmit_index > frontier:
                 to_retransmit.append((record, "trailing"))
             elif vouch_horizon is not None and record.expected_arrival < vouch_horizon:
                 to_retransmit.append((record, "enforced"))
@@ -395,16 +453,27 @@ class LamsSender:
                 to_release.append(record.seq)
         for record, cause in to_retransmit:
             self._requeue(record, cause=cause)
-        for seq in to_release:
-            released = self.buffer.release(seq, self.sim.now)
-            self.seqspace.release(seq)
-            self.releases += 1
-            holding = self.sim.now - released.first_send_time
-            self.tracer.sample(f"{self.name}.holding_time", holding)
-            self.tracer.emit(
-                self.sim.now, self.name, "iframe_released",
-                seq=seq, holding=holding, retx=released.retransmit_count,
+        holding_stat = self._holding_stat
+        if holding_stat is None and to_release:
+            holding_stat = self._holding_stat = self.tracer.sample_stat(
+                f"{self.name}.holding_time"
             )
+        trace_active = self.tracer.active
+        now = self.sim.now
+        buffer_release = self.buffer.release
+        seqspace_release = self.seqspace.release
+        holding_add = holding_stat.add if to_release else None
+        for seq in to_release:
+            released = buffer_release(seq, now)
+            seqspace_release(seq)
+            self.releases += 1
+            holding = now - released.first_send_time
+            holding_add(holding)
+            if trace_active:
+                self.tracer.emit(
+                    now, self.name, "iframe_released",
+                    seq=seq, holding=holding, retx=released.retransmit_count,
+                )
         if to_release or to_retransmit:
             self._record_occupancy()
 
@@ -462,7 +531,12 @@ class LamsSender:
     # -- instrumentation ----------------------------------------------------------------
 
     def _record_occupancy(self) -> None:
-        self.tracer.level(f"{self.name}.sendbuf", self.sim.now, self.buffer.occupancy)
+        stat = self._sendbuf_stat
+        if stat is None:
+            stat = self._sendbuf_stat = self.tracer.level_stat(
+                self._sendbuf_stat_name, start_time=self.sim.now
+            )
+        stat.update(self.sim.now, self.buffer.occupancy)
 
     @property
     def mean_holding_time(self) -> float:

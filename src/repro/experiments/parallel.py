@@ -46,6 +46,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import inspect
+import itertools
 import json
 import multiprocessing
 import os
@@ -275,16 +276,44 @@ class ResultCache:
     One file per point under *root*, named by the SHA-256 of the
     canonical key; the key itself is stored alongside the result so a
     (vanishingly unlikely) digest collision is detected, not served.
-    Writes are atomic (temp file + ``os.replace``), so a sweep killed
-    mid-write never leaves a torn entry.
+    Writes are atomic (unique ``O_EXCL`` temp file + ``os.replace``),
+    so a sweep killed mid-write never leaves a torn entry; temp files
+    orphaned by a killed writer are swept out the next time a cache is
+    opened on the same directory (once they are old enough that no
+    live writer can still own them).
     """
+
+    #: Orphaned ``*.tmp.*`` files older than this are removed on open.
+    #: Generously longer than any single point's write so a concurrent
+    #: sweep's in-flight temp file is never yanked out from under it.
+    STALE_TMP_SECONDS = 3600.0
+
+    _tmp_ids = itertools.count()
 
     def __init__(self, root: str, code_version: str = CODE_VERSION) -> None:
         self.root = str(root)
         self.code_version = code_version
         os.makedirs(self.root, exist_ok=True)
+        self.stale_tmp_removed = self._sweep_stale_tmp()
         self.hits = 0
         self.misses = 0
+
+    def _sweep_stale_tmp(self) -> int:
+        """Delete old orphaned temp files; returns how many went."""
+        cutoff = time.time() - self.STALE_TMP_SECONDS
+        removed = 0
+        for name in os.listdir(self.root):
+            if ".json.tmp." not in name:
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                if os.path.getmtime(path) < cutoff:
+                    os.unlink(path)
+                    removed += 1
+            except OSError:
+                # Raced with another opener or a finishing writer.
+                continue
+        return removed
 
     # -- keying ----------------------------------------------------------
 
@@ -323,10 +352,28 @@ class ResultCache:
             "key": json.loads(self._canonical(point.cache_key())),
             "result": result,
         }
-        tmp = f"{path}.tmp.{os.getpid()}"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
-        os.replace(tmp, path)
+        # Unique temp name per writer: pid alone is not enough (pid
+        # reuse across runs, threads within one process), so add a
+        # per-process counter and create with O_EXCL so a collision
+        # surfaces as a retry instead of two writers sharing a file.
+        pid = os.getpid()
+        while True:
+            tmp = f"{path}.tmp.{pid}.{next(self._tmp_ids)}"
+            try:
+                fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+                break
+            except FileExistsError:
+                continue
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def __len__(self) -> int:
         return sum(1 for n in os.listdir(self.root) if n.endswith(".json"))

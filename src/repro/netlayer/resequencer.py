@@ -78,7 +78,7 @@ class Resequencer:
         seq = datagram.sequence
         if seq < flow.next_expected or seq in flow.held:
             self.duplicates_dropped += 1
-            if self.tracer is not None:
+            if self.tracer is not None and self.tracer.active:
                 self.tracer.emit(
                     self.clock(), self.name, "duplicate_dropped",
                     flow=datagram.source, seq=seq,
@@ -90,13 +90,15 @@ class Resequencer:
         if len(flow.held) > flow.peak_held:
             flow.peak_held = len(flow.held)
         released: list[Datagram] = []
+        tracer = self.tracer
+        trace_active = tracer is not None and tracer.active
         while flow.next_expected in flow.held:
             out = flow.held.pop(flow.next_expected)
             flow.next_expected += 1
             released.append(out)
             self.delivered += 1
-            if self.tracer is not None:
-                self.tracer.emit(
+            if trace_active:
+                tracer.emit(
                     self.clock(), self.name, "dest_deliver",
                     flow=out.source, seq=out.sequence,
                 )

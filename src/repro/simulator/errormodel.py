@@ -88,12 +88,38 @@ class BernoulliChannel:
         if not 0.0 <= ber <= 1.0:
             raise ValueError(f"BER must be in [0, 1], got {ber!r}")
         self.ber = ber
+        # Per-frame-length cache of frame_error_probability: traffic uses
+        # a handful of distinct frame sizes, while the expm1/log1p pair is
+        # measurably hot when evaluated per frame.
+        self._prob_by_bits: dict[int, float] = {}
+        # Buffered uniform draws.  Generator.random(n) produces exactly
+        # the same double sequence as n scalar random() calls, so draw k
+        # still sees the k-th variate of the stream — bit-identical
+        # results, minus the per-call numpy dispatch overhead.  Assumes
+        # the generator is not shared with other consumers, which holds
+        # for the per-direction streams the link layer hands us.
+        self._buf = None
+        self._buf_rng = None
+        self._buf_idx = 0
 
     def frame_error(self, start: float, bits: int, rng: np.random.Generator) -> bool:
-        probability = frame_error_probability(self.ber, bits)
+        probability = self._prob_by_bits.get(bits)
+        if probability is None:
+            probability = self._prob_by_bits[bits] = frame_error_probability(
+                self.ber, bits
+            )
+        # Zero-probability frames must not consume an RNG draw (keeps the
+        # random sequence identical to a PerfectChannel run).
         if probability == 0.0:
             return False
-        return bool(rng.random() < probability)
+        buf = self._buf
+        index = self._buf_idx
+        if buf is None or rng is not self._buf_rng or index >= 512:
+            buf = self._buf = rng.random(512)
+            self._buf_rng = rng
+            index = 0
+        self._buf_idx = index + 1
+        return buf.item(index) < probability
 
     def __repr__(self) -> str:
         return f"BernoulliChannel(ber={self.ber:g})"

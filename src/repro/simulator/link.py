@@ -25,6 +25,7 @@ Each simplex channel models:
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Any, Callable, Optional, Protocol, Union
 
 from .engine import Simulator
@@ -72,6 +73,14 @@ class SimplexChannel:
         self.name = name
         self.bit_rate = bit_rate
         self._delay_spec = propagation_delay
+        # Constant-delay fast path: most scenarios use a fixed float, so
+        # hot paths can skip the callable dispatch in propagation_delay.
+        if callable(propagation_delay):
+            self._fixed_delay: Optional[float] = None
+        else:
+            if propagation_delay < 0:
+                raise ValueError("propagation delay cannot be negative")
+            self._fixed_delay = float(propagation_delay)
         self.iframe_errors: ErrorModel = iframe_errors or PerfectChannel()
         self.cframe_errors: ErrorModel = cframe_errors or PerfectChannel()
         self.streams = streams or StreamRegistry()
@@ -82,6 +91,11 @@ class SimplexChannel:
         self._transmitting = False
         self._last_arrival = -1.0
         self._is_up = True
+        # Cached RNG streams for the per-frame error draws; the registry
+        # returns the same generator per name, so caching is free and
+        # skips an f-string build plus a dict probe per frame.
+        self._iframe_rng = None
+        self._cframe_rng = None
         self.busy_seconds = 0.0
         self.frames_sent = 0
         self.frames_corrupted = 0
@@ -133,9 +147,26 @@ class SimplexChannel:
 
     def send(self, frame: Transmittable) -> None:
         """Queue *frame* for transmission (FIFO behind any busy frame)."""
-        self._queue.append(frame)
-        if not self._transmitting:
+        if self._transmitting:
+            self._queue.append(frame)
+            return
+        if self._queue:
+            # Not transmitting but backlogged (only reachable mid
+            # _start_next reentry); keep strict FIFO.
+            self._queue.append(frame)
             self._start_next()
+            return
+        # Idle-channel fast path: skip the queue round-trip and start
+        # serializing immediately (the per-frame common case).
+        self._transmitting = True
+        tx_time = frame.size_bits / self.bit_rate
+        self.busy_seconds += tx_time
+        sim = self.sim
+        departure = sim.now
+        # Inlined sim.schedule (hot: once per frame).
+        sim._sequence = sequence = sim._sequence + 1
+        heappush(sim._heap, (departure + tx_time, sequence,
+                             self._finish_transmit, (frame, departure)))
 
     def transmission_time(self, frame: Transmittable) -> float:
         """Seconds the transmitter is occupied serializing *frame*."""
@@ -144,37 +175,62 @@ class SimplexChannel:
     def _start_next(self) -> None:
         if not self._queue:
             self._transmitting = False
-            for callback in list(self.idle_callbacks):
-                callback()
+            callbacks = self.idle_callbacks
+            if len(callbacks) == 1:
+                # Single registered callback (the usual wiring): skip the
+                # defensive snapshot copy — this runs once per frame.
+                callbacks[0]()
+            else:
+                for callback in list(callbacks):
+                    callback()
             return
         frame = self._queue.popleft()
         self._transmitting = True
-        tx_time = self.transmission_time(frame)
+        tx_time = frame.size_bits / self.bit_rate
         self.busy_seconds += tx_time
-        departure = self.sim.now
-        self.sim.schedule(tx_time, self._finish_transmit, frame, departure)
+        sim = self.sim
+        departure = sim.now
+        # Inlined sim.schedule (hot: once per queued frame).
+        sim._sequence = sequence = sim._sequence + 1
+        heappush(sim._heap, (departure + tx_time, sequence,
+                             self._finish_transmit, (frame, departure)))
 
     def _finish_transmit(self, frame: Transmittable, departure: float) -> None:
         self.frames_sent += 1
-        if self._is_up:
-            self._propagate(frame, departure)
-        else:
+        if not self._is_up:
             self._lose_to_outage(frame, phase="serialize")
-        self._start_next()
-
-    def _propagate(self, frame: Transmittable, departure: float) -> None:
-        delay = self.propagation_delay(departure)
-        arrival = self.sim.now + delay
+            self._start_next()
+            return
+        # Propagation (inlined here — this plus _start_next is the
+        # per-frame event): pick the per-class RNG stream and error
+        # model, decide corruption, and schedule the delivery.
+        sim = self.sim
+        delay = self._fixed_delay
+        if delay is None:
+            delay = self.propagation_delay(departure)
+        arrival = sim.now + delay
         # Frames cannot overtake: clamp to monotone arrival order.
         if arrival < self._last_arrival:
             arrival = self._last_arrival
         self._last_arrival = arrival
-        rng_name = f"{self.name}.{'cframe' if frame.is_control else 'iframe'}"
-        model = self.cframe_errors if frame.is_control else self.iframe_errors
-        corrupted = model.frame_error(departure, frame.size_bits, self.streams.get(rng_name))
+        if frame.is_control:
+            rng = self._cframe_rng
+            if rng is None:
+                rng = self._cframe_rng = self.streams.get(f"{self.name}.cframe")
+            model = self.cframe_errors
+        else:
+            rng = self._iframe_rng
+            if rng is None:
+                rng = self._iframe_rng = self.streams.get(f"{self.name}.iframe")
+            model = self.iframe_errors
+        corrupted = model.frame_error(departure, frame.size_bits, rng)
         if corrupted:
             self.frames_corrupted += 1
-        self.sim.schedule_at(arrival, self._deliver, frame, corrupted)
+        # Inlined sim.schedule_at (hot: once per frame); arrival can
+        # never precede now because delay is validated non-negative.
+        sim._sequence = sequence = sim._sequence + 1
+        heappush(sim._heap, (arrival, sequence, self._deliver, (frame, corrupted)))
+        self._start_next()
 
     def _lose_to_outage(self, frame: Transmittable, phase: str) -> None:
         """Account one frame swallowed by a down channel.
@@ -195,10 +251,11 @@ class SimplexChannel:
             return
         if self.receiver is None:
             raise RuntimeError(f"channel {self.name!r} has no receiver attached")
-        self.tracer.emit(
-            self.sim.now, self.name, "deliver",
-            control=frame.is_control, corrupted=corrupted,
-        )
+        if self.tracer.active:
+            self.tracer.emit(
+                self.sim.now, self.name, "deliver",
+                control=frame.is_control, corrupted=corrupted,
+            )
         self.receiver(frame, corrupted)
 
     def utilization(self, now: Optional[float] = None) -> float:

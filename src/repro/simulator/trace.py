@@ -5,6 +5,19 @@ Protocol endpoints and links emit trace records through a shared
 timeline of what each endpoint did) and measurement (counters and
 time-series the experiment harness aggregates into the paper's
 metrics: throughput efficiency, holding time, buffer occupancy, ...).
+
+Hot-path design notes
+---------------------
+Timeline capture is the expensive part (one :class:`TraceRecord` plus a
+detail dict per event), so a :class:`Tracer` maintains a precomputed
+:attr:`Tracer.active` flag — true only while a timeline is being
+recorded or at least one listener is attached.  The flag is kept honest
+automatically: assigning :attr:`Tracer.record_timeline` or mutating
+:attr:`Tracer.listeners` (which is how
+:func:`repro.invariants.harness.attach_monitors` subscribes its
+monitors) refreshes it.  Hot emit sites check ``tracer.active`` *before*
+building their keyword arguments, which makes tracing near-zero-cost
+for unmonitored runs; counters and stats are always live regardless.
 """
 
 from __future__ import annotations
@@ -16,7 +29,7 @@ from typing import Any, Callable, Iterable, Optional
 __all__ = ["TraceRecord", "Tracer", "Counter", "TimeWeightedStat", "SampleStat"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One timeline entry: *who* did *what* at *when*, with detail."""
 
@@ -76,13 +89,22 @@ class SampleStat:
 
     @property
     def variance(self) -> float:
-        """Sample variance (n-1 denominator); nan below two samples."""
-        return self._m2 / (self.count - 1) if self.count > 1 else math.nan
+        """Sample variance (n-1 denominator); 0.0 below two samples.
+
+        A single observation (or none) carries no spread information, so
+        the spread is reported as exactly zero rather than dividing by
+        ``n - 1 = 0`` or poisoning downstream confidence intervals with
+        NaN.
+        """
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
 
     @property
     def stdev(self) -> float:
-        variance = self.variance
-        return math.sqrt(variance) if variance == variance else math.nan
+        # Welford's m2 is non-negative in exact arithmetic; clamp the
+        # tiny negatives float cancellation can produce.
+        return math.sqrt(max(0.0, self.variance))
 
     def __repr__(self) -> str:
         return f"SampleStat({self.name}: n={self.count} mean={self.mean:.6g})"
@@ -93,6 +115,11 @@ class TimeWeightedStat:
 
     Used for buffer occupancy: call :meth:`update` whenever the level
     changes; the average weights each level by how long it was held.
+
+    Time must be non-decreasing: an :meth:`update` (or :meth:`mean`
+    query) earlier than the last recorded time is rejected with
+    :class:`ValueError` rather than silently accumulating negative
+    time-weight into the running area.
     """
 
     __slots__ = ("name", "_level", "_last_time", "_area", "_start", "maximum")
@@ -111,9 +138,13 @@ class TimeWeightedStat:
 
     def update(self, now: float, level: float) -> None:
         """Record that the signal changed to *level* at time *now*."""
-        if now < self._last_time:
-            raise ValueError("time went backwards in TimeWeightedStat.update")
-        self._area += self._level * (now - self._last_time)
+        last = self._last_time
+        if now < last:
+            raise ValueError(
+                f"time went backwards in TimeWeightedStat.update "
+                f"({now!r} < {last!r})"
+            )
+        self._area += self._level * (now - last)
         self._last_time = now
         self._level = level
         if level > self.maximum:
@@ -131,31 +162,99 @@ class TimeWeightedStat:
         return area / span
 
 
+class _ListenerList(list):
+    """Listener callbacks that keep the owning tracer's fast path honest.
+
+    Call sites throughout the codebase (and tests) mutate
+    ``tracer.listeners`` directly via ``append``/``remove``; every
+    mutation refreshes :attr:`Tracer.active` so a listener attached
+    mid-run immediately re-enables record construction.
+    """
+
+    __slots__ = ("_tracer",)
+
+    def __init__(self, tracer: "Tracer") -> None:
+        super().__init__()
+        self._tracer = tracer
+
+    def append(self, item: Any) -> None:
+        super().append(item)
+        self._tracer._refresh_active()
+
+    def extend(self, items: Iterable[Any]) -> None:
+        super().extend(items)
+        self._tracer._refresh_active()
+
+    def insert(self, index: int, item: Any) -> None:
+        super().insert(index, item)
+        self._tracer._refresh_active()
+
+    def remove(self, item: Any) -> None:
+        super().remove(item)
+        self._tracer._refresh_active()
+
+    def pop(self, index: int = -1) -> Any:
+        item = super().pop(index)
+        self._tracer._refresh_active()
+        return item
+
+    def clear(self) -> None:
+        super().clear()
+        self._tracer._refresh_active()
+
+    def __delitem__(self, index) -> None:
+        super().__delitem__(index)
+        self._tracer._refresh_active()
+
+    def __iadd__(self, items: Iterable[Any]) -> "_ListenerList":
+        self.extend(items)
+        return self
+
+
 class Tracer:
     """Collects trace records, counters, and statistics for one run.
 
     Recording full timelines is expensive for long runs, so timeline
     capture is off by default; counters and stats are always live.
     A *listener* callback can be attached to stream records (used by
-    tests asserting on protocol behaviour).
+    tests asserting on protocol behaviour and by the invariant
+    monitors).  :attr:`active` is the precomputed fast-path flag: hot
+    emitters may skip :meth:`emit` (and the keyword-dict construction
+    it implies) entirely while it is False.
     """
 
     def __init__(self, record_timeline: bool = False) -> None:
-        self.record_timeline = record_timeline
+        self._record_timeline = bool(record_timeline)
         self.records: list[TraceRecord] = []
         self.counters: dict[str, Counter] = {}
         self.samples: dict[str, SampleStat] = {}
         self.levels: dict[str, TimeWeightedStat] = {}
-        self.listeners: list[Callable[[TraceRecord], None]] = []
+        self.listeners: _ListenerList = _ListenerList(self)
+        self.active = self._record_timeline
+
+    # -- fast-path bookkeeping ---------------------------------------------
+
+    @property
+    def record_timeline(self) -> bool:
+        """Whether :meth:`emit` appends to :attr:`records`."""
+        return self._record_timeline
+
+    @record_timeline.setter
+    def record_timeline(self, value: bool) -> None:
+        self._record_timeline = bool(value)
+        self._refresh_active()
+
+    def _refresh_active(self) -> None:
+        self.active = self._record_timeline or bool(self.listeners)
 
     # -- timeline --------------------------------------------------------
 
     def emit(self, time: float, source: str, event: str, **detail: Any) -> None:
         """Record a timeline event (and notify listeners)."""
-        if not self.record_timeline and not self.listeners:
+        if not self.active:
             return
         record = TraceRecord(time=time, source=source, event=event, detail=detail)
-        if self.record_timeline:
+        if self._record_timeline:
             self.records.append(record)
         for listener in self.listeners:
             listener(record)
@@ -186,19 +285,35 @@ class Tracer:
         """Shorthand: increment counter *name*."""
         self.counter(name).increment(by)
 
-    def sample(self, name: str, value: float) -> None:
-        """Shorthand: add a point sample to stat *name*."""
+    def sample_stat(self, name: str) -> SampleStat:
+        """The :class:`SampleStat` for *name*, created on first use.
+
+        Hot paths hold the returned object directly instead of paying a
+        dict lookup (and often an f-string build) per sample.
+        """
         stat = self.samples.get(name)
         if stat is None:
             stat = self.samples[name] = SampleStat(name)
-        stat.add(value)
+        return stat
+
+    def sample(self, name: str, value: float) -> None:
+        """Shorthand: add a point sample to stat *name*."""
+        self.sample_stat(name).add(value)
+
+    def level_stat(self, name: str, start_time: float = 0.0) -> TimeWeightedStat:
+        """The :class:`TimeWeightedStat` for *name*, created on first use.
+
+        *start_time* only applies on creation; as with
+        :meth:`sample_stat`, hot paths cache the returned object.
+        """
+        stat = self.levels.get(name)
+        if stat is None:
+            stat = self.levels[name] = TimeWeightedStat(name, start_time=start_time)
+        return stat
 
     def level(self, name: str, now: float, value: float) -> None:
         """Shorthand: piecewise-constant signal *name* changed to *value*."""
-        stat = self.levels.get(name)
-        if stat is None:
-            stat = self.levels[name] = TimeWeightedStat(name, start_time=now)
-        stat.update(now, value)
+        self.level_stat(name, start_time=now).update(now, value)
 
     def value(self, name: str) -> int:
         """Current value of counter *name* (0 if never incremented)."""

@@ -42,6 +42,46 @@ class TestScheduling:
         sim.run()
         assert sim.now == 3.5
 
+    def test_tie_break_is_scheduling_order_across_entry_points(self):
+        """Same-timestamp callbacks fire in exact scheduling order, no
+        matter how they were scheduled (relative, absolute, mid-run)."""
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "rel-first")
+        sim.schedule_at(1.0, log.append, "abs-second")
+
+        def reentrant():
+            log.append("reentrant-third")
+            # Scheduled *during* dispatch at t=1.0 with zero delay:
+            # still runs after everything already queued for t=1.0.
+            sim.schedule(0.0, log.append, "nested-fifth")
+
+        sim.schedule(1.0, reentrant)
+        sim.schedule_at(1.0, log.append, "abs-fourth")
+        sim.run()
+        assert log == [
+            "rel-first", "abs-second", "reentrant-third",
+            "abs-fourth", "nested-fifth",
+        ]
+
+    def test_tie_break_identical_across_runs(self):
+        """Two identically-built simulations dispatch ties identically
+        (the determinism contract every seeded experiment relies on)."""
+
+        def build_and_run():
+            sim = Simulator()
+            log = []
+            for index in range(50):
+                # All land at t=1.0 via alternating entry points.
+                if index % 2:
+                    sim.schedule_at(1.0, log.append, index)
+                else:
+                    sim.schedule(1.0, log.append, index)
+            sim.run()
+            return log
+
+        assert build_and_run() == build_and_run() == list(range(50))
+
     def test_negative_delay_rejected(self):
         sim = Simulator()
         with pytest.raises(ValueError):
@@ -347,3 +387,58 @@ class TestTimer:
         timer = sim.timer(lambda: None)
         with pytest.raises(ValueError):
             timer.start(-1.0)
+
+
+class TestTimerCompaction:
+    """Batched cancellation: restart/cancel churn must not grow the heap
+    unboundedly, and compaction must never change dispatch behaviour."""
+
+    def test_restart_churn_keeps_heap_bounded(self, sim):
+        timer = sim.timer(lambda: None)
+        churn = 10 * sim._COMPACT_MIN_STALE
+        for _ in range(churn):
+            timer.start(1.0)  # each restart orphans the previous entry
+        # Without batch compaction the heap would hold `churn` entries.
+        assert len(sim._heap) < churn
+        assert sim._stale_timers < sim._COMPACT_MIN_STALE
+
+    def test_compaction_preserves_dispatch_order(self, sim):
+        log = []
+        # Live work interleaved with churned timers.
+        for index in range(20):
+            sim.schedule(1.0 + index * 0.1, log.append, index)
+        timers = [sim.timer(lambda: log.append("timer")) for _ in range(8)]
+        for _ in range(50):
+            for timer in timers:
+                timer.start(5.0)
+        for timer in timers:
+            timer.cancel()
+        sim._compact()
+        sim.run()
+        assert log == list(range(20))  # cancelled timers never fired
+
+    def test_compaction_keeps_pending_timer(self, sim):
+        fired = []
+        keeper = sim.timer(lambda: fired.append(sim.now))
+        keeper.start(2.0)
+        churn = sim.timer(lambda: fired.append("churn"))
+        for _ in range(5 * sim._COMPACT_MIN_STALE):
+            churn.start(1.0)
+        churn.cancel()
+        sim._compact()
+        sim.run()
+        assert fired == [2.0]
+
+    def test_stale_counter_resets_after_compaction(self, sim):
+        fired = []
+        timer = sim.timer(lambda: fired.append(sim.now))
+        timer.start(1.0)
+        for _ in range(sim._COMPACT_MIN_STALE + 5):
+            timer.start(1.0)
+        # The compaction triggered by churn zeroed the stale count.
+        assert sim._stale_timers <= sim._COMPACT_MIN_STALE
+        timer.cancel()
+        sim.run()
+        # The clock may advance over any remaining stale entries, but
+        # the cancelled timer must never fire.
+        assert fired == []

@@ -1,0 +1,83 @@
+"""Perf-work correctness contract: observers never change results.
+
+The hot-path overhaul made ``Tracer.emit`` near-free when nobody is
+listening (the ``active`` fast path), buffered RNG draws in the error
+models, and inlined scheduling at the per-frame call sites.  All of it
+rests on one invariant: a seeded simulation computes *bit-identical*
+results no matter which observers are attached — a timeline, a
+listener, or nothing at all.  These are the regression tests for that
+invariant; if an optimisation ever makes an emit (or an RNG draw)
+conditional on observability, they break.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.generators import SaturatedSource
+from repro.workloads.scenarios import build_simulation, preset
+
+
+def _run(scenario_name: str, *, seed: int, record_timeline: bool,
+         attach_listener: bool, duration: float = 0.2):
+    scenario = preset(scenario_name)
+    setup = build_simulation(scenario, "lams", seed=seed)
+    if record_timeline:
+        setup.tracer.record_timeline = True
+    records = []
+    if attach_listener:
+        setup.tracer.listeners.append(records.append)
+    sender = setup.endpoint_a.sender
+    source = SaturatedSource(
+        setup.sim, setup.endpoint_a,
+        backlog_fn=lambda: sender.pending_count,
+        low_water=64, chunk=128,
+        poll_interval=scenario.iframe_time * 64,
+    )
+    source.start()
+    setup.sim.run(until=duration)
+    outcome = {
+        "summary": setup.tracer.summary(),
+        "delivered": len(setup.delivered),
+        "event_count": setup.sim.event_count,
+        "iframes_sent": sender.iframes_sent,
+        "retransmissions": sender.retransmissions,
+        "frames_fwd": setup.link.forward.frames_sent,
+        "corrupted_fwd": setup.link.forward.frames_corrupted,
+    }
+    return outcome, len(records)
+
+
+@pytest.mark.parametrize("scenario_name", ["nominal", "noisy"])
+def test_observers_do_not_change_outcomes(scenario_name):
+    bare, bare_records = _run(
+        scenario_name, seed=3, record_timeline=False, attach_listener=False
+    )
+    timeline, _ = _run(
+        scenario_name, seed=3, record_timeline=True, attach_listener=False
+    )
+    listened, listened_records = _run(
+        scenario_name, seed=3, record_timeline=False, attach_listener=True
+    )
+    both, _ = _run(
+        scenario_name, seed=3, record_timeline=True, attach_listener=True
+    )
+    assert bare == timeline == listened == both
+    # The observer configurations really differed.
+    assert bare_records == 0
+    assert listened_records > 0
+
+
+def test_same_seed_is_bit_identical():
+    first, _ = _run("noisy", seed=11, record_timeline=False, attach_listener=False)
+    second, _ = _run("noisy", seed=11, record_timeline=False, attach_listener=False)
+    assert first == second
+    # Sanity: the noisy scenario actually exercised the error path, so
+    # the RNG draw buffering is covered by the equality above.
+    assert first["corrupted_fwd"] > 0
+
+
+def test_different_seeds_diverge():
+    first, _ = _run("noisy", seed=11, record_timeline=False, attach_listener=False)
+    other, _ = _run("noisy", seed=12, record_timeline=False, attach_listener=False)
+    assert first != other

@@ -202,6 +202,79 @@ class TestResultCache:
             handle.write("{not json")
         assert cache.get(point) is None
 
+    def test_stale_tmp_swept_on_open(self, tmp_path):
+        import os
+
+        stale = tmp_path / "deadbeef.json.tmp.1234.0"
+        stale.write_text("{torn write}")
+        old = 1_000_000.0  # far older than any staleness horizon
+        os.utime(stale, (old, old))
+        fresh = tmp_path / "cafef00d.json.tmp.5678.0"
+        fresh.write_text("{in-flight write}")
+        cache = ResultCache(str(tmp_path))
+        assert not stale.exists()
+        assert fresh.exists()  # young enough to belong to a live writer
+        assert cache.stale_tmp_removed == 1
+
+    def test_stale_sweep_ignores_real_entries(self, tmp_path):
+        import os
+
+        cache = ResultCache(str(tmp_path))
+        point = MeasurePoint(_spec(), 0)
+        run_sweep([point], cache=cache)
+        path = cache.path_for(point)
+        old = 1_000_000.0
+        os.utime(path, (old, old))
+        reopened = ResultCache(str(tmp_path))
+        assert reopened.stale_tmp_removed == 0
+        assert reopened.get(point) is not None
+
+    def test_put_never_reuses_a_tmp_name(self, tmp_path, monkeypatch):
+        # Freeze the pid so uniqueness must come from the counter and
+        # O_EXCL, not from process identity.
+        import os
+
+        monkeypatch.setattr(os, "getpid", lambda: 4242)
+        cache = ResultCache(str(tmp_path))
+        seen: list[str] = []
+        real_open = os.open
+
+        def spying_open(path, flags, *args, **kwargs):
+            if ".json.tmp." in str(path):
+                assert flags & os.O_EXCL, "tmp files must be O_EXCL-created"
+                seen.append(str(path))
+            return real_open(path, flags, *args, **kwargs)
+
+        monkeypatch.setattr(os, "open", spying_open)
+        point_a, point_b = MeasurePoint(_spec(), 0), MeasurePoint(_spec(), 1)
+        cache.put(point_a, {"x": 1})
+        cache.put(point_b, {"x": 2})
+        cache.put(point_a, {"x": 3})
+        assert len(seen) == 3
+        assert len(set(seen)) == 3
+        assert cache.get(point_a) == {"x": 3}
+        assert not [n for n in os.listdir(tmp_path) if ".tmp." in n]
+
+    def test_put_collision_retries_with_fresh_name(self, tmp_path):
+        import os
+
+        cache = ResultCache(str(tmp_path))
+        point = MeasurePoint(_spec(), 0)
+        # Pre-create the exact names the next two attempts would pick;
+        # O_EXCL forces put() to skip to a third.
+        start = next(cache._tmp_ids)
+        path = cache.path_for(point)
+        pid = os.getpid()
+        blockers = [f"{path}.tmp.{pid}.{start + 1}", f"{path}.tmp.{pid}.{start + 2}"]
+        for blocker in blockers:
+            with open(blocker, "w") as handle:
+                handle.write("squatter")
+        cache.put(point, {"ok": True})
+        assert cache.get(point) == {"ok": True}
+        for blocker in blockers:
+            assert open(blocker).read() == "squatter"
+            os.unlink(blocker)
+
 
 # -- sweep engine / stats ---------------------------------------------------
 

@@ -74,10 +74,28 @@ class TestSampleStat:
         assert stat.variance == pytest.approx(32.0 / 7.0)
         assert stat.stdev == pytest.approx(math.sqrt(32.0 / 7.0))
 
-    def test_empty_stat_is_nan(self):
+    def test_empty_stat_mean_is_nan_but_spread_is_zero(self):
+        # Mean of nothing is undefined; spread of fewer than two samples
+        # is *defined* as zero so confidence intervals degrade gracefully
+        # instead of propagating NaN (or dividing by n-1 = 0).
         stat = SampleStat("s")
         assert math.isnan(stat.mean)
-        assert math.isnan(stat.variance)
+        assert stat.variance == 0.0
+        assert stat.stdev == 0.0
+
+    def test_single_sample_has_zero_spread(self):
+        stat = SampleStat("s")
+        stat.add(42.0)
+        assert stat.mean == 42.0
+        assert stat.variance == 0.0
+        assert stat.stdev == 0.0
+
+    def test_two_samples_spread_becomes_live(self):
+        stat = SampleStat("s")
+        stat.add(1.0)
+        stat.add(3.0)
+        assert stat.variance == pytest.approx(2.0)
+        assert stat.stdev == pytest.approx(math.sqrt(2.0))
 
 
 class TestTimeWeightedStat:
@@ -97,6 +115,27 @@ class TestTimeWeightedStat:
         stat.update(5.0, 1.0)
         with pytest.raises(ValueError):
             stat.update(4.0, 2.0)
+
+    def test_backwards_update_leaves_state_untouched(self):
+        # The rejection must happen before any mutation: a failed update
+        # must not corrupt the accumulated area, level, or clock.
+        stat = TimeWeightedStat("q")
+        stat.update(0.0, 2.0)
+        stat.update(4.0, 6.0)
+        with pytest.raises(ValueError):
+            stat.update(3.0, 100.0)
+        assert stat.level == 6.0
+        assert stat.maximum == 6.0
+        assert stat.mean(8.0) == pytest.approx((2.0 * 4.0 + 6.0 * 4.0) / 8.0)
+
+    def test_equal_time_update_is_allowed(self):
+        # Two level changes at the same instant are legal (zero-width
+        # segment); only strictly backwards time is an error.
+        stat = TimeWeightedStat("q")
+        stat.update(2.0, 1.0)
+        stat.update(2.0, 5.0)
+        assert stat.level == 5.0
+        assert stat.mean(4.0) == pytest.approx(5.0 * 2.0 / 4.0)
 
     def test_query_before_last_update_rejected(self):
         stat = TimeWeightedStat("q")
@@ -157,3 +196,59 @@ class TestTracer:
         tracer.emit(1.5, "node", "sent", seq=3)
         text = tracer.format_timeline()
         assert "node" in text and "sent" in text and "seq=3" in text
+
+
+class TestTracerFastPath:
+    """The precomputed ``active`` flag must track timeline + listeners."""
+
+    def test_inactive_by_default(self):
+        assert Tracer().active is False
+
+    def test_timeline_flag_activates(self):
+        assert Tracer(record_timeline=True).active is True
+        tracer = Tracer()
+        tracer.record_timeline = True
+        assert tracer.active is True
+        tracer.record_timeline = False
+        assert tracer.active is False
+
+    def test_listener_mutations_keep_flag_honest(self):
+        tracer = Tracer()
+        listener = lambda record: None
+        tracer.listeners.append(listener)
+        assert tracer.active is True
+        tracer.listeners.remove(listener)
+        assert tracer.active is False
+        tracer.listeners.extend([listener, listener])
+        assert tracer.active is True
+        tracer.listeners.pop()
+        assert tracer.active is True  # one listener left
+        tracer.listeners.clear()
+        assert tracer.active is False
+        tracer.listeners += [listener]
+        assert tracer.active is True
+        del tracer.listeners[0]
+        assert tracer.active is False
+
+    def test_mid_run_listener_sees_subsequent_emits(self):
+        tracer = Tracer()
+        seen = []
+        tracer.emit(0.0, "src", "before")  # dropped: fast path
+        tracer.listeners.append(seen.append)
+        tracer.emit(1.0, "src", "after")
+        assert [record.event for record in seen] == ["after"]
+
+    def test_counters_and_stats_live_while_inactive(self):
+        # Only the timeline/listener path is gated; metrics never are.
+        tracer = Tracer()
+        tracer.count("c")
+        tracer.sample("s", 1.0)
+        tracer.level("l", 0.0, 2.0)
+        assert tracer.value("c") == 1
+        assert tracer.samples["s"].count == 1
+        assert tracer.levels["l"].level == 2.0
+
+    def test_stat_handles_are_cached_objects(self):
+        tracer = Tracer()
+        assert tracer.sample_stat("s") is tracer.sample_stat("s")
+        assert tracer.level_stat("l") is tracer.level_stat("l")
