@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-smoke report examples sweep-smoke faults-smoke soak-smoke clean
+.PHONY: install test bench bench-smoke bench-sweep report examples sweep-smoke faults-smoke soak-smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -19,6 +19,13 @@ bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_e22_hotpath.py -q -s
 	PYTHONPATH=src $(PYTHON) -m repro bench-baseline --repeats 2 \
 		--duration 1.0 --micro-events 100000
+
+# Sweep-scaling smoke: the E23 benchmarks run a tiny replicated sweep
+# serially and over a warm jobs=2 pool and assert the parallel and
+# streamed results are bit-identical to serial, plus that a cache-hot
+# re-run executes zero simulations (see docs/TUNING.md "Sweep scaling").
+bench-sweep:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_e23_sweepscale.py -q -s
 
 report:
 	$(PYTHON) -m repro report --output evaluation_report.txt

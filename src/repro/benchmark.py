@@ -12,35 +12,50 @@ two levels:
   workload (the hottest real configuration: a source that never runs
   dry over a nominal link), reporting simulator events/sec and link
   frames/sec end to end.
+- **Macro** (:func:`bench_sweep_scale`): the replication *plane* — a
+  replicated sweep through :func:`repro.experiments.parallel.run_sweep`
+  measured in points/sec, serial vs. a warm 2- and 4-worker pool, plus
+  the latency of a fully cache-hot re-run.  This is the regime the
+  paper's Monte-Carlo evaluation actually lives in.
 
-:func:`run_hotpath_bench` bundles both into one JSON-able payload and
-:func:`write_baseline` lands it in ``BENCH_hotpath.json`` — the
+:func:`run_hotpath_bench` bundles all of it into one JSON-able payload
+and :func:`write_baseline` lands it in ``BENCH_hotpath.json`` — the
 perf-regression baseline the CLI (``python -m repro bench-baseline``)
-and ``make bench-smoke`` refresh.  Comparing two baselines from the
-same machine exposes hot-path regressions without the noise of
-cross-machine numbers; the payload records enough context (python
-version, workload parameters) to tell apples from oranges.
+and ``make bench-smoke`` refresh — stamped with the git commit,
+hostname, and CPU count, and appends a compact record to
+``BENCH_history.jsonl`` so the performance *trajectory* across commits
+is kept, not just the latest snapshot.  Comparing records from the
+same machine exposes regressions without the noise of cross-machine
+numbers.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
+import socket
 import statistics
+import subprocess
 import time
 from typing import Any, Optional
 
 from .simulator.engine import Simulator
 
 __all__ = [
+    "DEFAULT_HISTORY",
     "DEFAULT_OUTPUT",
+    "append_history",
     "bench_engine_dispatch",
     "bench_saturated",
+    "bench_sweep_scale",
+    "machine_stamp",
     "run_hotpath_bench",
     "write_baseline",
 ]
 
 DEFAULT_OUTPUT = "BENCH_hotpath.json"
+DEFAULT_HISTORY = "BENCH_history.jsonl"
 
 
 def _noop() -> None:
@@ -140,6 +155,119 @@ def bench_saturated(
     }
 
 
+def bench_sweep_scale(
+    seeds: int = 16,
+    duration: float = 0.05,
+    scenario: str = "short_hop",
+    protocol: str = "lams",
+    jobs: tuple[int, ...] = (2, 4),
+    chunksize: int = 0,
+) -> dict[str, Any]:
+    """Macro-benchmark the replication plane: points/sec through
+    :func:`~repro.experiments.parallel.run_sweep`.
+
+    Runs the same *seeds*-point replicated sweep serially and over warm
+    :class:`~repro.experiments.parallel.SweepPool` workers at each job
+    count, asserting bit-identical results along the way, then measures
+    a fully cache-hot re-run against a freshly opened sharded cache
+    (the "1000 opens vs one index read" number, scaled down).
+    """
+    import shutil
+    import tempfile
+
+    from .experiments.parallel import (
+        MeasurePoint,
+        MeasureSpec,
+        ResultCache,
+        SweepPool,
+        replication_seeds,
+        run_sweep,
+    )
+    from .workloads.scenarios import preset
+
+    if seeds < 2:
+        raise ValueError("at least two sweep points are required")
+    spec = MeasureSpec.create(
+        "measure_saturated", preset(scenario), protocol, duration=duration
+    )
+    points = [MeasurePoint(spec, s)
+              for s in replication_seeds(0, seeds, name="bench_sweep")]
+
+    def timed(fn) -> tuple[Any, float]:
+        start = time.perf_counter()
+        out = fn()
+        return out, time.perf_counter() - start
+
+    serial, serial_wall = timed(lambda: run_sweep(points, jobs=1))
+    result: dict[str, Any] = {
+        "kind": "sweep_scale",
+        "scenario": scenario,
+        "protocol": protocol,
+        "sim_duration": duration,
+        "points": len(points),
+        "chunksize": chunksize,
+        "serial": {
+            "jobs": 1,
+            "wall_seconds": serial_wall,
+            "points_per_sec": len(points) / serial_wall if serial_wall > 0 else float("inf"),
+        },
+        "parallel": [],
+    }
+    for job_count in jobs:
+        with SweepPool(job_count) as pool:
+            # Warm the workers first so the measurement sees the steady
+            # state a long sweep runs in, not pool start-up.
+            run_sweep(points[:job_count], pool=pool, chunksize=1)
+            parallel, wall = timed(
+                lambda: run_sweep(points, pool=pool, chunksize=chunksize)
+            )
+        result["parallel"].append({
+            "jobs": job_count,
+            "start_method": pool.start_method,
+            "wall_seconds": wall,
+            "points_per_sec": len(points) / wall if wall > 0 else float("inf"),
+            "bit_identical_to_serial": parallel == serial,
+        })
+    tmpdir = tempfile.mkdtemp(prefix="bench-sweep-cache-")
+    try:
+        with ResultCache(tmpdir) as cache:
+            run_sweep(points, jobs=1, cache=cache)
+        with ResultCache(tmpdir) as warm_cache:
+            hot, hot_wall = timed(lambda: run_sweep(points, jobs=1, cache=warm_cache))
+            result["cache_hot"] = {
+                "wall_seconds": hot_wall,
+                "points_per_sec": len(points) / hot_wall if hot_wall > 0 else float("inf"),
+                "hits": warm_cache.hits,
+                "bit_identical_to_serial": hot == serial,
+            }
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    return result
+
+
+def _git_commit() -> Optional[str]:
+    """The current git HEAD, or None outside a repository."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def machine_stamp() -> dict[str, Any]:
+    """Identity of the machine and code that produced a measurement."""
+    return {
+        "git_commit": _git_commit(),
+        "hostname": socket.gethostname(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def run_hotpath_bench(
     repeats: int = 3,
     micro_events: int = 200_000,
@@ -147,12 +275,18 @@ def run_hotpath_bench(
     scenario: str = "nominal",
     protocol: str = "lams",
     seed: int = 1,
+    sweep_seeds: int = 16,
+    sweep_duration: float = 0.05,
+    include_sweep_scale: bool = True,
 ) -> dict[str, Any]:
-    """Run micro + meso *repeats* times; report best-of plus all runs.
+    """Run micro + meso *repeats* times (plus one sweep-scale pass);
+    report best-of plus all runs.
 
     Best-of is the right summary for a regression baseline: interfering
     load only ever makes a run slower, so the fastest repeat is the
-    closest estimate of the code's true cost.
+    closest estimate of the code's true cost.  The sweep-scale macro
+    runs once — it is internally replicated (many points per
+    measurement) already.
     """
     if repeats <= 0:
         raise ValueError("repeats must be positive")
@@ -167,8 +301,8 @@ def run_hotpath_bench(
     ]
     best_micro = max(micro_runs, key=lambda run: run["events_per_sec"])
     best_meso = max(meso_runs, key=lambda run: run["events_per_sec"])
-    return {
-        "schema": "repro.bench_hotpath/1",
+    payload = {
+        "schema": "repro.bench_hotpath/2",
         "generated_unix_time": time.time(),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -186,17 +320,66 @@ def run_hotpath_bench(
             "runs": meso_runs,
         },
     }
+    payload.update(machine_stamp())
+    if include_sweep_scale:
+        payload["sweep_scale"] = bench_sweep_scale(
+            seeds=sweep_seeds, duration=sweep_duration
+        )
+    return payload
+
+
+def append_history(
+    payload: dict[str, Any], path: str = DEFAULT_HISTORY
+) -> dict[str, Any]:
+    """Append one compact trajectory record for *payload* to *path*.
+
+    ``BENCH_history.jsonl`` keeps one line per baseline run — enough to
+    plot the perf trajectory across commits without hauling the full
+    per-run detail of every snapshot.
+    """
+    sweep = payload.get("sweep_scale") or {}
+    parallel = {run.get("jobs"): run for run in sweep.get("parallel", ())}
+    record = {
+        "time": payload.get("generated_unix_time"),
+        "git_commit": payload.get("git_commit"),
+        "hostname": payload.get("hostname"),
+        "cpu_count": payload.get("cpu_count"),
+        "python": payload.get("python"),
+        "engine_events_per_sec": payload.get(
+            "engine_dispatch", {}).get("events_per_sec"),
+        "saturated_events_per_sec": payload.get(
+            "saturated_throughput", {}).get("events_per_sec"),
+        "saturated_frames_per_sec": payload.get(
+            "saturated_throughput", {}).get("frames_per_sec"),
+        "sweep_points_per_sec_serial": sweep.get("serial", {}).get("points_per_sec"),
+        "sweep_points_per_sec_jobs2": parallel.get(2, {}).get("points_per_sec"),
+        "sweep_points_per_sec_jobs4": parallel.get(4, {}).get("points_per_sec"),
+        "cache_hot_points_per_sec": sweep.get("cache_hot", {}).get("points_per_sec"),
+    }
+    with open(path, "a", encoding="utf-8") as handle:
+        json.dump(record, handle)
+        handle.write("\n")
+    return record
 
 
 def write_baseline(
     path: str = DEFAULT_OUTPUT,
     payload: Optional[dict[str, Any]] = None,
+    history_path: Optional[str] = DEFAULT_HISTORY,
     **bench_kwargs: Any,
 ) -> dict[str, Any]:
-    """Run the hot-path bench (unless *payload* is given) and write it."""
+    """Run the hot-path bench (unless *payload* is given) and write it.
+
+    The snapshot lands in *path*; a compact record is appended to
+    *history_path* (pass ``None`` to skip the trajectory).
+    """
     if payload is None:
         payload = run_hotpath_bench(**bench_kwargs)
+    for field, value in machine_stamp().items():
+        payload.setdefault(field, value)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
+    if history_path:
+        append_history(payload, history_path)
     return payload

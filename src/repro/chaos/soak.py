@@ -165,6 +165,9 @@ def run_soak(
     only: Optional[int] = None,
     cache: Any = None,
     progress: Optional[Callable[[dict[str, Any]], None]] = None,
+    *,
+    pool: Any = None,
+    chunksize: int = 0,
 ) -> SoakResult:
     """Run *episodes* randomized chaos episodes under full monitoring.
 
@@ -172,7 +175,10 @@ def run_soak(
     violation from its report).  *fail_fast* stops scheduling new
     episodes once any violation is seen; the violating episode's report
     is always retained.  *progress*, if given, receives each episode's
-    report dict as it completes.
+    report dict as it completes.  *pool* shares a persistent
+    :class:`~repro.experiments.parallel.SweepPool` with other sweeps in
+    the same session (the soak rides the same warm workers); *chunksize*
+    is the sweep dispatch granularity (0 = adaptive).
     """
     specs = generate_episodes(master_seed, episodes)
     if only is not None:
@@ -192,7 +198,8 @@ def run_soak(
             stopped = True
             raise SweepStop(point.label)
 
-    results = run_sweep(points, jobs=jobs, cache=cache, progress=on_progress)
+    results = run_sweep(points, jobs=jobs, cache=cache, progress=on_progress,
+                        pool=pool, chunksize=chunksize)
     reports = [r for r in results if r is not None]
     return SoakResult(
         master_seed=master_seed,

@@ -171,6 +171,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .experiments.parallel import (
         MeasureSpec,
         ResultCache,
+        SweepPool,
         parallel_replicate_all,
         replication_seeds,
         run_experiments_parallel,
@@ -180,57 +181,73 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.chunksize < 0:
+        print("error: --chunksize must be >= 0 (0 = adaptive)", file=sys.stderr)
+        return 2
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     stats = Tracer()
+    # One warm pool for the whole invocation: every protocol (or
+    # experiment batch) reuses the same initialized workers.
+    pool = SweepPool(args.jobs) if args.jobs > 1 else None
 
-    if args.experiments:
-        try:
-            results = run_experiments_parallel(
-                args.experiments, jobs=args.jobs, cache=cache, stats=stats,
-            )
-        except KeyError as error:
-            print(f"error: {error.args[0]}", file=sys.stderr)
-            return 2
-        for eid in args.experiments:
-            result = results[eid]
-            print(render_table(
-                result.rows, title=f"[{result.experiment_id}] {result.title}"
-            ))
-            print()
-    else:
-        from .core.endpoint import resolve_protocol
+    try:
+        if args.experiments:
+            try:
+                results = run_experiments_parallel(
+                    args.experiments, jobs=args.jobs, cache=cache, stats=stats,
+                    pool=pool, chunksize=args.chunksize,
+                )
+            except KeyError as error:
+                print(f"error: {error.args[0]}", file=sys.stderr)
+                return 2
+            for eid in args.experiments:
+                result = results[eid]
+                print(render_table(
+                    result.rows, title=f"[{result.experiment_id}] {result.title}"
+                ))
+                print()
+        else:
+            from .core.endpoint import resolve_protocol
 
-        try:
+            try:
+                for protocol in args.protocols:
+                    resolve_protocol(protocol)
+            except ValueError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            scenario = _scenario_from_args(args)
+            seeds = replication_seeds(args.master_seed, args.seeds)
+            rows = []
             for protocol in args.protocols:
-                resolve_protocol(protocol)
-        except ValueError as error:
-            print(f"error: {error}", file=sys.stderr)
-            return 2
-        scenario = _scenario_from_args(args)
-        seeds = replication_seeds(args.master_seed, args.seeds)
-        rows = []
-        for protocol in args.protocols:
-            spec = MeasureSpec.create(
-                "measure_saturated", scenario, protocol, duration=args.duration
-            )
-            summaries = parallel_replicate_all(
-                spec, args.metrics, seeds, jobs=args.jobs,
-                cache=cache, stats=stats,
-            )
-            for metric in args.metrics:
-                summary = summaries[metric]
-                rows.append({
-                    "protocol": protocol,
-                    "metric": metric,
-                    "mean": summary.mean,
-                    "ci95_half_width": summary.half_width,
-                    "n": summary.count,
-                })
-        print(render_table(
-            rows,
-            title=f"replicated sweep over preset '{scenario.name}' "
-                  f"({args.seeds} seeds, master {args.master_seed})",
-        ))
+                spec = MeasureSpec.create(
+                    "measure_saturated", scenario, protocol, duration=args.duration
+                )
+                # Streaming aggregation: summaries fold in as results
+                # arrive, bit-identical to batch (docs/API.md).
+                summaries = parallel_replicate_all(
+                    spec, args.metrics, seeds, jobs=args.jobs,
+                    cache=cache, stats=stats,
+                    pool=pool, chunksize=args.chunksize, streaming=True,
+                )
+                for metric in args.metrics:
+                    summary = summaries[metric]
+                    rows.append({
+                        "protocol": protocol,
+                        "metric": metric,
+                        "mean": summary.mean,
+                        "ci95_half_width": summary.half_width,
+                        "n": summary.count,
+                    })
+            print(render_table(
+                rows,
+                title=f"replicated sweep over preset '{scenario.name}' "
+                      f"({args.seeds} seeds, master {args.master_seed})",
+            ))
+    finally:
+        if pool is not None:
+            pool.close()
+        if cache is not None:
+            cache.close()
 
     executed = stats.counter("sweep.executed").value
     hits = stats.counter("sweep.cache_hits").value
@@ -239,9 +256,32 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for name in stats.counters
         if name.startswith("sweep.worker.") and name.endswith(".tasks")
     )
+    start = f", start={pool.start_method}" if pool is not None else ""
     print(f"\nsweep: {executed} executed, {hits} cached "
-          f"(jobs={args.jobs}, workers={len(workers) or 1}"
+          f"(jobs={args.jobs}, workers={len(workers) or 1}{start}"
           f"{'' if cache is None else ', cache=' + cache.root})")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .experiments.parallel import ResultCache
+
+    with ResultCache(args.cache_dir) as cache:
+        if args.action == "info":
+            info = cache.info()
+            print(f"cache {cache.root}: {info['entries']} entries in "
+                  f"{info['shards']} shard(s), {info['v1_files']} legacy "
+                  f"v1 file(s)")
+            return 0
+        if args.action == "clear":
+            removed = cache.clear()
+            print(f"cache {cache.root}: removed {removed} entries")
+            return 0
+        # migrate: absorb v1 per-point files and compact shards.
+        report = cache.migrate()
+        print(f"cache {cache.root}: {report['entries']} entries in one "
+              f"compacted shard ({report['v1_absorbed']} v1 files absorbed, "
+              f"{report['shards_compacted']} old shards compacted)")
     return 0
 
 
@@ -277,12 +317,16 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
 def _cmd_soak(args: argparse.Namespace) -> int:
     from .chaos import run_soak
+    from .experiments.parallel import SweepPool
 
     if args.episodes < 1:
         print("error: --episodes must be >= 1", file=sys.stderr)
         return 2
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.chunksize < 0:
+        print("error: --chunksize must be >= 0 (0 = adaptive)", file=sys.stderr)
         return 2
 
     def progress(report: dict) -> None:
@@ -292,14 +336,19 @@ def _cmd_soak(args: argparse.Namespace) -> int:
               f"delivered={report['delivered']}/{report['offered']} "
               f"failures={report['failures_declared']} {status}")
 
+    pool = SweepPool(args.jobs) if args.jobs > 1 else None
     try:
         result = run_soak(
             episodes=args.episodes, master_seed=args.seed, jobs=args.jobs,
             fail_fast=args.fail_fast, only=args.only, progress=progress,
+            pool=pool, chunksize=args.chunksize,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if pool is not None:
+            pool.close()
 
     summary = result.summary()
     print(f"\nsoak: {summary['episodes_completed']}/"
@@ -340,11 +389,15 @@ def _cmd_bench_baseline(args: argparse.Namespace) -> int:
             scenario=args.scenario,
             protocol=args.protocol,
             seed=args.seed,
+            sweep_seeds=args.sweep_seeds,
+            sweep_duration=args.sweep_duration,
+            include_sweep_scale=not args.skip_sweep_scale,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    write_baseline(args.output, payload=payload)
+    history = None if args.no_history else args.history
+    write_baseline(args.output, payload=payload, history_path=history)
     micro = payload["engine_dispatch"]
     meso = payload["saturated_throughput"]
     print(f"engine dispatch : {micro['events_per_sec']:,.0f} events/sec "
@@ -353,7 +406,22 @@ def _cmd_bench_baseline(args: argparse.Namespace) -> int:
     print(f"saturated (E6)  : {meso['events_per_sec']:,.0f} events/sec, "
           f"{meso['frames_per_sec']:,.0f} frames/sec, "
           f"{meso['delivered']:,} delivered")
-    print(f"baseline written to {args.output}")
+    sweep = payload.get("sweep_scale")
+    if sweep:
+        serial = sweep["serial"]
+        line = f"sweep (E23)     : {serial['points_per_sec']:,.1f} points/sec serial"
+        for run in sweep["parallel"]:
+            line += f", {run['points_per_sec']:,.1f} @ jobs={run['jobs']}"
+        hot = sweep.get("cache_hot")
+        if hot:
+            line += (f"; cache-hot re-run {hot['wall_seconds'] * 1e3:,.1f} ms "
+                     f"({hot['points_per_sec']:,.0f} points/sec)")
+        print(line)
+    commit = payload.get("git_commit")
+    print(f"baseline written to {args.output} "
+          f"(commit {commit[:12] if commit else 'unknown'}, "
+          f"host {payload.get('hostname')}, cpus {payload.get('cpu_count')}"
+          f"{'' if history is None else ', history ' + history})")
     return 0
 
 
@@ -464,11 +532,24 @@ def build_parser() -> argparse.ArgumentParser:
                               help="measure_saturated metrics to summarise")
     sweep_parser.add_argument("--jobs", type=int, default=1,
                               help="worker processes")
+    sweep_parser.add_argument("--chunksize", type=int, default=0,
+                              help="points per worker dispatch (0 = adaptive)")
     sweep_parser.add_argument("--cache-dir", default=".sweep-cache",
                               help="on-disk result cache directory")
     sweep_parser.add_argument("--no-cache", action="store_true",
                               help="disable the result cache")
     sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or maintain the on-disk sweep result cache"
+    )
+    cache_parser.add_argument("action", choices=("info", "migrate", "clear"),
+                              help="info: show entry/shard counts; migrate: "
+                                   "absorb v1 files and compact shards; "
+                                   "clear: delete every cached result")
+    cache_parser.add_argument("--cache-dir", default=".sweep-cache",
+                              help="cache directory to operate on")
+    cache_parser.set_defaults(handler=_cmd_cache)
 
     tune_parser = subparsers.add_parser(
         "tune", help="recommend a LAMS-DLC configuration for a link"
@@ -492,6 +573,8 @@ def build_parser() -> argparse.ArgumentParser:
                              help="master seed the episodes derive from")
     soak_parser.add_argument("--jobs", type=int, default=1,
                              help="worker processes")
+    soak_parser.add_argument("--chunksize", type=int, default=0,
+                             help="episodes per worker dispatch (0 = adaptive)")
     soak_parser.add_argument("--fail-fast", action="store_true",
                              help="stop scheduling new episodes after the "
                                   "first violation")
@@ -518,6 +601,17 @@ def build_parser() -> argparse.ArgumentParser:
                               help="protocol under test")
     bench_parser.add_argument("--seed", type=int, default=1,
                               help="simulation seed")
+    bench_parser.add_argument("--history", default="BENCH_history.jsonl",
+                              help="JSONL trajectory file to append to")
+    bench_parser.add_argument("--no-history", action="store_true",
+                              help="skip appending to the history trajectory")
+    bench_parser.add_argument("--sweep-seeds", type=int, default=16,
+                              help="replication points for the sweep-scale "
+                                   "section")
+    bench_parser.add_argument("--sweep-duration", type=float, default=0.05,
+                              help="simulated seconds per sweep-scale point")
+    bench_parser.add_argument("--skip-sweep-scale", action="store_true",
+                              help="omit the sweep_scale section")
     bench_parser.set_defaults(handler=_cmd_bench_baseline)
 
     report_parser = subparsers.add_parser(

@@ -7,6 +7,8 @@ from .parallel import (
     MeasurePoint,
     MeasureSpec,
     ResultCache,
+    SweepPool,
+    SweepStop,
     parallel_replicate,
     parallel_replicate_all,
     replication_seeds,
@@ -17,11 +19,18 @@ from .registry import (
     REGISTRY,
     SIMULATED_EXPERIMENTS,
     ExperimentResult,
+    default_seed,
     experiment_ids,
     run_experiment,
 )
 from .reporting import format_value, render_series, render_table
-from .sweeps import ReplicationSummary, replicate, replicate_all
+from .sweeps import (
+    ReplicationSummary,
+    StreamingSummary,
+    replicate,
+    replicate_all,
+    welford,
+)
 
 __all__ = [
     "REGISTRY",
@@ -31,6 +40,10 @@ __all__ = [
     "MeasurePoint",
     "MeasureSpec",
     "ResultCache",
+    "StreamingSummary",
+    "SweepPool",
+    "SweepStop",
+    "default_seed",
     "experiment_ids",
     "format_value",
     "parallel_replicate",
@@ -45,4 +58,5 @@ __all__ = [
     "run_experiments_parallel",
     "run_sweep",
     "runner",
+    "welford",
 ]

@@ -16,15 +16,38 @@ the per-replication seeds from one master seed via
 :func:`~repro.simulator.rng.derive_seed`, so a sweep's seed list is
 itself stable across runs and machines.
 
-**Free re-runs.**  Results are cached on disk as JSON, keyed by
-``(experiment_id, scenario, seed, code_version)``; re-running an
-unchanged point costs one file read and zero simulations.  JSON floats
-round-trip exactly (shortest-repr encoding), so cached summaries are
-byte-identical to freshly computed ones.
+**Free re-runs.**  Results land in a sharded on-disk cache
+(:class:`ResultCache`), keyed by ``(experiment_id, scenario, seed,
+code_version)``: append-only JSON-lines shard files with an in-memory
+index, so a fully warm 1000-point re-run costs one sequential index
+read instead of 1000 file opens.  JSON floats round-trip exactly
+(shortest-repr encoding), so cached summaries are byte-identical to
+freshly computed ones.  Legacy one-file-per-point (v1) caches are read
+transparently; ``python -m repro cache migrate`` upgrades in place.
 
 **Observability.**  :func:`run_sweep` reports per-worker progress and
 timing through :mod:`repro.simulator.trace`-style counters and sample
 statistics on a :class:`~repro.simulator.trace.Tracer`.
+
+The sweep plane itself is engineered for throughput:
+
+- :class:`SweepPool` is a *persistent warm pool* — workers are created
+  once (with the registry, runner, and scenario modules pre-imported)
+  and reused across any number of :func:`run_sweep` calls, so a
+  multi-protocol sweep or a chaos soak pays pool start-up exactly once.
+- Points are dispatched with ``imap_unordered`` under an adaptive
+  chunk size (``chunksize=0``), amortising one IPC round-trip over
+  many points instead of paying it per point.
+- Workers ship results back as compact slots-tuples ``(index, pid,
+  seconds, json)`` — one pre-encoded JSON string per result instead of
+  a pickled dict tree; the parent reuses the encoding verbatim for the
+  cache append.
+- With ``keep_results=False`` (used by ``parallel_replicate_all(...,
+  streaming=True)``), results are folded into
+  :class:`~repro.experiments.sweeps.StreamingSummary` accumulators as
+  they arrive, in seed order, so sweep memory is O(points in flight)
+  rather than O(total points) — and still bit-identical to batch
+  aggregation (see :func:`repro.experiments.sweeps.welford`).
 
 Entry points:
 
@@ -36,9 +59,11 @@ Entry points:
   out across processes.
 - :func:`run_sweep` — the generic engine over any sequence of points.
 
-CLI: ``python -m repro sweep`` (``--jobs N``, ``--cache-dir``,
-``--no-cache``).  Benchmarks opt in via the ``REPRO_SWEEP_JOBS``
-environment variable (see ``benchmarks/conftest.py``).
+CLI: ``python -m repro sweep`` (``--jobs N``, ``--chunksize``,
+``--cache-dir``, ``--no-cache``) and ``python -m repro cache``
+(``migrate`` / ``info``).  Benchmarks opt in via the
+``REPRO_SWEEP_JOBS`` environment variable (see
+``benchmarks/conftest.py``).
 """
 
 from __future__ import annotations
@@ -59,14 +84,15 @@ from ..simulator.rng import derive_seed
 from ..simulator.trace import Tracer
 from ..workloads.scenarios import LinkScenario
 from . import runner as _runner_module
-from .registry import REGISTRY, ExperimentResult, run_experiment
-from .sweeps import ReplicationSummary
+from .registry import REGISTRY, ExperimentResult, default_seed, run_experiment
+from .sweeps import ReplicationSummary, StreamingSummary
 
 __all__ = [
     "ExperimentPoint",
     "MeasurePoint",
     "MeasureSpec",
     "ResultCache",
+    "SweepPool",
     "SweepStop",
     "parallel_replicate",
     "parallel_replicate_all",
@@ -207,21 +233,16 @@ class ExperimentPoint:
         """Build a point, resolving the experiment's default seed.
 
         Every registry function accepts an explicit ``seed`` kwarg; when
-        *seed* is ``None`` the function's own default is used, so the
+        *seed* is ``None`` the function's own default is used (memoised
+        by :func:`repro.experiments.registry.default_seed`), so the
         cache key is well-defined either way.
         """
-        try:
-            fn = REGISTRY[experiment_id]
-        except KeyError:
+        if experiment_id not in REGISTRY:
             raise KeyError(
                 f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
-            ) from None
+            )
         if seed is None:
-            parameter = inspect.signature(fn).parameters.get("seed")
-            if parameter is None or parameter.default is inspect.Parameter.empty:
-                seed = 0
-            else:
-                seed = parameter.default
+            seed = default_seed(experiment_id)
         return cls(experiment_id, int(seed), tuple(sorted(kwargs.items())))
 
     @property
@@ -266,40 +287,71 @@ def _jsonable(value: Any) -> Any:
 
 
 # ---------------------------------------------------------------------------
-# On-disk result cache
+# On-disk result cache (v2: sharded append-only JSON-lines)
 # ---------------------------------------------------------------------------
 
 
 class ResultCache:
-    """JSON file cache keyed by (experiment_id, scenario, seed, version).
+    """Sharded result cache keyed by (experiment_id, scenario, seed, version).
 
-    One file per point under *root*, named by the SHA-256 of the
-    canonical key; the key itself is stored alongside the result so a
-    (vanishingly unlikely) digest collision is detected, not served.
-    Writes are atomic (unique ``O_EXCL`` temp file + ``os.replace``),
-    so a sweep killed mid-write never leaves a torn entry; temp files
-    orphaned by a killed writer are swept out the next time a cache is
-    opened on the same directory (once they are old enough that no
-    live writer can still own them).
+    **Layout (v2).**  Results live in append-only shard files
+    (``shard-<pid>-<uniq>.jsonl``), one line per entry::
+
+        <sha256-hex>\\t{"key": {...}, "result": ...}\\n
+
+    Opening a cache reads every shard *sequentially once* and builds an
+    in-memory index ``digest -> (shard, offset, length)`` — indexing
+    needs only the digest prefix, no JSON parsing — so a fully warm
+    1000-point sweep costs one index build plus 1000 seek-reads from a
+    handful of open files, instead of 1000 ``open()`` calls.  The full
+    key is stored alongside each result, so a (vanishingly unlikely)
+    digest collision is detected, not served.
+
+    **Durability.**  Each cache instance appends to its own private
+    shard (``O_EXCL``-created), so concurrent writers never interleave.
+    Every ``put`` is flushed; ``fsync`` is *batched* (every
+    ``fsync_interval`` puts, and on :meth:`flush`/:meth:`close`).  A
+    crash can therefore lose at most the last unsynced batch — and a
+    torn final line is detected and skipped on the next open, never
+    served as data.
+
+    **Migration.**  Legacy v1 caches (one ``<digest>.json`` file per
+    point) are read transparently as a fallback; :meth:`migrate`
+    (``python -m repro cache migrate``) absorbs them — and compacts all
+    existing shards — into a single fresh shard.
     """
 
-    #: Orphaned ``*.tmp.*`` files older than this are removed on open.
-    #: Generously longer than any single point's write so a concurrent
-    #: sweep's in-flight temp file is never yanked out from under it.
+    #: Orphaned v1 ``*.json.tmp.*`` files older than this are removed on
+    #: open (left behind by killed pre-v2 writers).
     STALE_TMP_SECONDS = 3600.0
 
-    _tmp_ids = itertools.count()
+    #: Default number of puts between fsyncs.
+    FSYNC_INTERVAL = 64
 
-    def __init__(self, root: str, code_version: str = CODE_VERSION) -> None:
+    _shard_ids = itertools.count()
+
+    def __init__(self, root: str, code_version: str = CODE_VERSION,
+                 fsync_interval: int = FSYNC_INTERVAL) -> None:
         self.root = str(root)
         self.code_version = code_version
+        self.fsync_interval = max(1, int(fsync_interval))
         os.makedirs(self.root, exist_ok=True)
         self.stale_tmp_removed = self._sweep_stale_tmp()
         self.hits = 0
         self.misses = 0
+        #: digest -> (shard path, byte offset, line length)
+        self._index: dict[str, tuple[str, int, int]] = {}
+        self._readers: dict[str, Any] = {}
+        self._writer: Optional[Any] = None
+        self._writer_path: Optional[str] = None
+        self._writer_offset = 0
+        self._unsynced = 0
+        self._load_shards()
+
+    # -- maintenance -----------------------------------------------------
 
     def _sweep_stale_tmp(self) -> int:
-        """Delete old orphaned temp files; returns how many went."""
+        """Delete old orphaned v1 temp files; returns how many went."""
         cutoff = time.time() - self.STALE_TMP_SECONDS
         removed = 0
         for name in os.listdir(self.root):
@@ -315,77 +367,386 @@ class ResultCache:
                 continue
         return removed
 
+    def _shard_paths(self) -> list[str]:
+        paths = [
+            os.path.join(self.root, name)
+            for name in os.listdir(self.root)
+            if name.startswith("shard-") and name.endswith(".jsonl")
+        ]
+        # Later shards win on duplicate digests; mtime then name gives a
+        # stable "last writer wins" order.
+        def order(path: str) -> tuple[float, str]:
+            try:
+                return (os.path.getmtime(path), path)
+            except OSError:
+                return (0.0, path)
+        return sorted(paths, key=order)
+
+    def _load_shards(self) -> None:
+        """One sequential pass over every shard builds the index.
+
+        Only the 64-hex digest prefix of each line is inspected — the
+        JSON payload is parsed lazily at :meth:`get` time.  A final
+        line with no newline is a torn write from a killed process and
+        is skipped.
+        """
+        for path in self._shard_paths():
+            try:
+                with open(path, "rb") as handle:
+                    offset = 0
+                    for line in handle:
+                        if not line.endswith(b"\n"):
+                            break  # torn tail: ignore, never served
+                        length = len(line)
+                        if length > 65 and line[64:65] == b"\t":
+                            digest = line[:64].decode("ascii", "replace")
+                            self._index[digest] = (path, offset, length)
+                        offset += length
+            except OSError:
+                continue
+
     # -- keying ----------------------------------------------------------
 
     @staticmethod
     def _canonical(key: Mapping[str, Any]) -> str:
         return json.dumps(key, sort_keys=True, default=str)
 
-    def path_for(self, point: Any) -> str:
-        """The cache file path for *point* (which may not exist yet)."""
-        digest = hashlib.sha256(
+    def digest_for(self, point: Any) -> str:
+        """The SHA-256 hex digest of *point*'s canonical cache key."""
+        return hashlib.sha256(
             self._canonical(point.cache_key()).encode("utf-8")
         ).hexdigest()
-        return os.path.join(self.root, f"{digest}.json")
+
+    def path_for(self, point: Any) -> str:
+        """The legacy (v1) one-file-per-point path for *point*.
+
+        Still the cache's stable key identity: two points share a
+        ``path_for`` iff they share a canonical cache key.  v2 stores
+        results in shards, but reads this path as a migration fallback.
+        """
+        return os.path.join(self.root, f"{self.digest_for(point)}.json")
 
     # -- access ----------------------------------------------------------
 
+    def contains(self, point: Any) -> bool:
+        """Whether *point* is (probably) cached — no read, no stats.
+
+        An index membership test (plus a v1-file existence check), used
+        by the sweep engine to partition points before dispatch.  A
+        ``True`` here can still turn into a :meth:`get` miss if the
+        entry is torn or its stored key mismatches; callers must handle
+        that by recomputing.
+        """
+        return self.digest_for(point) in self._index or os.path.exists(
+            self.path_for(point)
+        )
+
+    def _read_entry(self, entry: tuple[str, int, int]) -> Optional[dict]:
+        path, offset, length = entry
+        reader = self._readers.get(path)
+        if reader is None:
+            try:
+                reader = open(path, "rb")
+            except OSError:
+                return None
+            self._readers[path] = reader
+        try:
+            reader.seek(offset)
+            line = reader.read(length)
+        except OSError:
+            return None
+        tab = line.find(b"\t")
+        if tab < 0:
+            return None
+        try:
+            return json.loads(line[tab + 1:])
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
+            return None
+
     def get(self, point: Any) -> Optional[Any]:
         """The cached result for *point*, or None on a miss."""
-        path = self.path_for(point)
+        key = json.loads(self._canonical(point.cache_key()))
+        entry = self._index.get(self.digest_for(point))
+        if entry is not None:
+            stored = self._read_entry(entry)
+            if stored is not None and stored.get("key") == key:
+                self.hits += 1
+                return stored["result"]
+        # v1 fallback: one JSON file per point at the legacy path.
         try:
-            with open(path, "r", encoding="utf-8") as handle:
+            with open(self.path_for(point), "r", encoding="utf-8") as handle:
                 stored = json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError):
+        except (OSError, json.JSONDecodeError):
             self.misses += 1
             return None
-        if stored.get("key") != json.loads(self._canonical(point.cache_key())):
+        if stored.get("key") != key:
             self.misses += 1
             return None
         self.hits += 1
         return stored["result"]
 
     def put(self, point: Any, result: Any) -> None:
-        """Store *result* for *point* atomically."""
-        path = self.path_for(point)
-        payload = {
-            "key": json.loads(self._canonical(point.cache_key())),
-            "result": result,
-        }
-        # Unique temp name per writer: pid alone is not enough (pid
-        # reuse across runs, threads within one process), so add a
-        # per-process counter and create with O_EXCL so a collision
-        # surfaces as a retry instead of two writers sharing a file.
+        """Store *result* for *point* (appended to this cache's shard)."""
+        self._append(point, json.dumps(result))
+
+    def put_raw(self, point: Any, result_json: str) -> None:
+        """Store a pre-encoded JSON result verbatim.
+
+        The pool workers ship results as JSON strings; appending that
+        encoding directly skips a decode/re-encode round trip per point.
+        """
+        self._append(point, result_json)
+
+    def _append(self, point: Any, result_json: str) -> None:
+        digest = self.digest_for(point)
+        line = (
+            digest + '\t{"key": ' + self._canonical(point.cache_key())
+            + ', "result": ' + result_json + "}\n"
+        ).encode("utf-8")
+        writer = self._writer if self._writer is not None else self._open_writer()
+        offset = self._writer_offset
+        writer.write(line)
+        # Flush per put (visible to readers immediately); fsync batched.
+        writer.flush()
+        self._index[digest] = (self._writer_path, offset, len(line))
+        self._writer_offset = offset + len(line)
+        self._unsynced += 1
+        if self._unsynced >= self.fsync_interval:
+            os.fsync(writer.fileno())
+            self._unsynced = 0
+
+    def _open_writer(self) -> Any:
         pid = os.getpid()
         while True:
-            tmp = f"{path}.tmp.{pid}.{next(self._tmp_ids)}"
+            name = (f"shard-{pid}-{next(self._shard_ids)}-"
+                    f"{time.time_ns() & 0xFFFFFF:06x}.jsonl")
+            path = os.path.join(self.root, name)
             try:
-                fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
-                break
+                fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
             except FileExistsError:
                 continue
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp, path)
-        except BaseException:
+            self._writer = os.fdopen(fd, "wb")
+            self._writer_path = path
+            self._writer_offset = 0
+            return self._writer
+
+    def flush(self) -> None:
+        """Force any batched fsync out to disk."""
+        if self._writer is not None:
+            self._writer.flush()
+            if self._unsynced:
+                os.fsync(self._writer.fileno())
+                self._unsynced = 0
+
+    def close(self) -> None:
+        """Flush and release every file handle (the cache stays usable)."""
+        self.flush()
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+            self._writer_path = None
+        for reader in self._readers.values():
             try:
-                os.unlink(tmp)
+                reader.close()
             except OSError:
                 pass
-            raise
+        self._readers.clear()
+
+    def __enter__(self) -> "ResultCache":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- bulk operations -------------------------------------------------
+
+    def _v1_paths(self) -> list[str]:
+        out = []
+        for name in os.listdir(self.root):
+            if name.endswith(".json") and len(name) == 69:  # 64 hex + ".json"
+                out.append(os.path.join(self.root, name))
+        return out
 
     def __len__(self) -> int:
-        return sum(1 for n in os.listdir(self.root) if n.endswith(".json"))
+        digests = set(self._index)
+        for path in self._v1_paths():
+            digests.add(os.path.basename(path)[:-5])
+        return len(digests)
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
-        removed = 0
-        for name in os.listdir(self.root):
-            if name.endswith(".json"):
-                os.unlink(os.path.join(self.root, name))
-                removed += 1
+        """Delete every entry; returns how many distinct keys went."""
+        removed = len(self)
+        self.close()
+        for path in self._shard_paths() + self._v1_paths():
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._index.clear()
         return removed
+
+    def migrate(self) -> dict[str, int]:
+        """Upgrade in place: absorb v1 files, compact shards into one.
+
+        Every live entry — v2 shard lines (index-reachable only, so
+        superseded duplicates drop out) plus v1 per-point files — is
+        rewritten into a single fresh shard; the old shards and v1
+        files are then deleted.  Returns counts for reporting.
+        """
+        v1_absorbed = 0
+        lines: dict[str, bytes] = {}
+        for digest, entry in list(self._index.items()):
+            stored = self._read_entry(entry)
+            if stored is not None:
+                lines[digest] = (
+                    digest + "\t" + json.dumps(stored) + "\n"
+                ).encode("utf-8")
+        for path in self._v1_paths():
+            digest = os.path.basename(path)[:-5]
+            if digest in lines:
+                continue
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    stored = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            lines[digest] = (
+                digest + "\t" + json.dumps(stored) + "\n"
+            ).encode("utf-8")
+            v1_absorbed += 1
+        old_shards = self._shard_paths()
+        old_v1 = self._v1_paths()
+        self.close()
+        writer = self._open_writer()
+        new_index: dict[str, tuple[str, int, int]] = {}
+        offset = 0
+        for digest, line in lines.items():
+            writer.write(line)
+            new_index[digest] = (self._writer_path, offset, len(line))
+            offset += len(line)
+        writer.flush()
+        os.fsync(writer.fileno())
+        self._writer_offset = offset
+        for path in old_shards + old_v1:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._index = new_index
+        return {
+            "entries": len(new_index),
+            "v1_absorbed": v1_absorbed,
+            "shards_compacted": len(old_shards),
+        }
+
+    def info(self) -> dict[str, int]:
+        """Shape of the on-disk cache (entries, shards, legacy files)."""
+        return {
+            "entries": len(self),
+            "shards": len(self._shard_paths()),
+            "v1_files": len(self._v1_paths()),
+        }
+
+
+# ---------------------------------------------------------------------------
+# The worker pool
+# ---------------------------------------------------------------------------
+
+
+def _warm_worker() -> None:
+    """Pool initializer: pre-import the heavy modules once per worker.
+
+    Under ``fork`` the child inherits the parent's warm interpreter and
+    this is nearly free; under ``spawn`` it front-loads the registry /
+    runner / scenario (and transitively numpy) imports at pool start-up
+    instead of paying them inside the first task.
+    """
+    from ..workloads import scenarios  # noqa: F401
+    from . import registry, runner  # noqa: F401
+
+
+def _resolve_start_method(method: Optional[str] = None) -> str:
+    """The explicit multiprocessing start method for sweep pools.
+
+    Preference order: the *method* argument, the ``REPRO_MP_START``
+    environment variable, then ``fork`` where the platform offers it
+    (cheapest — workers inherit the warm interpreter) with ``spawn`` as
+    the explicit fallback.  Never the interpreter default, so sweeps
+    behave identically on platforms where the default differs.
+    """
+    if method is None:
+        method = os.environ.get("REPRO_MP_START") or None
+    available = multiprocessing.get_all_start_methods()
+    if method is None:
+        method = "fork" if "fork" in available else "spawn"
+    if method not in available:
+        raise ValueError(
+            f"unknown start method {method!r}; available: {available}"
+        )
+    return method
+
+
+def _pool_context(method: Optional[str] = None):
+    """An explicitly chosen multiprocessing context (spawn-safe)."""
+    return multiprocessing.get_context(_resolve_start_method(method))
+
+
+class SweepPool:
+    """A persistent, warm worker pool reused across sweeps.
+
+    Workers are created lazily on first use — initialised once with
+    :func:`_warm_worker` — and then serve every subsequent
+    :func:`run_sweep` call handed this pool, so a multi-protocol sweep
+    session (or a chaos soak riding the same pool) pays pool start-up
+    exactly once instead of once per sweep.
+
+    :meth:`cancel` tears the workers down immediately (used on
+    :class:`SweepStop` so abandoned tasks stop burning CPU); the next
+    use transparently builds a fresh pool.  Context-manager exit closes
+    the pool (or cancels it if exiting on an exception).
+    """
+
+    def __init__(self, jobs: int, start_method: Optional[str] = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.start_method = _resolve_start_method(start_method)
+        self._context = multiprocessing.get_context(self.start_method)
+        self._pool: Optional[Any] = None
+        #: How many times the pool was torn down and lazily rebuilt.
+        self.recycled = 0
+
+    def pool(self) -> Any:
+        """The live ``multiprocessing.Pool`` (created on first use)."""
+        if self._pool is None:
+            self._pool = self._context.Pool(
+                processes=self.jobs, initializer=_warm_worker
+            )
+        return self._pool
+
+    def cancel(self) -> None:
+        """Terminate workers now; the next use rebuilds the pool."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self.recycled += 1
+
+    def close(self) -> None:
+        """Finish outstanding tasks and shut the workers down."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "SweepPool":
+        return self
+
+    def __exit__(self, exc_type: Any, *exc: Any) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.cancel()
 
 
 # ---------------------------------------------------------------------------
@@ -410,17 +771,36 @@ def _progress_adapter(
 
 
 def _execute_point(point: Any) -> tuple[Any, int, float]:
-    """Worker entry: run one point, reporting (result, pid, seconds)."""
+    """Run one point in-process, reporting (result, pid, seconds)."""
     start = time.perf_counter()
     result = point.execute()
     return result, os.getpid(), time.perf_counter() - start
 
 
-def _pool_context():
-    """Prefer fork (cheap, inherits sys.path); fall back to the default."""
-    if "fork" in multiprocessing.get_all_start_methods():
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
+def _execute_task(task: tuple[int, Any]) -> tuple[int, int, float, str]:
+    """Worker entry: run one indexed point; ship a compact slots-tuple.
+
+    The result crosses the process boundary as one JSON string (floats
+    round-trip exactly under shortest-repr encoding) instead of a
+    pickled dict tree — cheaper to serialise, and the parent reuses the
+    encoding verbatim for the cache append.
+    """
+    index, point = task
+    start = time.perf_counter()
+    result = point.execute()
+    return index, os.getpid(), time.perf_counter() - start, json.dumps(result)
+
+
+def _resolve_chunksize(chunksize: int, pending: int, jobs: int) -> int:
+    """Adaptive chunking: amortise IPC without starving the tail.
+
+    ``chunksize=0`` targets ~4 chunks per worker (capped at 32 points a
+    chunk), so dispatch overhead is paid once per chunk while the last
+    worker never sits on more than a quarter of its share.
+    """
+    if chunksize > 0:
+        return chunksize
+    return max(1, min(32, -(-pending // (jobs * 4))))
 
 
 def run_sweep(
@@ -429,13 +809,22 @@ def run_sweep(
     cache: Optional[ResultCache] = None,
     stats: Optional[Tracer] = None,
     progress: Optional[Callable[[Any, bool], None]] = None,
-) -> list[Any]:
+    *,
+    pool: Optional[SweepPool] = None,
+    chunksize: int = 0,
+    keep_results: bool = True,
+) -> Optional[list[Any]]:
     """Execute *points*, in order, over up to *jobs* worker processes.
 
     Cached points are answered from *cache* without touching the pool
     (a fully warm sweep executes **zero** simulations); fresh results
-    are written back.  Counters on *stats* (a
-    :class:`~repro.simulator.trace.Tracer`):
+    are written back.  *pool* reuses a persistent :class:`SweepPool`
+    across calls (its worker count then overrides *jobs*); otherwise a
+    transient pool is created for this sweep.  *chunksize* controls how
+    many points travel per worker dispatch (0 = adaptive, see
+    :func:`_resolve_chunksize`).
+
+    Counters on *stats* (a :class:`~repro.simulator.trace.Tracer`):
 
     - ``sweep.points`` / ``sweep.executed`` / ``sweep.cache_hits``
     - ``sweep.worker.<pid>.tasks`` — per-worker task counts
@@ -443,62 +832,110 @@ def run_sweep(
 
     *progress*, if given, is called as ``progress(point, from_cache)``
     after each point resolves — or ``progress(point, from_cache,
-    result)`` when the callback accepts a third parameter; raising
+    result)`` when the callback accepts a third parameter — always in
+    input order, whatever order workers complete in; raising
     :class:`SweepStop` from it ends the sweep early with the partial
-    results.  Results come back in input order regardless of
-    completion order.
+    results.
+
+    With ``keep_results=False`` the engine returns ``None`` and holds
+    only the out-of-order arrival buffer (O(points in flight)) instead
+    of the full result list — results are observed solely through
+    *progress*, which is how streaming aggregation keeps thousand-point
+    sweeps in constant memory.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     points = list(points)
     stats = stats if stats is not None else Tracer()
-    results: list[Any] = [None] * len(points)
+    results: Optional[list[Any]] = [None] * len(points) if keep_results else None
     notify = _progress_adapter(progress)
 
-    pending: list[tuple[int, Any]] = []
-    try:
-        for index, point in enumerate(points):
-            stats.count("sweep.points")
-            cached = cache.get(point) if cache is not None else None
-            if cached is not None:
-                results[index] = cached
-                stats.count("sweep.cache_hits")
-                notify(point, True, cached)
-            else:
-                pending.append((index, point))
-    except SweepStop:
-        return results
+    hit_flags = (
+        [cache.contains(point) for point in points]
+        if cache is not None
+        else [False] * len(points)
+    )
+    pending = [(i, p) for i, (p, hit) in enumerate(zip(points, hit_flags)) if not hit]
 
-    if not pending:
-        return results
-
-    def _record(index: int, point: Any, payload: tuple[Any, int, float]) -> None:
-        result, worker, elapsed = payload
-        results[index] = result
+    def _account(worker: int, elapsed: float) -> None:
         stats.count("sweep.executed")
         stats.count(f"sweep.worker.{worker}.tasks")
         stats.sample("sweep.task_seconds", elapsed)
         stats.sample(f"sweep.worker.{worker}.seconds", elapsed)
+
+    def _resolve_hit(index: int, point: Any) -> None:
+        cached = cache.get(point)
+        if cached is None:
+            # Torn or key-mismatched entry discovered after the probe:
+            # recompute inline so the sweep still completes.
+            _run_inline(index, point)
+            return
+        stats.count("sweep.cache_hits")
+        if results is not None:
+            results[index] = cached
+        notify(point, True, cached)
+
+    def _run_inline(index: int, point: Any) -> None:
+        result, worker, elapsed = _execute_point(point)
+        _account(worker, elapsed)
         if cache is not None:
             cache.put(point, result)
+        if results is not None:
+            results[index] = result
         notify(point, False, result)
 
+    use_pool = len(pending) > 1 and (pool is not None or jobs > 1)
     try:
-        if jobs > 1 and len(pending) > 1:
-            context = _pool_context()
-            # Leaving the with-block terminates outstanding workers, so
-            # a SweepStop raised mid-iteration cancels undispatched work.
-            with context.Pool(processes=min(jobs, len(pending))) as pool:
-                payloads = pool.imap(
-                    _execute_point, [point for _, point in pending], chunksize=1
+        if use_pool:
+            owned = pool is None
+            active = pool if pool is not None else SweepPool(min(jobs, len(pending)))
+            completed = False
+            try:
+                chunk = _resolve_chunksize(chunksize, len(pending), active.jobs)
+                arrivals = active.pool().imap_unordered(
+                    _execute_task, pending, chunksize=chunk
                 )
-                for (index, point), payload in zip(pending, payloads):
-                    _record(index, point, payload)
+                # Out-of-order arrivals wait here until their turn; the
+                # in-order chunk assignment bounds this buffer to
+                # O(jobs * chunksize) under normal skew.
+                ready: dict[int, tuple[int, float, str]] = {}
+                for index, point in enumerate(points):
+                    stats.count("sweep.points")
+                    if hit_flags[index]:
+                        _resolve_hit(index, point)
+                        continue
+                    while index not in ready:
+                        got_index, worker, elapsed, encoded = next(arrivals)
+                        ready[got_index] = (worker, elapsed, encoded)
+                    worker, elapsed, encoded = ready.pop(index)
+                    _account(worker, elapsed)
+                    if cache is not None:
+                        cache.put_raw(point, encoded)
+                    if results is not None:
+                        results[index] = json.loads(encoded)
+                        notify(point, False, results[index])
+                    else:
+                        notify(point, False, json.loads(encoded))
+                completed = True
+            finally:
+                if not completed:
+                    # SweepStop or an error mid-sweep: abandoned chunks
+                    # must not keep burning CPU (a persistent pool
+                    # rebuilds lazily on its next use).
+                    active.cancel()
+                if owned:
+                    active.close()
         else:
-            for index, point in pending:
-                _record(index, point, _execute_point(point))
+            for index, point in enumerate(points):
+                stats.count("sweep.points")
+                if hit_flags[index]:
+                    _resolve_hit(index, point)
+                else:
+                    _run_inline(index, point)
     except SweepStop:
         pass
+    if cache is not None:
+        cache.flush()
     return results
 
 
@@ -515,16 +952,24 @@ def parallel_replicate(
     cache: Optional[ResultCache] = None,
     stats: Optional[Tracer] = None,
     progress: Optional[Callable[[Any, bool], None]] = None,
-) -> ReplicationSummary:
+    *,
+    pool: Optional[SweepPool] = None,
+    chunksize: int = 0,
+    streaming: bool = False,
+):
     """Parallel :func:`~repro.experiments.sweeps.replicate`.
 
     Bit-identical to the serial version on the same seeds: sample order
     follows seed order, values are the same per-seed simulations, and
-    NaN measurements raise the same ``ValueError``.
+    NaN measurements raise the same ``ValueError``.  With
+    ``streaming=True`` the return type is a
+    :class:`~repro.experiments.sweeps.StreamingSummary` (same
+    statistics, bit-identically, without retaining the samples).
     """
     summaries = parallel_replicate_all(
         spec, [metric], seeds, jobs=jobs, cache=cache, stats=stats,
         progress=progress, _nan_guard=True,
+        pool=pool, chunksize=chunksize, streaming=streaming,
     )
     return summaries[metric]
 
@@ -538,18 +983,50 @@ def parallel_replicate_all(
     stats: Optional[Tracer] = None,
     progress: Optional[Callable[[Any, bool], None]] = None,
     _nan_guard: bool = False,
-) -> dict[str, ReplicationSummary]:
+    *,
+    pool: Optional[SweepPool] = None,
+    chunksize: int = 0,
+    streaming: bool = False,
+):
     """Parallel :func:`~repro.experiments.sweeps.replicate_all`.
 
     One simulation per seed feeds every metric, exactly like the serial
     version; summaries are bit-identical to serial execution.
+
+    ``streaming=True`` folds each metric into a
+    :class:`~repro.experiments.sweeps.StreamingSummary` as results
+    arrive (in seed order — the engine reorders worker completions), so
+    memory stays O(points in flight) instead of O(seeds); the folded
+    statistics are bit-identical to the batch
+    :class:`~repro.experiments.sweeps.ReplicationSummary` because both
+    run the same :func:`~repro.experiments.sweeps.welford` recurrence.
     """
     seed_list = list(seeds)
     if not seed_list:
         raise ValueError("at least one seed is required")
     points = [MeasurePoint(spec, seed) for seed in seed_list]
+
+    if streaming:
+        accumulators = {metric: StreamingSummary(metric) for metric in metrics}
+        outer_notify = _progress_adapter(progress)
+
+        def consume(point: MeasurePoint, from_cache: bool, result: Any) -> None:
+            for metric in metrics:
+                value = result[metric]
+                if _nan_guard and value != value:
+                    raise ValueError(
+                        f"measurement returned NaN for seed {point.seed}"
+                    )
+                accumulators[metric].push(float(value))
+            outer_notify(point, from_cache, result)
+
+        run_sweep(points, jobs=jobs, cache=cache, stats=stats,
+                  progress=consume, pool=pool, chunksize=chunksize,
+                  keep_results=False)
+        return accumulators
+
     results = run_sweep(points, jobs=jobs, cache=cache, stats=stats,
-                        progress=progress)
+                        progress=progress, pool=pool, chunksize=chunksize)
     collected: dict[str, list[float]] = {metric: [] for metric in metrics}
     for seed, result in zip(seed_list, results):
         for metric in metrics:
@@ -575,6 +1052,9 @@ def run_experiments_parallel(
     stats: Optional[Tracer] = None,
     seed: Optional[int] = None,
     progress: Optional[Callable[[Any, bool], None]] = None,
+    *,
+    pool: Optional[SweepPool] = None,
+    chunksize: int = 0,
 ) -> dict[str, ExperimentResult]:
     """Run registry experiments across a process pool.
 
@@ -585,7 +1065,7 @@ def run_experiments_parallel(
     """
     points = [ExperimentPoint.create(eid, seed=seed) for eid in experiment_ids]
     payloads = run_sweep(points, jobs=jobs, cache=cache, stats=stats,
-                         progress=progress)
+                         progress=progress, pool=pool, chunksize=chunksize)
     out: dict[str, ExperimentResult] = {}
     for point, payload in zip(points, payloads):
         out[point.experiment_id] = ExperimentResult(

@@ -13,7 +13,9 @@ assert the paper's qualitative shape (who wins, how the curve moves).
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable
 
 import numpy as np
@@ -34,6 +36,7 @@ __all__ = [
     "ExperimentResult",
     "REGISTRY",
     "SIMULATED_EXPERIMENTS",
+    "default_seed",
     "run_experiment",
     "experiment_ids",
 ]
@@ -1008,6 +1011,21 @@ Only the ids listed here actually consume it.
 def experiment_ids() -> list[str]:
     """All registered experiment ids."""
     return list(REGISTRY)
+
+
+@lru_cache(maxsize=None)
+def default_seed(experiment_id: str) -> int:
+    """The registered default ``seed`` of one experiment, memoised.
+
+    The sweep plane resolves a seed per dispatched point; inspecting
+    the function signature costs more than many cache probes, so the
+    answer is computed once per experiment id for the process lifetime.
+    """
+    fn = REGISTRY[experiment_id]
+    parameter = inspect.signature(fn).parameters.get("seed")
+    if parameter is None or parameter.default is inspect.Parameter.empty:
+        return 0
+    return int(parameter.default)
 
 
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:

@@ -16,6 +16,17 @@ Used by benchmark E20 and available for any runner function::
         metric="efficiency", seeds=range(10),
     )
     print(summary.mean, summary.half_width)
+
+Both summary types — :class:`ReplicationSummary` (batch, holds every
+sample) and :class:`StreamingSummary` (incremental, O(1) memory) —
+compute mean and spread through the same :func:`welford` fold, one
+sample at a time in sample order.  Feeding the same values in the same
+order therefore produces *bit-identical* statistics from either type;
+``tests/test_sweeps.py`` proves the equivalence with Hypothesis.  The
+parallel sweep engine exploits this to aggregate thousand-point sweeps
+without holding every sample in memory
+(:func:`repro.experiments.parallel.parallel_replicate_all` with
+``streaming=True``).
 """
 
 from __future__ import annotations
@@ -24,10 +35,36 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Sequence
 
-__all__ = ["ReplicationSummary", "replicate", "replicate_all"]
+__all__ = [
+    "ReplicationSummary",
+    "StreamingSummary",
+    "replicate",
+    "replicate_all",
+    "welford",
+]
 
 # Two-sided 95% normal quantile.
 _Z95 = 1.959963984540054
+
+
+def welford(values: Iterable[float]) -> tuple[int, float, float]:
+    """The canonical ``(count, mean, M2)`` fold over *values* in order.
+
+    Welford's recurrence: numerically stable (no catastrophic
+    cancellation at large means) and incremental.  Every statistic in
+    this module derives from this exact operation sequence, which is
+    what makes streamed and batch aggregation bit-identical — not
+    merely close — when the fold order matches.
+    """
+    count = 0
+    mean = 0.0
+    m2 = 0.0
+    for value in values:
+        count += 1
+        delta = value - mean
+        mean += delta / count
+        m2 += delta * (value - mean)
+    return count, mean, m2
 
 
 @dataclass(frozen=True)
@@ -43,17 +80,15 @@ class ReplicationSummary:
 
     @property
     def mean(self) -> float:
-        return sum(self.samples) / len(self.samples)
+        return welford(self.samples)[1]
 
     @property
     def stdev(self) -> float:
         """Sample standard deviation (n-1); 0 for a single sample."""
-        if len(self.samples) < 2:
+        count, _, m2 = welford(self.samples)
+        if count < 2:
             return 0.0
-        mean = self.mean
-        return math.sqrt(
-            sum((value - mean) ** 2 for value in self.samples) / (len(self.samples) - 1)
-        )
+        return math.sqrt(m2 / (count - 1))
 
     @property
     def half_width(self) -> float:
@@ -82,6 +117,99 @@ class ReplicationSummary:
     def __repr__(self) -> str:
         return (
             f"ReplicationSummary({self.metric}: {self.mean:.6g} "
+            f"± {self.half_width:.2g}, n={self.count})"
+        )
+
+
+class StreamingSummary:
+    """An incrementally-built :class:`ReplicationSummary` twin.
+
+    Holds only ``(count, mean, M2)`` — constant memory however many
+    samples flow through — yet exposes the same statistics API.  Values
+    :meth:`push`-ed in sample order yield statistics bit-identical to a
+    :class:`ReplicationSummary` over the same tuple, because both run
+    the identical :func:`welford` recurrence.
+
+    :meth:`merge` combines two accumulators with the Chan et al.
+    parallel formula; the merged moments are mathematically exact but
+    fold values in a different order, so merged results are equal to
+    within rounding, not bit-identical — use a single seed-order stream
+    (as the sweep engine does) when exact reproducibility matters.
+    """
+
+    __slots__ = ("metric", "count", "_mean", "_m2")
+
+    def __init__(self, metric: str = "", count: int = 0,
+                 mean: float = 0.0, m2: float = 0.0) -> None:
+        self.metric = metric
+        self.count = count
+        self._mean = mean
+        self._m2 = m2
+
+    @classmethod
+    def from_samples(cls, metric: str, samples: Iterable[float]) -> "StreamingSummary":
+        summary = cls(metric)
+        for value in samples:
+            summary.push(value)
+        return summary
+
+    def push(self, value: float) -> None:
+        """Fold one sample in; the same ops :func:`welford` performs."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    def merge(self, other: "StreamingSummary") -> None:
+        """Absorb *other*'s moments (Chan et al. pairwise combination)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count, self._mean, self._m2 = other.count, other._mean, other._m2
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._mean += delta * other.count / total
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.count = total
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation (n-1); 0 below two samples."""
+        if self.count < 2:
+            return 0.0
+        return math.sqrt(self._m2 / (self.count - 1))
+
+    @property
+    def half_width(self) -> float:
+        """95% confidence half-width (normal approximation)."""
+        if self.count < 2:
+            return 0.0
+        return _Z95 * self.stdev / math.sqrt(self.count)
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def relative_half_width(self) -> float:
+        """Half-width as a fraction of the mean (nan at mean 0)."""
+        return self.half_width / self.mean if self.mean else float("nan")
+
+    def overlaps(self, other) -> bool:
+        """True if the two 95% intervals overlap (no clear separation)."""
+        return self.low <= other.high and other.low <= self.high
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingSummary({self.metric}: {self.mean:.6g} "
             f"± {self.half_width:.2g}, n={self.count})"
         )
 

@@ -17,6 +17,10 @@ from repro.experiments.parallel import (
     MeasurePoint,
     MeasureSpec,
     ResultCache,
+    SweepPool,
+    _pool_context,
+    _resolve_chunksize,
+    _resolve_start_method,
     parallel_replicate,
     parallel_replicate_all,
     replication_seeds,
@@ -170,22 +174,27 @@ class TestResultCache:
         paths = {cache.path_for(p) for p in [base, *variants]}
         assert len(paths) == len(variants) + 1
 
-    def test_version_bump_invalidates(self, tmp_path):
+    def test_stored_key_version_mismatch_is_a_miss(self, tmp_path):
+        import json
+        import os
+
         spec = _spec()
         cache = ResultCache(str(tmp_path))
-        run_sweep([MeasurePoint(spec, 0)], cache=cache)
-        other = ResultCache(str(tmp_path), code_version="other-version")
-        # Same root, different code version: path_for still keys on the
-        # point's own cache_key (which embeds the package version), so
-        # the entry is found; a *point* computed under another version
-        # would miss.  Simulate by corrupting the stored key.
-        path = cache.path_for(MeasurePoint(spec, 0))
-        import json
-
-        stored = json.load(open(path))
+        point = MeasurePoint(spec, 0)
+        run_sweep([point], cache=cache)
+        cache.close()
+        # Rewrite the shard entry with a stale code_version in the
+        # stored key: the digest still matches, so the entry indexes,
+        # but get() verifies the full key and must refuse to serve it.
+        [shard] = [n for n in os.listdir(tmp_path) if n.startswith("shard-")]
+        path = os.path.join(tmp_path, shard)
+        digest, payload = open(path).read().rstrip("\n").split("\t", 1)
+        stored = json.loads(payload)
         stored["key"]["code_version"] = "stale"
-        json.dump(stored, open(path, "w"))
-        assert other.get(MeasurePoint(spec, 0)) is None
+        with open(path, "w") as handle:
+            handle.write(f"{digest}\t{json.dumps(stored)}\n")
+        other = ResultCache(str(tmp_path))
+        assert other.get(point) is None
         assert other.misses == 1
 
     def test_clear(self, tmp_path):
@@ -194,13 +203,42 @@ class TestResultCache:
         assert cache.clear() == 2
         assert len(cache) == 0
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_shard_entry_is_a_miss(self, tmp_path):
+        import os
+
         cache = ResultCache(str(tmp_path))
         point = MeasurePoint(_spec(), 0)
         run_sweep([point], cache=cache)
-        with open(cache.path_for(point), "w") as handle:
-            handle.write("{not json")
-        assert cache.get(point) is None
+        cache.close()
+        [shard] = [n for n in os.listdir(tmp_path) if n.startswith("shard-")]
+        path = os.path.join(tmp_path, shard)
+        length = os.path.getsize(path)
+        digest = open(path).read(64)
+        with open(path, "w") as handle:  # same digest, garbage payload
+            handle.write((digest + "\t{not json").ljust(length - 1) + "\n")
+        reopened = ResultCache(str(tmp_path))
+        assert reopened.get(point) is None
+        assert reopened.misses == 1
+
+    def test_torn_tail_line_skipped(self, tmp_path):
+        import os
+
+        cache = ResultCache(str(tmp_path))
+        a, b = MeasurePoint(_spec(), 0), MeasurePoint(_spec(), 1)
+        cache.put(a, {"x": 1})
+        cache.put(b, {"x": 2})
+        cache.close()
+        [shard] = [n for n in os.listdir(tmp_path) if n.startswith("shard-")]
+        path = os.path.join(tmp_path, shard)
+        # Chop the final line mid-payload: a crash between write and
+        # sync.  The reopened cache must keep entry a, drop entry b.
+        with open(path, "rb+") as handle:
+            data = handle.read()
+            handle.truncate(len(data) - 10)
+        reopened = ResultCache(str(tmp_path))
+        assert reopened.get(a) == {"x": 1}
+        assert reopened.get(b) is None
+        assert len(reopened) == 1
 
     def test_stale_tmp_swept_on_open(self, tmp_path):
         import os
@@ -216,64 +254,173 @@ class TestResultCache:
         assert fresh.exists()  # young enough to belong to a live writer
         assert cache.stale_tmp_removed == 1
 
-    def test_stale_sweep_ignores_real_entries(self, tmp_path):
+    def test_stale_sweep_ignores_shards(self, tmp_path):
         import os
 
         cache = ResultCache(str(tmp_path))
         point = MeasurePoint(_spec(), 0)
         run_sweep([point], cache=cache)
-        path = cache.path_for(point)
+        cache.close()
         old = 1_000_000.0
-        os.utime(path, (old, old))
+        for name in os.listdir(tmp_path):
+            os.utime(os.path.join(tmp_path, name), (old, old))
         reopened = ResultCache(str(tmp_path))
         assert reopened.stale_tmp_removed == 0
         assert reopened.get(point) is not None
 
-    def test_put_never_reuses_a_tmp_name(self, tmp_path, monkeypatch):
-        # Freeze the pid so uniqueness must come from the counter and
-        # O_EXCL, not from process identity.
+    def test_writers_never_share_a_shard(self, tmp_path):
+        # Two cache instances on the same root (concurrent sweeps, or a
+        # parent and a worker) each append to their own O_EXCL shard;
+        # a third, fresh open sees both entries.
         import os
 
-        monkeypatch.setattr(os, "getpid", lambda: 4242)
+        first = ResultCache(str(tmp_path))
+        second = ResultCache(str(tmp_path))
+        a, b = MeasurePoint(_spec(), 0), MeasurePoint(_spec(), 1)
+        first.put(a, {"x": 1})
+        second.put(b, {"x": 2})
+        first.close()
+        second.close()
+        shards = [n for n in os.listdir(tmp_path) if n.startswith("shard-")]
+        assert len(shards) == 2
+        merged = ResultCache(str(tmp_path))
+        assert merged.get(a) == {"x": 1}
+        assert merged.get(b) == {"x": 2}
+
+    def test_open_writer_retries_on_collision(self, tmp_path, monkeypatch):
+        import itertools
+        import os
+
+        from repro.experiments import parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module.time, "time_ns", lambda: 0)
+        monkeypatch.setattr(ResultCache, "_shard_ids",
+                            itertools.chain([7, 7, 8], itertools.count(9)))
+        pid = os.getpid()
+        squatter = tmp_path / f"shard-{pid}-7-000000.jsonl"
+        squatter.write_text("squatter")
         cache = ResultCache(str(tmp_path))
-        seen: list[str] = []
-        real_open = os.open
+        point = MeasurePoint(_spec(), 0)
+        cache.put(point, {"ok": True})  # first name collides, retries
+        cache.close()
+        assert squatter.read_text() == "squatter"
+        assert ResultCache(str(tmp_path)).get(point) == {"ok": True}
 
-        def spying_open(path, flags, *args, **kwargs):
-            if ".json.tmp." in str(path):
-                assert flags & os.O_EXCL, "tmp files must be O_EXCL-created"
-                seen.append(str(path))
-            return real_open(path, flags, *args, **kwargs)
+    def test_contains_probe_keeps_stats_clean(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        point = MeasurePoint(_spec(), 0)
+        assert not cache.contains(point)
+        cache.put(point, {"x": 1})
+        assert cache.contains(point)
+        assert cache.hits == 0 and cache.misses == 0
 
-        monkeypatch.setattr(os, "open", spying_open)
-        point_a, point_b = MeasurePoint(_spec(), 0), MeasurePoint(_spec(), 1)
-        cache.put(point_a, {"x": 1})
-        cache.put(point_b, {"x": 2})
-        cache.put(point_a, {"x": 3})
-        assert len(seen) == 3
-        assert len(set(seen)) == 3
-        assert cache.get(point_a) == {"x": 3}
-        assert not [n for n in os.listdir(tmp_path) if ".tmp." in n]
-
-    def test_put_collision_retries_with_fresh_name(self, tmp_path):
-        import os
+    def test_put_raw_round_trips(self, tmp_path):
+        import json
 
         cache = ResultCache(str(tmp_path))
         point = MeasurePoint(_spec(), 0)
-        # Pre-create the exact names the next two attempts would pick;
-        # O_EXCL forces put() to skip to a third.
-        start = next(cache._tmp_ids)
-        path = cache.path_for(point)
-        pid = os.getpid()
-        blockers = [f"{path}.tmp.{pid}.{start + 1}", f"{path}.tmp.{pid}.{start + 2}"]
-        for blocker in blockers:
-            with open(blocker, "w") as handle:
-                handle.write("squatter")
-        cache.put(point, {"ok": True})
-        assert cache.get(point) == {"ok": True}
-        for blocker in blockers:
-            assert open(blocker).read() == "squatter"
-            os.unlink(blocker)
+        cache.put_raw(point, json.dumps({"eta": 0.1 + 0.2}))
+        assert cache.get(point) == {"eta": 0.1 + 0.2}
+
+    def test_fsync_batching_still_readable(self, tmp_path):
+        # With a large fsync interval every put is flushed (visible)
+        # even though fsync hasn't happened yet.
+        cache = ResultCache(str(tmp_path), fsync_interval=1000)
+        point = MeasurePoint(_spec(), 0)
+        cache.put(point, {"x": 1})
+        fresh = ResultCache(str(tmp_path))
+        assert fresh.get(point) == {"x": 1}
+        cache.flush()
+
+
+class TestCacheKeyCanonicalization:
+    """path_for is the cache's key identity; it must be insensitive to
+    dict ordering and sensitive to every semantic input."""
+
+    class _Point:
+        def __init__(self, key):
+            self._key = key
+
+        def cache_key(self):
+            return dict(self._key)
+
+    def test_path_stable_across_insertion_order(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        forward = self._Point(
+            {"experiment_id": "E6", "seed": 1,
+             "kwargs": {"duration": 1.0, "alpha": 0.2},
+             "code_version": "v"}
+        )
+        backward = self._Point(
+            {"code_version": "v",
+             "kwargs": {"alpha": 0.2, "duration": 1.0},
+             "seed": 1, "experiment_id": "E6"}
+        )
+        assert cache.path_for(forward) == cache.path_for(backward)
+        assert cache.digest_for(forward) == cache.digest_for(backward)
+
+    def test_spec_kwargs_order_irrelevant(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        a = MeasureSpec.create("measure_saturated", preset("short_hop"),
+                               "lams", duration=1.0, start_time=0.0)
+        b = MeasureSpec.create("measure_saturated", preset("short_hop"),
+                               "lams", start_time=0.0, duration=1.0)
+        assert cache.path_for(MeasurePoint(a, 3)) == cache.path_for(
+            MeasurePoint(b, 3)
+        )
+
+    def test_distinct_code_version_distinct_key(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        base = {"experiment_id": "E6", "seed": 1, "kwargs": {}}
+        current = self._Point({**base, "code_version": "1.0"})
+        bumped = self._Point({**base, "code_version": "2.0"})
+        assert cache.path_for(current) != cache.path_for(bumped)
+        cache.put(current, {"x": 1})
+        assert cache.get(bumped) is None  # never served across versions
+
+    def test_v1_entry_read_and_migrated(self, tmp_path):
+        import json
+        import os
+
+        # A pre-v2 cache: one <digest>.json file per point.
+        probe = ResultCache(str(tmp_path))
+        point = MeasurePoint(_spec(), 0)
+        v1_path = probe.path_for(point)
+        with open(v1_path, "w") as handle:
+            json.dump({"key": point.cache_key(), "result": {"eta": 0.5}},
+                      handle)
+        # Transparent read-through, no migration needed.
+        cache = ResultCache(str(tmp_path))
+        assert cache.contains(point)
+        assert cache.get(point) == {"eta": 0.5}
+        assert len(cache) == 1
+        # Migration absorbs the v1 file into a shard; the result
+        # round-trips and the legacy file is gone.
+        report = cache.migrate()
+        assert report["v1_absorbed"] == 1
+        assert report["entries"] == 1
+        assert not os.path.exists(v1_path)
+        assert cache.get(point) == {"eta": 0.5}
+        cache.close()
+        fresh = ResultCache(str(tmp_path))
+        assert fresh.get(point) == {"eta": 0.5}
+        assert fresh.info()["v1_files"] == 0
+        assert fresh.info()["shards"] == 1
+
+    def test_migrate_compacts_shards(self, tmp_path):
+        import os
+
+        first = ResultCache(str(tmp_path))
+        first.put(MeasurePoint(_spec(), 0), {"x": 1})
+        first.close()
+        second = ResultCache(str(tmp_path))
+        second.put(MeasurePoint(_spec(), 1), {"x": 2})
+        report = second.migrate()
+        assert report["entries"] == 2
+        assert report["shards_compacted"] == 2
+        shards = [n for n in os.listdir(tmp_path) if n.startswith("shard-")]
+        assert len(shards) == 1
+        assert second.get(MeasurePoint(_spec(), 0)) == {"x": 1}
 
 
 # -- sweep engine / stats ---------------------------------------------------
@@ -307,6 +454,176 @@ class TestRunSweep:
                            if n.startswith("sweep.worker.")]
         assert worker_counters
         assert stats.samples["sweep.task_seconds"].count == 2
+
+    def test_progress_receives_results_in_order(self):
+        spec = _spec()
+        seen = []
+        points = [MeasurePoint(spec, s) for s in (0, 1, 2)]
+        run_sweep(points, jobs=2,
+                  progress=lambda p, hit, result: seen.append((p.seed, result)))
+        assert [seed for seed, _ in seen] == [0, 1, 2]
+        for (seed, result), point in zip(seen, points):
+            assert result == point.execute()
+
+    def test_keep_results_false_returns_none(self):
+        spec = _spec()
+        seen = []
+        points = [MeasurePoint(spec, s) for s in (0, 1, 2)]
+        out = run_sweep(points, jobs=2, keep_results=False,
+                        progress=lambda p, hit, result: seen.append(result))
+        assert out is None
+        assert len(seen) == 3
+        assert seen[0] == points[0].execute()
+
+    def test_explicit_chunksize_does_not_change_results(self):
+        spec = _spec()
+        points = [MeasurePoint(spec, s) for s in range(5)]
+        serial = run_sweep(points)
+        chunked = run_sweep(points, jobs=2, chunksize=3)
+        assert chunked == serial
+
+
+class TestChunksize:
+    def test_explicit_wins(self):
+        assert _resolve_chunksize(5, 100, 4) == 5
+
+    def test_adaptive_targets_four_chunks_per_worker(self):
+        assert _resolve_chunksize(0, 64, 4) == 4  # ceil(64 / 16)
+
+    def test_adaptive_caps_at_32(self):
+        assert _resolve_chunksize(0, 100_000, 4) == 32
+
+    def test_adaptive_floors_at_1(self):
+        assert _resolve_chunksize(0, 6, 2) == 1
+
+
+class TestStartMethod:
+    """The pool's start method is chosen explicitly, never left to the
+    interpreter default (spawn-safety satellite)."""
+
+    def test_resolved_method_is_available(self):
+        import multiprocessing
+
+        method = _resolve_start_method()
+        assert method in multiprocessing.get_all_start_methods()
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_START", "fork")
+        assert _resolve_start_method("spawn") == "spawn"
+
+    def test_environment_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_START", "spawn")
+        assert _resolve_start_method() == "spawn"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown start method"):
+            _resolve_start_method("bogus")
+
+    def test_pool_context_matches_resolution(self):
+        context = _pool_context("spawn")
+        assert context.get_start_method() == "spawn"
+
+    def test_spawn_pool_matches_serial(self):
+        # The expensive end-to-end guarantee: a spawn-started pool (the
+        # portable fallback) produces bit-identical results.
+        spec = _spec()
+        seeds = replication_seeds(0, 2)
+        serial = replicate_all(spec.measure(), ["efficiency"], seeds)
+        with SweepPool(2, start_method="spawn") as pool:
+            assert pool.start_method == "spawn"
+            parallel = parallel_replicate_all(spec, ["efficiency"], seeds,
+                                              pool=pool)
+        assert parallel == serial
+
+
+class TestSweepPool:
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            SweepPool(0)
+
+    def test_workers_persist_across_sweeps(self):
+        spec = _spec()
+        points = [MeasurePoint(spec, s) for s in (0, 1, 2)]
+        with SweepPool(2) as pool:
+            first = run_sweep(points, pool=pool)
+            inner = pool._pool
+            assert inner is not None
+            second = run_sweep(points, pool=pool)
+            assert pool._pool is inner  # same workers, no pool churn
+        assert first == second == run_sweep(points)
+
+    def test_cancel_recycles_lazily(self):
+        pool = SweepPool(2)
+        try:
+            first = pool.pool()
+            pool.cancel()
+            assert pool.recycled == 1
+            assert pool._pool is None
+            second = pool.pool()
+            assert second is not first
+        finally:
+            pool.close()
+
+    def test_context_manager_closes(self):
+        with SweepPool(2) as pool:
+            pool.pool()
+        assert pool._pool is None
+
+    def test_sweepstop_cancels_shared_pool(self):
+        spec = _spec()
+        points = [MeasurePoint(spec, s) for s in range(4)]
+        with SweepPool(2) as pool:
+            def stop_after_first(point, from_cache):
+                from repro.experiments.parallel import SweepStop
+
+                raise SweepStop(point.label)
+
+            results = run_sweep(points, pool=pool, progress=stop_after_first)
+            assert pool.recycled == 1  # abandoned chunks were torn down
+            assert results[0] is not None
+            # The pool still works after the recycle.
+            assert run_sweep(points[:2], pool=pool) == [
+                p.execute() for p in points[:2]
+            ]
+
+
+class TestStreamingReplication:
+    def test_streaming_bit_identical_to_batch(self):
+        spec = _spec()
+        seeds = replication_seeds(0, 4)
+        batch = parallel_replicate_all(spec, METRICS, seeds, jobs=2)
+        stream = parallel_replicate_all(spec, METRICS, seeds, jobs=2,
+                                        streaming=True)
+        for metric in METRICS:
+            assert stream[metric].count == batch[metric].count
+            assert stream[metric].mean == batch[metric].mean
+            assert stream[metric].stdev == batch[metric].stdev
+            assert stream[metric].half_width == batch[metric].half_width
+
+    def test_streaming_matches_serial_replicate(self):
+        spec = _spec()
+        seeds = replication_seeds(1, 3)
+        serial = replicate(spec.measure(), "efficiency", seeds)
+        stream = parallel_replicate(spec, "efficiency", seeds, jobs=2,
+                                    streaming=True)
+        assert stream.mean == serial.mean
+        assert stream.stdev == serial.stdev
+
+    def test_streaming_uses_cache(self, tmp_path):
+        spec = _spec()
+        seeds = replication_seeds(0, 3)
+        cache = ResultCache(str(tmp_path))
+        cold = parallel_replicate_all(spec, METRICS, seeds, jobs=2,
+                                      cache=cache, streaming=True)
+        stats = Tracer()
+        warm = parallel_replicate_all(spec, METRICS, seeds, jobs=2,
+                                      cache=ResultCache(str(tmp_path)),
+                                      stats=stats, streaming=True)
+        assert stats.counter("sweep.executed").value == 0
+        assert stats.counter("sweep.cache_hits").value == len(seeds)
+        for metric in METRICS:
+            assert warm[metric].mean == cold[metric].mean
+            assert warm[metric].stdev == cold[metric].stdev
 
 
 # -- registry fan-out -------------------------------------------------------

@@ -5,8 +5,16 @@ from __future__ import annotations
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.experiments.sweeps import ReplicationSummary, replicate, replicate_all
+from repro.experiments.sweeps import (
+    ReplicationSummary,
+    StreamingSummary,
+    replicate,
+    replicate_all,
+    welford,
+)
 
 
 class TestReplicationSummary:
@@ -39,6 +47,98 @@ class TestReplicationSummary:
         assert summary.relative_half_width() == pytest.approx(
             summary.half_width / summary.mean
         )
+
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False,
+                          min_value=-1e12, max_value=1e12)
+
+
+class TestStreamingSummary:
+    def test_push_matches_batch(self):
+        values = (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0)
+        stream = StreamingSummary("m")
+        for value in values:
+            stream.push(value)
+        batch = ReplicationSummary("m", values)
+        assert stream.count == len(values)
+        assert stream.mean == batch.mean
+        assert stream.stdev == batch.stdev
+        assert stream.half_width == batch.half_width
+
+    def test_single_sample_degenerate(self):
+        stream = StreamingSummary("m")
+        stream.push(3.0)
+        assert stream.stdev == 0.0
+        assert stream.half_width == 0.0
+
+    def test_empty_accumulator_is_inert(self):
+        stream = StreamingSummary("m")
+        assert stream.count == 0
+        assert stream.stdev == 0.0
+        assert stream.half_width == 0.0
+        merged = StreamingSummary("m")
+        merged.merge(stream)
+        assert merged.count == 0
+
+    def test_from_samples(self):
+        values = (1.0, 2.0, 3.0)
+        assert StreamingSummary.from_samples("m", values).mean == (
+            ReplicationSummary("m", values).mean
+        )
+
+    def test_merge_is_exact_on_disjoint_halves(self):
+        # Chan et al. merge: mathematically exact, so the merged count
+        # and the aggregate sums agree with the full batch to float
+        # tolerance (merge order differs from push order, so only
+        # approximate equality is guaranteed — the bit-identical path
+        # is push-in-order, which run_sweep uses).
+        values = [float(v) for v in range(10)]
+        left, right = StreamingSummary("m"), StreamingSummary("m")
+        for v in values[:5]:
+            left.push(v)
+        for v in values[5:]:
+            right.push(v)
+        left.merge(right)
+        batch = ReplicationSummary("m", tuple(values))
+        assert left.count == 10
+        assert left.mean == pytest.approx(batch.mean, abs=1e-12)
+        assert left.stdev == pytest.approx(batch.stdev, abs=1e-12)
+
+    def test_overlap_and_relative_match_batch(self):
+        values = (10.0, 10.0, 10.0, 14.0)
+        stream = StreamingSummary.from_samples("m", values)
+        batch = ReplicationSummary("m", values)
+        assert stream.relative_half_width() == batch.relative_half_width()
+        other = ReplicationSummary("m", (10.5, 11.0, 12.0))
+        assert stream.overlaps(other) == batch.overlaps(other)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_streamed_bit_identical_to_batch(self, values):
+        """The headline contract: streaming aggregation is not merely
+        close to batch aggregation — it is *bit-identical*, because
+        ReplicationSummary and StreamingSummary run the same welford()
+        recurrence in the same order."""
+        stream = StreamingSummary("m")
+        for value in values:
+            stream.push(value)
+        batch = ReplicationSummary("m", tuple(values))
+        assert stream.count == batch.count
+        assert stream.mean == batch.mean          # exact, not approx
+        assert stream.stdev == batch.stdev        # exact, not approx
+        assert stream.half_width == batch.half_width
+        assert stream.low == batch.low
+        assert stream.high == batch.high
+
+    @given(st.lists(finite_floats, min_size=2, max_size=32))
+    @settings(max_examples=100, deadline=None)
+    def test_welford_matches_two_pass(self, values):
+        count, mean, m2 = welford(values)
+        assert count == len(values)
+        assert mean == pytest.approx(sum(values) / len(values),
+                                     rel=1e-9, abs=1e-6)
+        two_pass = sum((v - mean) ** 2 for v in values)
+        assert m2 == pytest.approx(two_pass, rel=1e-6, abs=1e-6)
 
 
 class TestReplicate:
