@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-smoke bench-sweep report examples sweep-smoke faults-smoke soak-smoke clean
+.PHONY: install test bench bench-smoke bench-sweep report examples sweep-smoke faults-smoke soak-smoke constellation-smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -51,6 +51,19 @@ faults-smoke:
 soak-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro soak --episodes 12 --seed 20260806 \
 		--jobs 2 --fail-fast
+
+# Constellation-layer smoke (docs/TOPOLOGY.md): a tiny 4-node ring
+# through the `constellation` CLI, then the E24 experiment with its
+# determinism-certifying scale cell shrunk to a dozen links.
+constellation-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro constellation --topology ring \
+		--size 4 --messages 10 --duration 0.5
+	PYTHONPATH=src $(PYTHON) -c "\
+	from repro.experiments import run_experiment; \
+	result = run_experiment('E24', scale_links=12, duration=0.5); \
+	assert all(row['delivery_ratio'] == 1.0 for row in result.rows), result.rows; \
+	assert all(row['deterministic'] in (None, True) for row in result.rows), result.rows; \
+	print('E24 ok:', ', '.join(row['cell'] for row in result.rows))"
 
 examples:
 	for script in examples/*.py; do \

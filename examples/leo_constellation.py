@@ -1,31 +1,40 @@
 #!/usr/bin/env python3
-"""LEO constellation scenario: orbit-driven link with finite lifetime.
+"""LEO constellation scenario: orbit-driven links with finite lifetime.
 
 The paper's defining environment (Section 2.1): low-altitude satellites
 whose inter-satellite laser links have time-varying distance, large RTT
-variance, and lifetimes of minutes.  This example:
+variance, and lifetimes of minutes.  This example runs in two acts,
+both on the declarative topology API:
 
-1. places two satellites on crossing 1000 km orbits,
-2. computes their visibility windows and RTT statistics (including the
-   ``alpha >= R_max - R`` timeout margin HDLC would need),
-3. runs LAMS-DLC over the *time-varying* link for one window with the
-   numbering space validated against the paper's Section-3.3 bound, and
-4. reports delivery accounting across the pass.
+1. **One pass, one link** — places two satellites on crossing 1000 km
+   orbits, computes their visibility windows and RTT statistics
+   (including the ``alpha >= R_max - R`` timeout margin HDLC would
+   need), then describes the inter-satellite link as a single
+   :class:`~repro.topology.LinkSpec` whose ``propagation_delay`` is the
+   geometry's time-varying delay function, and runs LAMS-DLC over it
+   for one window with the numbering space validated against the
+   paper's Section-3.3 bound.
+2. **One plane, many links** — declares a six-satellite orbital ring
+   with ``ring_topology(..., satellites=True)`` (per-link delays derive
+   from the orbit geometry automatically), drives cross-plane datagram
+   traffic through :func:`~repro.topology.build_constellation`, and
+   prints the network-wide rollup.
 
 Run:  python examples/leo_constellation.py
 """
 
 from __future__ import annotations
 
-from repro.core import LamsDlcConfig, lams_dlc_pair
-from repro.simulator import (
-    BernoulliChannel,
-    FullDuplexLink,
-    IsolatedLinkGeometry,
-    Satellite,
-    Simulator,
-    StreamRegistry,
+from repro.core import LamsDlcConfig
+from repro.simulator import IsolatedLinkGeometry, Satellite, Simulator
+from repro.topology import (
+    EndpointSpec,
+    LinkSpec,
+    build_constellation,
+    cross_traffic,
+    ring_topology,
 )
+from repro.topology.spec import build_link, instantiate_pair
 from repro.workloads.generators import ConstantRateSource
 
 BIT_RATE = 300e6
@@ -33,7 +42,7 @@ IFRAME_BER = 1e-6
 CFRAME_BER = 1e-8
 
 
-def main() -> None:
+def single_pass() -> None:
     sat_a = Satellite("alpha", altitude_km=1000, inclination_deg=60, raan_deg=0, phase_deg=0)
     sat_b = Satellite("bravo", altitude_km=1000, inclination_deg=60, raan_deg=30, phase_deg=4)
     geometry = IsolatedLinkGeometry(sat_a, sat_b)
@@ -53,14 +62,6 @@ def main() -> None:
     print(f"\nusing visibility window {window.start:.0f}s – {window.end:.0f}s "
           f"({window.duration/60:.1f} min link lifetime)")
 
-    # Build the simulation starting at the window's opening instant.
-    sim = Simulator()
-    sim.run(until=window.start)  # advance the clock to pass start
-    link = FullDuplexLink(
-        sim, bit_rate=BIT_RATE, propagation_delay=geometry.delay_fn(),
-        name="isl", iframe_errors=BernoulliChannel(IFRAME_BER),
-        cframe_errors=BernoulliChannel(CFRAME_BER), streams=StreamRegistry(seed=42),
-    )
     config = LamsDlcConfig(
         checkpoint_interval=0.005,
         cumulation_depth=3,
@@ -73,10 +74,29 @@ def main() -> None:
     print(f"numbering: 2^{config.numbering_bits} = {config.numbering_size} >= "
           f"required {config.required_numbering_size(stats['max'], (config.iframe_bits)/BIT_RATE)}")
 
+    # The whole operating point as one declarative value: physics
+    # (rate + orbit-driven time-varying delay), impairments, protocol
+    # config, per-side roles, and the RNG seed.
     delivered: list = []
-    a, b = lams_dlc_pair(sim, link, config, deliver_b=delivered.append)
-    a.start(send=True, receive=False)
-    b.start(send=False, receive=True)
+    spec = LinkSpec(
+        name="isl", a="alpha", b="bravo",
+        bit_rate=BIT_RATE,
+        propagation_delay=geometry.delay_fn(),
+        iframe_errors=("bernoulli", {"ber": IFRAME_BER}),
+        cframe_errors=("bernoulli", {"ber": CFRAME_BER}),
+        config=config,
+        seed=42,
+        endpoint_a=EndpointSpec(receive=False),
+        endpoint_b=EndpointSpec(deliver=delivered.append, send=False),
+    )
+
+    # Build the simulation starting at the window's opening instant.
+    sim = Simulator()
+    sim.run(until=window.start)  # advance the clock to pass start
+    link = build_link(spec, sim)
+    a, b = instantiate_pair(spec, sim, link)
+    a.start(send=spec.endpoint_a.send, receive=spec.endpoint_a.receive)
+    b.start(send=spec.endpoint_b.send, receive=spec.endpoint_b.receive)
 
     # Offer traffic at 60% of line rate for the first half of the pass.
     iframe_time = config.iframe_bits / BIT_RATE
@@ -95,6 +115,44 @@ def main() -> None:
     print(f"  holding   : {sender.mean_holding_time*1e3:.2f} ms "
           "(tracks the time-varying RTT)")
     print(f"  failures  : {'declared' if sender.failed else 'none'}")
+
+
+def orbital_plane() -> None:
+    # Six satellites evenly spaced around one 1000 km plane; every
+    # neighbour pair gets a LAMS-DLC ISL whose propagation delay the
+    # builder derives from the two orbits.
+    template = LinkSpec(
+        bit_rate=BIT_RATE,
+        iframe_errors=("bernoulli", {"ber": IFRAME_BER}),
+        cframe_errors=("bernoulli", {"ber": CFRAME_BER}),
+        overrides={"checkpoint_interval": 0.005, "cumulation_depth": 3},
+    )
+    topo = ring_topology(6, template, name="leo-plane", satellites=True,
+                         altitude_km=1000.0, inclination_deg=60.0)
+    duration = 2.0
+    flows = cross_traffic(topo.node_names(), stride=2, messages=40,
+                          interval=duration / 80, poisson=True)
+    constellation = build_constellation(
+        topo, master_seed=7, flows=flows, horizon=duration,
+        probe_interval=duration / 50,
+    )
+    constellation.run(until=duration)
+    rollup = constellation.network_rollup()
+    print(f"\norbital plane {topo.name}: {len(topo.nodes)} satellites, "
+          f"{len(topo.links)} ISLs, {len(flows)} crossing flows, "
+          f"{duration:g}s simulated")
+    print(f"  datagrams : {rollup['datagrams_delivered']}/{rollup['datagrams_sent']} "
+          f"delivered, mean end-to-end delay {rollup['e2e_delay_mean']*1e3:.1f} ms")
+    print(f"  frames    : {rollup['frames_sent']} sent, "
+          f"{rollup['frames_corrupted']} corrupted")
+    print(f"  engine    : {rollup['events']} events in one simulator, "
+          f"peak heap {rollup['peak_heap']}, "
+          f"peak buffered/link {rollup['peak_buffered_max']}")
+
+
+def main() -> None:
+    single_pass()
+    orbital_plane()
 
 
 if __name__ == "__main__":

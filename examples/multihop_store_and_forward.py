@@ -5,100 +5,70 @@ The paper's architectural argument (Sections 2.3 and 3.3): because
 LAMS-DLC relaxes in-sequence delivery, intermediate satellites forward
 frames the moment they are processed — no per-hop resequencing buffer —
 and only the *destination* reorders and deduplicates.  This example
-builds a four-satellite chain, pushes two crossing datagram flows
-through it over lossy links, and reports per-hop and end-to-end
-accounting.
+declares a four-satellite chain as a :class:`~repro.topology.Topology`
+(one :class:`~repro.topology.LinkSpec` template stamped across the
+hops), materialises it with :func:`~repro.topology.build_constellation`,
+pushes two crossing datagram flows through it over lossy links, and
+reports per-hop and end-to-end accounting.
+
+The hand-wired version of this chain (link by link, endpoint by
+endpoint) lives on in ``tests/test_topology_conformance.py``, which
+asserts the declarative build reproduces its delivery accounting
+exactly.
 
 Run:  python examples/multihop_store_and_forward.py
 """
 
 from __future__ import annotations
 
-from repro.core import LamsDlcConfig, lams_dlc_pair
-from repro.netlayer import (
-    DatagramService,
-    DeliveryLog,
-    ForwardingNetworkLayer,
-    shortest_path_routes,
-)
-from repro.simulator import (
-    BernoulliChannel,
-    FullDuplexLink,
-    Node,
-    Simulator,
-    StreamRegistry,
-)
+from repro.core import LamsDlcConfig
+from repro.simulator import Simulator
+from repro.topology import build_constellation, chain_topology, LinkSpec
 
 HOPS = 3  # four nodes: n0 — n1 — n2 — n3
 IFRAME_BER = 5e-6
 
 
-def build_chain(sim: Simulator):
-    names = [f"n{i}" for i in range(HOPS + 1)]
-    topology: dict[str, dict[str, str]] = {name: {} for name in names}
-    for i in range(HOPS):
-        topology[names[i]][names[i + 1]] = f"l{i}"
-        topology[names[i + 1]][names[i]] = f"l{i}"
-
-    logs = {name: DeliveryLog(sim) for name in names}
-    nodes: dict[str, Node] = {}
-    layers: dict[str, ForwardingNetworkLayer] = {}
-    for name in names:
-        layer = ForwardingNetworkLayer(
-            sim, address=name,
-            routes=shortest_path_routes(topology, name),
-            deliver=logs[name],
-        )
-        node = Node(sim, name, network_layer=layer)
-        layer.bind(node)
-        nodes[name], layers[name] = node, layer
-
-    config = LamsDlcConfig(checkpoint_interval=0.005, cumulation_depth=3)
-    endpoints = {}
-    for i in range(HOPS):
-        link = FullDuplexLink(
-            sim, bit_rate=100e6, propagation_delay=0.010, name=f"l{i}",
-            iframe_errors=BernoulliChannel(IFRAME_BER),
-            cframe_errors=BernoulliChannel(IFRAME_BER / 100),
-            streams=StreamRegistry(seed=100 + i),
-        )
-        left, right = names[i], names[i + 1]
-        a, b = lams_dlc_pair(
-            sim, link, config,
-            deliver_a=lambda pkt, ln=f"l{i}", nd=left: nodes[nd].deliver_up(pkt, ln),
-            deliver_b=lambda pkt, ln=f"l{i}", nd=right: nodes[nd].deliver_up(pkt, ln),
-        )
-        a.start()
-        b.start()
-        nodes[left].attach_endpoint(f"l{i}", a)
-        nodes[right].attach_endpoint(f"l{i}", b)
-        endpoints[(left, f"l{i}")] = a
-        endpoints[(right, f"l{i}")] = b
-
-    services = {name: DatagramService(sim, layers[name]) for name in names}
-    return names, nodes, layers, services, logs, endpoints
+def build_chain_topology():
+    """The declarative chain: one template spec, per-hop seeds."""
+    template = LinkSpec(
+        config=LamsDlcConfig(checkpoint_interval=0.005, cumulation_depth=3),
+        bit_rate=100e6,
+        propagation_delay=0.010,
+        iframe_errors=("bernoulli", {"ber": IFRAME_BER}),
+        cframe_errors=("bernoulli", {"ber": IFRAME_BER / 100}),
+    )
+    topo = chain_topology(HOPS, template, name="relay-chain")
+    # Pin each hop's RNG seed (matching the historical hand-wired
+    # wiring); leaving seed=None would derive them from the master seed.
+    return topo.map_links(
+        lambda spec: spec.with_(seed=100 + int(spec.name[1:]))
+    )
 
 
 def main() -> None:
     sim = Simulator()
-    names, nodes, layers, services, logs, endpoints = build_chain(sim)
+    topo = build_chain_topology()
+    constellation = build_constellation(topo, sim=sim)
+    names = topo.node_names()
     first, last = names[0], names[-1]
 
     n_messages = 500
     for i in range(n_messages):
-        services[first].send(last, data=("fwd", i))
-        services[last].send(first, data=("rev", i))
-    sim.run(until=30.0)
+        constellation.services[first].send(last, data=("fwd", i))
+        constellation.services[last].send(first, data=("rev", i))
+    constellation.run(until=30.0)
 
     print(f"chain: {' — '.join(names)}  (BER {IFRAME_BER:g} per link)\n")
     for name in names:
-        reseq = layers[name].resequencer
-        print(f"{name}: forwarded {layers[name].forwarded:4d} transit datagrams, "
+        layer = constellation.layers[name]
+        reseq = layer.resequencer
+        print(f"{name}: forwarded {layer.forwarded:4d} transit datagrams, "
               f"delivered {reseq.delivered:4d} local, "
               f"reordered {reseq.out_of_order_arrivals:3d}, "
               f"dropped {reseq.duplicates_dropped} duplicates")
 
-    fwd, rev = logs[last], logs[first]
+    fwd, rev = constellation.logs[last], constellation.logs[first]
     print(f"\nforward flow {first} → {last}: {len(fwd)} delivered, "
           f"in order: {fwd.in_order(first)}, exactly once: {fwd.exactly_once(first, n_messages)}, "
           f"mean delay {fwd.mean_delay()*1e3:.1f} ms")
@@ -106,7 +76,11 @@ def main() -> None:
           f"in order: {rev.in_order(last)}, exactly once: {rev.exactly_once(last, n_messages)}, "
           f"mean delay {rev.mean_delay()*1e3:.1f} ms")
 
-    total_retx = sum(ep.sender.retransmissions for ep in endpoints.values())
+    total_retx = sum(
+        runtime.endpoint_a.sender.retransmissions
+        + runtime.endpoint_b.sender.retransmissions
+        for runtime in constellation.links.values()
+    )
     print(f"\nlink-level retransmissions across all hops: {total_retx}")
     print("intermediate hops held no resequencing state — ordering is "
           "restored only at each destination (the relaxed-I architecture).")

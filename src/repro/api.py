@@ -28,6 +28,17 @@ ready-to-run :class:`~repro.workloads.scenarios.SimulationSetup`.
 The per-protocol factories (``lams_dlc_pair``, ``hdlc_pair``,
 ``nbdt_pair``) remain available as thin shims over the same registry.
 
+Construction is spec-based as of the topology layer: a
+:class:`~repro.topology.spec.LinkSpec` bundles everything a link needs
+(scenario, protocol config, per-side wiring, error models, fault plan,
+seed) into one declarative value, and a
+:class:`~repro.topology.graph.Topology` of such specs scales the same
+machinery to M concurrent links in one engine via
+:class:`~repro.topology.builder.ConstellationBuilder` — see
+``docs/TOPOLOGY.md``.  :func:`make_endpoint_pair` and
+:func:`build_simulation` are kept as thin wrappers over that spec path,
+so both construction styles are behaviourally identical.
+
 The runtime-verification surface is re-exported here too: pass
 ``run_with_invariants=True`` to :func:`build_simulation` (or call
 :func:`attach_monitors` yourself) to arm the :class:`MonitorSuite`
@@ -61,30 +72,57 @@ from .simulator.errormodel import (
     register_error_model,
     resolve_error_model,
 )
+from .topology import (
+    Constellation,
+    ConstellationBuilder,
+    EndpointSpec,
+    FlowSpec,
+    LinkSpec,
+    NodeSpec,
+    Topology,
+    build_constellation,
+    chain_topology,
+    cross_traffic,
+    grid_topology,
+    ring_topology,
+)
+from .topology.spec import instantiate_pair, spec_from_kwargs
 
 __all__ = [
+    "Constellation",
+    "ConstellationBuilder",
     "Endpoint",
     "EndpointPair",
+    "EndpointSpec",
     "EpisodeSpec",
     "ErrorModelSpec",
     "FaultInjector",
     "FaultPlan",
+    "FlowSpec",
     "InvariantMonitor",
+    "LinkSpec",
     "MonitorSuite",
+    "NodeSpec",
     "RecoveryMetrics",
     "SoakResult",
+    "Topology",
     "Violation",
     "attach_monitors",
     "available_error_models",
     "available_protocols",
+    "build_constellation",
     "build_simulation",
+    "chain_topology",
+    "cross_traffic",
     "generate_episodes",
+    "grid_topology",
     "make_endpoint_pair",
     "make_error_model",
     "register_error_model",
     "register_pair_factory",
     "resolve_error_model",
     "resolve_protocol",
+    "ring_topology",
     "run_soak",
 ]
 
@@ -139,21 +177,22 @@ def make_endpoint_pair(
     Returns ``(endpoint_a, endpoint_b)`` — created and wired but not
     started; call ``start(send=..., receive=...)`` per the roles the
     experiment needs.
+
+    .. note:: This kwargs signature is the legacy construction surface,
+       kept working indefinitely; it is now a thin wrapper that folds
+       the arguments into a :class:`LinkSpec` and runs the spec path
+       (:func:`repro.topology.spec.instantiate_pair`).  New code —
+       anything that stores, sweeps, or templates link configurations,
+       and any multi-link topology — should build a :class:`LinkSpec`
+       directly.
     """
-    if error_model is not None:
-        for channel in (link.forward, link.reverse):
-            channel.iframe_errors = resolve_error_model(
-                error_model, bit_rate=channel.bit_rate
-            )
-    pair = build_endpoint_pair(
-        protocol, sim, link, config,
-        config_b=config_b, tracer=tracer,
+    spec = spec_from_kwargs(
+        protocol, config, config_b=config_b,
         deliver_a=deliver_a, deliver_b=deliver_b,
+        error_model=error_model, fault_plan=fault_plan,
         **extras,
     )
-    if fault_plan is not None and len(fault_plan):
-        FaultInjector(sim, link, fault_plan, tracer=tracer)
-    return pair
+    return instantiate_pair(spec, sim, link, tracer=tracer, apply_error_model=True)
 
 
 def build_simulation(scenario, protocol: str, **kwargs):
@@ -163,6 +202,11 @@ def build_simulation(scenario, protocol: str, **kwargs):
     :func:`repro.workloads.scenarios.build_simulation` (kept there so
     the scenario module remains self-contained); see that function for
     the keyword arguments.
+
+    .. note:: Legacy surface, kept working indefinitely — internally it
+       now builds a one-link :class:`LinkSpec` and runs the spec path.
+       For anything beyond a single one-way link, describe the system
+       as a :class:`Topology` and use :func:`build_constellation`.
     """
     from .workloads.scenarios import build_simulation as _build
 

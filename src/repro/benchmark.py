@@ -17,6 +17,10 @@ two levels:
   measured in points/sec, serial vs. a warm 2- and 4-worker pool, plus
   the latency of a fully cache-hot re-run.  This is the regime the
   paper's Monte-Carlo evaluation actually lives in.
+- **Constellation** (:func:`bench_constellation_scale`): M concurrent
+  LAMS-DLC links in one engine via the topology layer — events/sec and
+  peak per-link buffered state at 10/100/1000 links, tracking how far
+  a single :class:`~repro.simulator.engine.Simulator` scales.
 
 :func:`run_hotpath_bench` bundles all of it into one JSON-able payload
 and :func:`write_baseline` lands it in ``BENCH_hotpath.json`` — the
@@ -46,6 +50,7 @@ __all__ = [
     "DEFAULT_HISTORY",
     "DEFAULT_OUTPUT",
     "append_history",
+    "bench_constellation_scale",
     "bench_engine_dispatch",
     "bench_saturated",
     "bench_sweep_scale",
@@ -245,6 +250,79 @@ def bench_sweep_scale(
     return result
 
 
+def bench_constellation_scale(
+    link_counts: tuple[int, ...] = (10, 100, 1000),
+    duration: float = 0.2,
+    flow_count: int = 8,
+    messages: int = 20,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """Constellation-benchmark: M concurrent LAMS-DLC links in one engine.
+
+    For each entry in *link_counts*, builds a ring topology of that many
+    links (one node per link) through
+    :class:`~repro.topology.builder.ConstellationBuilder`, drives
+    *flow_count* cross-traffic flows, and reports build time, run-phase
+    events/sec, and the peak per-link state (buffered payloads across
+    sender windows and resequencing queues) plus peak event-heap size —
+    the numbers that bound how far one engine scales before per-link
+    state or the shared heap becomes the limit.
+    """
+    from .topology import FlowSpec, build_constellation, ring_topology
+
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    scales: list[dict[str, Any]] = []
+    for links in link_counts:
+        if links < 3:
+            raise ValueError("ring topologies need at least 3 links")
+        topo = ring_topology(links, name=f"bench-ring-{links}")
+        names = topo.node_names()
+        # Short fixed stride: flows stay a 2-hop relay regardless of
+        # ring size, so every scale completes deliveries within the
+        # horizon and the numbers compare like for like.
+        stride = 2
+        flows = [
+            FlowSpec(
+                source=names[(i * max(1, links // max(1, flow_count))) % links],
+                destination=names[(i * max(1, links // max(1, flow_count))
+                                   + stride) % links],
+                messages=messages,
+                interval=duration / max(1, 2 * messages),
+                poisson=True,
+            )
+            for i in range(flow_count)
+        ]
+        build_start = time.perf_counter()
+        constellation = build_constellation(
+            topo, master_seed=seed, flows=flows, horizon=duration,
+            probe_interval=duration / 20.0,
+        )
+        build_wall = time.perf_counter() - build_start
+        run_start = time.perf_counter()
+        constellation.run(until=duration)
+        run_wall = time.perf_counter() - run_start
+        rollup = constellation.network_rollup()
+        scales.append({
+            "links": links,
+            "flows": flow_count,
+            "sim_duration": duration,
+            "build_wall_seconds": build_wall,
+            "run_wall_seconds": run_wall,
+            "events": rollup["events"],
+            "events_per_sec": (rollup["events"] / run_wall
+                               if run_wall > 0 else float("inf")),
+            "datagrams_delivered": rollup["datagrams_delivered"],
+            "peak_heap": rollup["peak_heap"],
+            "peak_buffered_per_link": rollup["peak_buffered_max"],
+        })
+    return {
+        "kind": "constellation_scale",
+        "seed": seed,
+        "scales": scales,
+    }
+
+
 def _git_commit() -> Optional[str]:
     """The current git HEAD, or None outside a repository."""
     try:
@@ -278,6 +356,9 @@ def run_hotpath_bench(
     sweep_seeds: int = 16,
     sweep_duration: float = 0.05,
     include_sweep_scale: bool = True,
+    constellation_links: tuple[int, ...] = (10, 100, 1000),
+    constellation_duration: float = 0.2,
+    include_constellation_scale: bool = True,
 ) -> dict[str, Any]:
     """Run micro + meso *repeats* times (plus one sweep-scale pass);
     report best-of plus all runs.
@@ -325,6 +406,11 @@ def run_hotpath_bench(
         payload["sweep_scale"] = bench_sweep_scale(
             seeds=sweep_seeds, duration=sweep_duration
         )
+    if include_constellation_scale:
+        payload["constellation_scale"] = bench_constellation_scale(
+            link_counts=constellation_links, duration=constellation_duration,
+            seed=seed,
+        )
     return payload
 
 
@@ -356,6 +442,13 @@ def append_history(
         "sweep_points_per_sec_jobs4": parallel.get(4, {}).get("points_per_sec"),
         "cache_hot_points_per_sec": sweep.get("cache_hot", {}).get("points_per_sec"),
     }
+    constellation = payload.get("constellation_scale") or {}
+    for scale in constellation.get("scales", ()):
+        links = scale.get("links")
+        record[f"constellation_events_per_sec_links{links}"] = scale.get(
+            "events_per_sec")
+        record[f"constellation_peak_buffered_links{links}"] = scale.get(
+            "peak_buffered_per_link")
     with open(path, "a", encoding="utf-8") as handle:
         json.dump(record, handle)
         handle.write("\n")

@@ -174,6 +174,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         SweepPool,
         parallel_replicate_all,
         replication_seeds,
+        resolve_jobs,
         run_experiments_parallel,
     )
     from .simulator.trace import Tracer
@@ -187,14 +188,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     stats = Tracer()
     # One warm pool for the whole invocation: every protocol (or
-    # experiment batch) reuses the same initialized workers.
-    pool = SweepPool(args.jobs) if args.jobs > 1 else None
+    # experiment batch) reuses the same initialized workers.  On a
+    # single-core host the request resolves to serial — no pool.
+    jobs = resolve_jobs(args.jobs)
+    pool = SweepPool(jobs) if jobs > 1 else None
 
     try:
         if args.experiments:
             try:
                 results = run_experiments_parallel(
-                    args.experiments, jobs=args.jobs, cache=cache, stats=stats,
+                    args.experiments, jobs=jobs, cache=cache, stats=stats,
                     pool=pool, chunksize=args.chunksize,
                 )
             except KeyError as error:
@@ -225,7 +228,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 # Streaming aggregation: summaries fold in as results
                 # arrive, bit-identical to batch (docs/API.md).
                 summaries = parallel_replicate_all(
-                    spec, args.metrics, seeds, jobs=args.jobs,
+                    spec, args.metrics, seeds, jobs=jobs,
                     cache=cache, stats=stats,
                     pool=pool, chunksize=args.chunksize, streaming=True,
                 )
@@ -258,7 +261,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     start = f", start={pool.start_method}" if pool is not None else ""
     print(f"\nsweep: {executed} executed, {hits} cached "
-          f"(jobs={args.jobs}, workers={len(workers) or 1}{start}"
+          f"(jobs={jobs}, workers={len(workers) or 1}{start}"
           f"{'' if cache is None else ', cache=' + cache.root})")
     return 0
 
@@ -317,7 +320,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
 def _cmd_soak(args: argparse.Namespace) -> int:
     from .chaos import run_soak
-    from .experiments.parallel import SweepPool
+    from .experiments.parallel import SweepPool, resolve_jobs
 
     if args.episodes < 1:
         print("error: --episodes must be >= 1", file=sys.stderr)
@@ -336,10 +339,11 @@ def _cmd_soak(args: argparse.Namespace) -> int:
               f"delivered={report['delivered']}/{report['offered']} "
               f"failures={report['failures_declared']} {status}")
 
-    pool = SweepPool(args.jobs) if args.jobs > 1 else None
+    jobs = resolve_jobs(args.jobs)
+    pool = SweepPool(jobs) if jobs > 1 else None
     try:
         result = run_soak(
-            episodes=args.episodes, master_seed=args.seed, jobs=args.jobs,
+            episodes=args.episodes, master_seed=args.seed, jobs=jobs,
             fail_fast=args.fail_fast, only=args.only, progress=progress,
             pool=pool, chunksize=args.chunksize,
         )
@@ -372,6 +376,54 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_constellation(args: argparse.Namespace) -> int:
+    from .topology import (
+        LinkSpec,
+        build_constellation,
+        chain_topology,
+        cross_traffic,
+        grid_topology,
+        ring_topology,
+    )
+
+    if args.duration <= 0:
+        print("error: --duration must be positive", file=sys.stderr)
+        return 2
+    scenario = _scenario_from_args(args)
+    template = LinkSpec(scenario=scenario)
+    if args.topology == "ring":
+        topo = ring_topology(args.size, template, name=f"ring-{args.size}")
+    elif args.topology == "chain":
+        topo = chain_topology(args.size, template, name=f"chain-{args.size}")
+    else:
+        per_plane = max(3, args.size // max(1, args.planes))
+        topo = grid_topology(args.planes, per_plane, template,
+                             name=f"grid-{args.planes}x{per_plane}")
+    flows = cross_traffic(
+        topo.node_names(), stride=args.stride, messages=args.messages,
+        interval=args.duration / max(1, 2 * args.messages),
+    )
+    constellation = build_constellation(
+        topo, master_seed=args.seed, flows=flows, horizon=args.duration,
+        probe_interval=args.duration / 50.0,
+        dynamic_routing=args.dynamic_routing,
+    )
+    constellation.run(until=args.duration)
+    rollup = constellation.network_rollup()
+    print(render_table(
+        constellation.link_summaries(),
+        title=f"{topo.name}: {len(topo.nodes)} nodes, "
+              f"{len(topo.links)} LAMS-DLC links, {len(flows)} flows, "
+              f"{args.duration:g}s (seed {args.seed})",
+    ))
+    print()
+    print(render_table(
+        [{"quantity": key, "value": rollup[key]} for key in sorted(rollup)],
+        title="network rollup",
+    ))
+    return 0
+
+
 def _cmd_bench_baseline(args: argparse.Namespace) -> int:
     from .benchmark import run_hotpath_bench, write_baseline
 
@@ -392,6 +444,9 @@ def _cmd_bench_baseline(args: argparse.Namespace) -> int:
             sweep_seeds=args.sweep_seeds,
             sweep_duration=args.sweep_duration,
             include_sweep_scale=not args.skip_sweep_scale,
+            constellation_links=tuple(args.constellation_links),
+            constellation_duration=args.constellation_duration,
+            include_constellation_scale=not args.skip_constellation_scale,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -417,6 +472,14 @@ def _cmd_bench_baseline(args: argparse.Namespace) -> int:
             line += (f"; cache-hot re-run {hot['wall_seconds'] * 1e3:,.1f} ms "
                      f"({hot['points_per_sec']:,.0f} points/sec)")
         print(line)
+    constellation = payload.get("constellation_scale")
+    if constellation:
+        for scale in constellation["scales"]:
+            print(f"constellation   : {scale['links']:>4} links -> "
+                  f"{scale['events_per_sec']:,.0f} events/sec, "
+                  f"peak heap {scale['peak_heap']:,}, "
+                  f"peak buffered/link {scale['peak_buffered_per_link']:,} "
+                  f"(build {scale['build_wall_seconds'] * 1e3:,.1f} ms)")
     commit = payload.get("git_commit")
     print(f"baseline written to {args.output} "
           f"(commit {commit[:12] if commit else 'unknown'}, "
@@ -583,6 +646,39 @@ def build_parser() -> argparse.ArgumentParser:
                                   "a violation report)")
     soak_parser.set_defaults(handler=_cmd_soak)
 
+    constellation_parser = subparsers.add_parser(
+        "constellation",
+        help="run a multi-link constellation (topology layer) and print "
+             "per-link + network rollup stats",
+    )
+    _add_scenario_arguments(constellation_parser)
+    constellation_parser.add_argument(
+        "--topology", choices=("ring", "chain", "grid"), default="ring",
+        help="constellation shape",
+    )
+    constellation_parser.add_argument(
+        "--size", type=int, default=6,
+        help="nodes for ring, hops for chain, total satellites for grid",
+    )
+    constellation_parser.add_argument(
+        "--planes", type=int, default=3,
+        help="orbital planes (grid topology only)",
+    )
+    constellation_parser.add_argument("--stride", type=int, default=2,
+                                      help="cross-traffic destination offset")
+    constellation_parser.add_argument("--messages", type=int, default=40,
+                                      help="datagrams per flow")
+    constellation_parser.add_argument("--duration", type=float, default=2.0,
+                                      help="simulated seconds")
+    constellation_parser.add_argument("--seed", type=int, default=0,
+                                      help="master seed (links and flows "
+                                           "derive per-name streams from it)")
+    constellation_parser.add_argument(
+        "--dynamic-routing", action="store_true",
+        help="recompute routes and reclaim payloads on declared link failures",
+    )
+    constellation_parser.set_defaults(handler=_cmd_constellation)
+
     bench_parser = subparsers.add_parser(
         "bench-baseline",
         help="measure hot-path performance and write BENCH_hotpath.json",
@@ -610,6 +706,16 @@ def build_parser() -> argparse.ArgumentParser:
                                    "section")
     bench_parser.add_argument("--sweep-duration", type=float, default=0.05,
                               help="simulated seconds per sweep-scale point")
+    bench_parser.add_argument("--constellation-links", type=int, nargs="+",
+                              default=[10, 100, 1000], metavar="N",
+                              help="ring sizes for the constellation-scale "
+                                   "benchmark")
+    bench_parser.add_argument("--constellation-duration", type=float,
+                              default=0.2,
+                              help="simulated seconds per constellation scale")
+    bench_parser.add_argument("--skip-constellation-scale",
+                              action="store_true",
+                              help="skip the constellation-scale benchmark")
     bench_parser.add_argument("--skip-sweep-scale", action="store_true",
                               help="omit the sweep_scale section")
     bench_parser.set_defaults(handler=_cmd_bench_baseline)

@@ -97,9 +97,28 @@ __all__ = [
     "parallel_replicate",
     "parallel_replicate_all",
     "replication_seeds",
+    "resolve_jobs",
     "run_experiments_parallel",
     "run_sweep",
 ]
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Adapt a requested worker count to the host.
+
+    On a single-core host a worker pool is pure overhead — fork/spawn
+    plus IPC with no parallelism to buy — and spawn-method pools have
+    been observed to regress badly there, so any request resolves to
+    serial execution when ``os.cpu_count() == 1`` (or is unknown).
+    Multi-core hosts get the request back unchanged (the caller may
+    deliberately oversubscribe).
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    cpus = os.cpu_count()
+    if cpus is None or cpus <= 1:
+        return 1
+    return jobs
 
 
 class SweepStop(Exception):
@@ -843,8 +862,7 @@ def run_sweep(
     *progress*, which is how streaming aggregation keeps thousand-point
     sweeps in constant memory.
     """
-    if jobs < 1:
-        raise ValueError("jobs must be >= 1")
+    jobs = resolve_jobs(jobs)
     points = list(points)
     stats = stats if stats is not None else Tracer()
     results: Optional[list[Any]] = [None] * len(points) if keep_results else None

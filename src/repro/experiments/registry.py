@@ -969,6 +969,139 @@ def e21_fault_matrix(
     )
 
 
+# ---------------------------------------------------------------------------
+# E24 — constellation scale: M concurrent LAMS-DLC links, one engine
+# ---------------------------------------------------------------------------
+
+
+def e24_constellation(
+    scenario: LinkScenario | None = None,
+    seed: int = 24,
+    scale_links: int = 100,
+    duration: float = 2.0,
+) -> ExperimentResult:
+    """Constellation presets under cross-traffic, one engine per cell.
+
+    Four cells exercise the topology layer's shapes (the paper's
+    Section 2.1 environment at network scale):
+
+    - ``ring-6`` — one orbital plane, stride-2 cross-traffic so every
+      flow transits a relay;
+    - ``chain-4`` — a store-and-forward pipeline with every node's
+      flow converging on the far end: the hops nearest the sink carry
+      the superposed load (relay congestion);
+    - ``grid-3x4`` — three planes with cross-plane ISLs, stride-3
+      cross-traffic;
+    - ``ring-N`` (*scale_links* links, default 100) — the scale cell:
+      M concurrent LAMS-DLC links in one engine, built and run twice
+      from the same master seed with the rollups compared, so the row
+      itself certifies determinism at scale.
+
+    Every cell reports the network rollup (delivery accounting, merged
+    delay streams, engine event count, peak event-queue width, peak
+    per-link buffered state).
+    """
+    # Lazy import: the topology package consumes experiments.sweeps, so
+    # a module-level import here would be circular.
+    from ..topology import (
+        LinkSpec,
+        build_constellation,
+        chain_topology,
+        cross_traffic,
+        grid_topology,
+        ring_topology,
+    )
+    from ..topology.flows import FlowSpec
+
+    scenario = scenario or preset("nominal")
+    template = LinkSpec(scenario=scenario)
+
+    def run_cell(topo, flows, until):
+        constellation = build_constellation(
+            topo, master_seed=seed, flows=flows, horizon=until,
+            probe_interval=until / 50.0,
+        )
+        constellation.run(until=until)
+        return constellation.network_rollup()
+
+    rows = []
+
+    def add_row(cell, topo, flows, until, rollup, deterministic=None):
+        sent = rollup["datagrams_sent"]
+        rows.append(
+            {
+                "cell": cell,
+                "nodes": len(topo.nodes),
+                "links": rollup["links"],
+                "flows": len(flows),
+                "duration": until,
+                "datagrams_sent": sent,
+                "datagrams_delivered": rollup["datagrams_delivered"],
+                "delivery_ratio": (
+                    rollup["datagrams_delivered"] / sent if sent else 1.0
+                ),
+                "e2e_delay_mean": rollup["e2e_delay_mean"],
+                "frames_sent": rollup["frames_sent"],
+                "frames_corrupted": rollup["frames_corrupted"],
+                "events": rollup["events"],
+                "peak_heap": rollup["peak_heap"],
+                "peak_buffered": rollup["peak_buffered_max"],
+                "utilization_mean": rollup["utilization_mean"],
+                "retry_backlog": rollup["retry_backlog"],
+                "deterministic": deterministic,
+            }
+        )
+
+    # ring-6: every flow crosses a relay.
+    topo = ring_topology(6, template, name="ring-6")
+    flows = cross_traffic(topo.node_names(), stride=2, messages=40,
+                          interval=duration / 80.0)
+    add_row("ring-6", topo, flows, duration, run_cell(topo, flows, duration))
+
+    # chain-4: all flows converge on the far end; the last hops carry
+    # the superposed load (relay congestion).
+    topo = chain_topology(4, template, name="chain-4")
+    sink = topo.node_names()[-1]
+    flows = [
+        FlowSpec(source=name, destination=sink, messages=40,
+                 interval=duration / 80.0, poisson=True)
+        for name in topo.node_names()[:-1]
+    ]
+    add_row("chain-4", topo, flows, duration, run_cell(topo, flows, duration))
+
+    # grid-3x4: three planes, cross-plane ISLs.
+    topo = grid_topology(3, 4, template, name="grid-3x4")
+    flows = cross_traffic(topo.node_names(), stride=5, messages=20,
+                          interval=duration / 40.0)
+    add_row("grid-3x4", topo, flows, duration, run_cell(topo, flows, duration))
+
+    # Scale cell: M concurrent links, run twice, rollups compared.
+    if scale_links >= 3:
+        until = min(duration, 1.0)
+        topo = ring_topology(scale_links, template, name=f"ring-{scale_links}")
+        names = topo.node_names()
+        flows = [
+            FlowSpec(source=names[i], destination=names[(i + 2) % len(names)],
+                     messages=10, interval=until / 20.0, poisson=True)
+            for i in range(0, len(names), max(1, len(names) // 8))
+        ]
+        first = run_cell(topo, flows, until)
+        second = run_cell(topo, flows, until)
+        add_row(f"ring-{scale_links}", topo, flows, until, first,
+                deterministic=first == second)
+
+    return ExperimentResult(
+        "E24",
+        "Constellation scale: concurrent LAMS-DLC links in one engine",
+        rows,
+        notes="Every datagram delivered exactly once through relay nodes; "
+        "per-link streams merge into the network rollup. The scale cell "
+        "is built and run twice from one master seed — 'deterministic' "
+        "asserts the two rollups are identical, the stream-isolation "
+        "guarantee at constellation scale.",
+    )
+
+
 REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "E1": e1_retransmission_factor,
     "E2": e2_delivery_time,
@@ -994,10 +1127,12 @@ REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "E18": e18_protocol_field,
     "E19": e19_validation_matrix,
     "E21": e21_fault_matrix,
+    "E24": e24_constellation,
 }
 
 SIMULATED_EXPERIMENTS: frozenset[str] = frozenset(
-    {"E2-sim", "E4-sim", "E8", "E10", "E12", "E13", "E14", "E15", "E18", "E19", "E21"}
+    {"E2-sim", "E4-sim", "E8", "E10", "E12", "E13", "E14", "E15", "E18", "E19",
+     "E21", "E24"}
 )
 """Experiments whose rows come from the discrete-event simulator.
 

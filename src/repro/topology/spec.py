@@ -1,0 +1,356 @@
+"""Declarative construction specs: one link, fully described.
+
+This module is the heart of the spec-based construction path the rest
+of the library builds on.  Today's endpoint construction funnels a long
+kwargs list through :func:`repro.api.make_endpoint_pair` — protocol,
+configs, delivery callbacks, error models, fault plan — and every layer
+that wants "a LAMS-DLC link" (experiments, session manager, examples)
+re-plumbs the same arguments.  A :class:`LinkSpec` bundles that whole
+operating point into one value:
+
+- the **physics** — a :class:`~repro.workloads.scenarios.LinkScenario`
+  (or preset name) supplying rate / delay / BERs, with optional
+  explicit ``bit_rate`` / ``propagation_delay`` overrides (the latter
+  accepts a callable for orbit-driven time-varying delay);
+- the **protocol** — any :func:`repro.api.available_protocols` name
+  plus config overrides, or a ready config dataclass;
+- the **per-side wiring** — an :class:`EndpointSpec` per endpoint
+  (delivery callback, failure callback, which halves to start);
+- the **impairments** — error-model specs per frame class and an
+  optional :class:`~repro.faults.plan.FaultPlan`;
+- the **randomness** — an explicit per-link ``seed``, or one derived
+  from a topology master seed and the link name.
+
+Specs are plain dataclasses: build one, ``with_()`` variants of it, put
+it in a :class:`~repro.topology.graph.Topology`, or hand it straight to
+:func:`build_link` / :func:`instantiate_pair`.  The legacy facade
+(:func:`repro.api.make_endpoint_pair`, :func:`repro.api.build_simulation`)
+is a thin wrapper over exactly these two functions, so both paths stay
+behaviourally identical by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Mapping, Optional, Union
+
+from ..core.endpoint import EndpointPair, build_endpoint_pair, resolve_protocol
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
+from ..simulator.engine import Simulator
+from ..simulator.errormodel import ErrorModelSpec, resolve_error_model
+from ..simulator.link import DelaySpec, FullDuplexLink
+from ..simulator.rng import StreamRegistry, derive_seed
+from ..simulator.trace import Tracer
+
+__all__ = [
+    "EndpointSpec",
+    "LinkSpec",
+    "build_link",
+    "instantiate_pair",
+]
+
+
+@dataclass(frozen=True)
+class EndpointSpec:
+    """One side of a link: the endpoint-local construction choices.
+
+    Everything here is optional; the zero-argument spec describes the
+    default endpoint (config derived from the link's scenario, no
+    delivery callback, both halves started).
+    """
+
+    config: Any = None
+    """Protocol config dataclass for this side; ``None`` derives it from
+    the link's scenario (plus the :class:`LinkSpec` overrides)."""
+
+    deliver: Optional[Callable[[Any], None]] = None
+    """Callback for payloads delivered upward by this endpoint."""
+
+    on_failure: Optional[Callable[[], None]] = None
+    """Callback when this side declares the link failed (LAMS family)."""
+
+    send: bool = True
+    receive: bool = True
+    """Which halves :meth:`~repro.core.endpoint.Endpoint.start` brings
+    up when a builder starts the endpoint (one-way experiments leave
+    the unused halves down so they see no reverse-direction chatter)."""
+
+    def with_(self, **changes: Any) -> "EndpointSpec":
+        """A copy with fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A complete declarative description of one LAMS-DLC (or baseline
+    protocol) link: physics, protocol, wiring, impairments, randomness.
+
+    In a :class:`~repro.topology.graph.Topology`, ``a`` and ``b`` name
+    the nodes the link joins; standalone uses can ignore them.
+    """
+
+    name: str = "link"
+    a: str = "A"
+    b: str = "B"
+    protocol: str = "lams"
+    scenario: Union["Any", str, None] = None
+    """A :class:`~repro.workloads.scenarios.LinkScenario`, a preset name
+    (``"nominal"``, ...), or ``None`` for the nominal preset."""
+
+    overrides: Optional[Mapping[str, Any]] = None
+    """Protocol-config overrides applied when the config is derived
+    from the scenario (ignored for explicit ``config``/endpoint
+    configs)."""
+
+    config: Any = None
+    """Shared explicit protocol config for both sides; per-side
+    ``EndpointSpec.config`` wins over it."""
+
+    endpoint_a: EndpointSpec = field(default_factory=EndpointSpec)
+    endpoint_b: EndpointSpec = field(default_factory=EndpointSpec)
+
+    bit_rate: Optional[float] = None
+    propagation_delay: Optional[DelaySpec] = None
+    """Explicit physics overrides; ``None`` takes the scenario's rate /
+    one-way delay.  ``propagation_delay`` accepts a callable ``t ->
+    seconds`` (orbit-driven links)."""
+
+    iframe_errors: ErrorModelSpec = None
+    cframe_errors: ErrorModelSpec = None
+    error_model: ErrorModelSpec = None
+    """``error_model`` is the data-plane shorthand: equivalent to
+    ``iframe_errors`` (mirrors :func:`repro.api.build_simulation`).
+    Prefer registry-style specs (name / ``(name, kwargs)`` / mapping)
+    over instances when one ``LinkSpec`` stamps out many links —
+    models are stateful, so each link must get a fresh instance."""
+
+    fault_plan: Optional[FaultPlan] = None
+    seed: Optional[int] = None
+    """Per-link RNG seed; ``None`` derives one from the builder's
+    master seed and the link name (`derive_seed(master, name)`)."""
+
+    monitors: bool = False
+    """Arm the :mod:`repro.invariants` suite on this link (LAMS family,
+    one-way traffic semantics; see docs/TOPOLOGY.md)."""
+
+    extras: Mapping[str, Any] = field(default_factory=dict)
+    """Family-specific factory keywords (e.g. LAMS-DLC's
+    ``delivery_interval_b``), passed through verbatim."""
+
+    def __post_init__(self) -> None:
+        if self.error_model is not None and self.iframe_errors is not None:
+            raise ValueError("pass error_model or iframe_errors, not both")
+        if self.a == self.b:
+            raise ValueError(f"link {self.name!r} cannot join {self.a!r} to itself")
+
+    def with_(self, **changes: Any) -> "LinkSpec":
+        """A copy with fields replaced (topology-template helper)."""
+        return replace(self, **changes)
+
+    # -- resolution helpers ----------------------------------------------
+
+    def resolved_scenario(self):
+        """The live :class:`LinkScenario` (presets looked up by name)."""
+        from ..workloads.scenarios import LinkScenario, preset
+
+        if self.scenario is None:
+            return preset("nominal")
+        if isinstance(self.scenario, str):
+            return preset(self.scenario)
+        if not isinstance(self.scenario, LinkScenario):
+            raise TypeError(
+                f"scenario must be a LinkScenario or preset name, "
+                f"got {type(self.scenario).__name__}"
+            )
+        return self.scenario
+
+    def resolve_seed(self, master_seed: int = 0) -> int:
+        """This link's RNG seed under *master_seed*.
+
+        An explicit ``seed`` wins; otherwise the seed is derived from
+        the master seed and the link *name*, which is what gives every
+        link in a constellation its own independent stream family —
+        perturbing one link's consumption (or fault plan) cannot shift
+        another link's draws.
+        """
+        if self.seed is not None:
+            return self.seed
+        return derive_seed(master_seed, f"topology.link.{self.name}")
+
+    def protocol_config(self, side: str = "a") -> Any:
+        """The resolved protocol config for side ``"a"`` or ``"b"``."""
+        endpoint = self.endpoint_a if side == "a" else self.endpoint_b
+        if endpoint.config is not None:
+            return endpoint.config
+        if self.config is not None:
+            return self.config
+        return self.resolved_scenario().protocol_config(
+            self.protocol, **dict(self.overrides or {})
+        )
+
+    def other(self, node: str) -> str:
+        """The far-end node name as seen from *node*."""
+        if node == self.a:
+            return self.b
+        if node == self.b:
+            return self.a
+        raise ValueError(f"node {node!r} is not an end of link {self.name!r}")
+
+
+def build_link(
+    spec: LinkSpec,
+    sim: Simulator,
+    *,
+    master_seed: int = 0,
+    tracer: Optional[Tracer] = None,
+    propagation_delay: Optional[DelaySpec] = None,
+) -> FullDuplexLink:
+    """Materialise *spec*'s physical link on *sim*.
+
+    *propagation_delay* is a builder-supplied default (e.g. the orbit
+    geometry's ``delay_fn`` between two satellite nodes); the spec's own
+    explicit ``propagation_delay`` still wins over it.
+    """
+    scenario = spec.resolved_scenario()
+    bit_rate = spec.bit_rate if spec.bit_rate is not None else scenario.bit_rate
+    if spec.propagation_delay is not None:
+        delay: DelaySpec = spec.propagation_delay
+    elif propagation_delay is not None:
+        delay = propagation_delay
+    else:
+        delay = scenario.one_way_delay
+    iframe_spec = (
+        spec.error_model
+        if spec.error_model is not None
+        else (spec.iframe_errors
+              if spec.iframe_errors is not None
+              else scenario.iframe_error_model)
+    )
+    cframe_spec = (
+        spec.cframe_errors
+        if spec.cframe_errors is not None
+        else scenario.cframe_error_model
+    )
+    return FullDuplexLink(
+        sim,
+        bit_rate=bit_rate,
+        propagation_delay=delay,
+        name=spec.name,
+        iframe_errors=resolve_error_model(
+            iframe_spec, ber=scenario.iframe_ber, bit_rate=bit_rate
+        ),
+        cframe_errors=resolve_error_model(
+            cframe_spec, ber=scenario.cframe_ber, bit_rate=bit_rate
+        ),
+        streams=StreamRegistry(seed=spec.resolve_seed(master_seed)),
+        tracer=tracer,
+    )
+
+
+def instantiate_pair(
+    spec: LinkSpec,
+    sim: Simulator,
+    link: FullDuplexLink,
+    *,
+    tracer: Optional[Tracer] = None,
+    apply_error_model: bool = False,
+) -> EndpointPair:
+    """Build *spec*'s wired (not started) endpoint pair over *link*.
+
+    This is the single construction path every facade reduces to:
+    :func:`repro.api.make_endpoint_pair` wraps its kwargs into a
+    :class:`LinkSpec` and calls this;
+    :class:`~repro.topology.builder.ConstellationBuilder` calls it once
+    per topology link.
+
+    With ``apply_error_model=True`` the spec's ``error_model`` replaces
+    the I-frame error process of *both* link directions first — the
+    behaviour of the legacy ``make_endpoint_pair(error_model=...)``
+    kwarg on an externally built link.  Links built by
+    :func:`build_link` already have the model folded in, so builders
+    leave this off.
+    """
+    if apply_error_model and spec.error_model is not None:
+        for channel in (link.forward, link.reverse):
+            channel.iframe_errors = resolve_error_model(
+                spec.error_model, bit_rate=channel.bit_rate
+            )
+    config = spec.protocol_config("a")
+    config_b = spec.endpoint_b.config
+    extras = dict(spec.extras)
+    family, _ = resolve_protocol(spec.protocol)
+    if family == "lams":
+        # Failure callbacks are a LAMS-family factory feature; other
+        # families would reject the keywords.
+        if spec.endpoint_a.on_failure is not None:
+            extras.setdefault("on_failure_a", spec.endpoint_a.on_failure)
+        if spec.endpoint_b.on_failure is not None:
+            extras.setdefault("on_failure_b", spec.endpoint_b.on_failure)
+    elif spec.endpoint_a.on_failure is not None or spec.endpoint_b.on_failure is not None:
+        raise ValueError(
+            f"on_failure callbacks require a LAMS-family protocol, "
+            f"not {spec.protocol!r}"
+        )
+    pair = build_endpoint_pair(
+        spec.protocol, sim, link, config,
+        config_b=config_b, tracer=tracer,
+        deliver_a=spec.endpoint_a.deliver,
+        deliver_b=spec.endpoint_b.deliver,
+        **extras,
+    )
+    if spec.fault_plan is not None and len(spec.fault_plan):
+        # The simulator's event heap keeps the injector alive.
+        FaultInjector(sim, link, spec.fault_plan, tracer=tracer)
+    return pair
+
+
+def spec_from_kwargs(
+    protocol: str,
+    config: Any,
+    *,
+    config_b: Any = None,
+    deliver_a: Optional[Callable[[Any], None]] = None,
+    deliver_b: Optional[Callable[[Any], None]] = None,
+    error_model: ErrorModelSpec = None,
+    fault_plan: Optional[FaultPlan] = None,
+    **extras: Any,
+) -> LinkSpec:
+    """The legacy ``make_endpoint_pair`` kwargs list as a :class:`LinkSpec`.
+
+    Pulled out so the facade shim and its tests share one translation.
+    ``on_failure_a`` / ``on_failure_b`` migrate onto the endpoint specs;
+    every other extra passes through.
+    """
+    endpoint_a = EndpointSpec(
+        config=config, deliver=deliver_a,
+        on_failure=extras.pop("on_failure_a", None),
+    )
+    endpoint_b = EndpointSpec(
+        config=config_b, deliver=deliver_b,
+        on_failure=extras.pop("on_failure_b", None),
+    )
+    return LinkSpec(
+        protocol=protocol,
+        endpoint_a=endpoint_a,
+        endpoint_b=endpoint_b,
+        error_model=error_model,
+        fault_plan=fault_plan,
+        extras=extras,
+    )
+
+
+def as_dict(spec: LinkSpec) -> dict[str, Any]:
+    """A JSON-ish summary of *spec* (callbacks elided) for reports."""
+    scenario = spec.resolved_scenario()
+    return {
+        "name": spec.name,
+        "a": spec.a,
+        "b": spec.b,
+        "protocol": spec.protocol,
+        "scenario": scenario.name,
+        "bit_rate": spec.bit_rate if spec.bit_rate is not None else scenario.bit_rate,
+        "seed": spec.seed,
+        "fault_plan": spec.fault_plan.to_dict() if spec.fault_plan else None,
+        "monitors": spec.monitors,
+    }

@@ -296,21 +296,36 @@ def build_simulation(
     protocols only); the armed suite lands on ``setup.monitors`` and
     ``setup.finalize_monitors()`` runs its end-of-run checks.
     """
-    if error_model is not None:
-        if iframe_errors is not None:
-            raise ValueError("pass error_model or iframe_errors, not both")
-        iframe_errors = error_model
+    if error_model is not None and iframe_errors is not None:
+        raise ValueError("pass error_model or iframe_errors, not both")
+    # Lazy import: the topology package sits above workloads in the
+    # layering (it consumes LinkScenario); only the spec module is
+    # needed here, and only at call time.
+    from ..topology.spec import EndpointSpec, LinkSpec
+    from ..topology.spec import build_link as _spec_build_link
+    from ..topology.spec import instantiate_pair as _spec_instantiate_pair
+
     sim = Simulator()
     tracer = tracer or Tracer()
-    link = scenario.build_link(
-        sim, seed=seed, tracer=tracer,
-        iframe_errors=iframe_errors, cframe_errors=cframe_errors,
-    )
     delivered = DeliveredList()
-    config = scenario.protocol_config(protocol, **(overrides or {}))
-    a, b = build_endpoint_pair(
-        protocol, sim, link, config, tracer=tracer, deliver_b=delivered.append
+    # The whole one-way setup as a single declarative spec.  The fault
+    # plan deliberately stays OFF the spec: the injector must be
+    # created after the endpoints start (below) to preserve the event
+    # sequence ordering this function has always had.
+    spec = LinkSpec(
+        name=scenario.name,
+        protocol=protocol,
+        scenario=scenario,
+        overrides=overrides,
+        seed=seed,
+        iframe_errors=iframe_errors,
+        cframe_errors=cframe_errors,
+        error_model=error_model,
+        endpoint_a=EndpointSpec(receive=False),
+        endpoint_b=EndpointSpec(deliver=delivered.append, send=False),
     )
+    link = _spec_build_link(spec, sim, tracer=tracer)
+    a, b = _spec_instantiate_pair(spec, sim, link, tracer=tracer)
     a.start(send=True, receive=False)
     b.start(send=False, receive=True)
     injector = recovery = None

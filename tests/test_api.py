@@ -319,3 +319,72 @@ class TestFacadeFaultKwargs:
         link = scenario.build_link(sim, seed=0)
         assert isinstance(link.forward.iframe_errors, PerfectChannel)
         assert isinstance(link.forward.cframe_errors, PerfectChannel)
+
+
+class TestSpecFacade:
+    """The kwargs facade is a thin wrapper over the LinkSpec path."""
+
+    def test_topology_surface_is_exported(self):
+        for name in ("LinkSpec", "EndpointSpec", "Topology", "NodeSpec",
+                     "FlowSpec", "Constellation", "ConstellationBuilder",
+                     "build_constellation", "ring_topology",
+                     "chain_topology", "grid_topology", "cross_traffic"):
+            assert name in api.__all__
+            assert hasattr(api, name)
+
+    def test_spec_from_kwargs_migrates_failure_callbacks(self):
+        alarm = lambda: None  # noqa: E731
+        spec = api.spec_from_kwargs(
+            "lams", LamsDlcConfig(),
+            config_b=None, deliver_a=None, deliver_b=None,
+            error_model=None, fault_plan=None,
+            on_failure_a=alarm, delivery_interval_b=0.01,
+        )
+        assert spec.endpoint_a.on_failure is alarm
+        assert spec.endpoint_b.on_failure is None
+        assert "on_failure_a" not in spec.extras
+        assert spec.extras["delivery_interval_b"] == 0.01
+
+    def test_facade_and_spec_path_build_identical_runs(self):
+        """Same seed, same scenario: the legacy facade and a hand-built
+        LinkSpec must produce the same delivered sequence."""
+        from repro.topology.spec import build_link, instantiate_pair
+
+        scenario = preset("short_hop")
+
+        def run_facade():
+            sim = Simulator()
+            link = scenario.build_link(sim, seed=3)
+            delivered = []
+            a, b = api.make_endpoint_pair(
+                "lams", sim, link, scenario.lams_config(),
+                deliver_b=delivered.append,
+            )
+            a.start(send=True, receive=False)
+            b.start(send=False, receive=True)
+            FiniteBatch(sim, a, count=400).start()
+            sim.run(until=1.0)
+            return delivered
+
+        def run_spec():
+            sim = Simulator()
+            spec = api.LinkSpec(
+                name=scenario.name,
+                scenario=scenario,
+                config=scenario.lams_config(),
+                seed=3,
+                endpoint_a=api.EndpointSpec(receive=False),
+            )
+            delivered = []
+            spec = spec.with_(
+                endpoint_b=api.EndpointSpec(deliver=delivered.append,
+                                            send=False))
+            link = build_link(spec, sim)
+            a, b = instantiate_pair(spec, sim, link)
+            a.start(send=True, receive=False)
+            b.start(send=False, receive=True)
+            FiniteBatch(sim, a, count=400).start()
+            sim.run(until=1.0)
+            return delivered
+
+        assert run_facade() == run_spec()

@@ -74,6 +74,32 @@ class TestCommands:
         assert "alpha_min" in out and "visibility windows" in out
 
 
+class TestConstellationCommand:
+    def test_ring_run(self, capsys):
+        assert main([
+            "constellation", "--topology", "ring", "--size", "4",
+            "--messages", "5", "--duration", "0.2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "4 LAMS-DLC links" in out
+        assert "network rollup" in out
+        assert "datagrams_delivered" in out
+
+    def test_chain_run(self, capsys):
+        assert main([
+            "constellation", "--topology", "chain", "--size", "2",
+            "--stride", "1", "--messages", "5", "--duration", "0.2",
+        ]) == 0
+        assert "2 LAMS-DLC links" in capsys.readouterr().out
+
+    def test_rejects_bad_duration(self):
+        assert main(["constellation", "--duration", "0"]) == 2
+
+    def test_rejects_bad_topology(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["constellation", "--topology", "star"])
+
+
 class TestTuneCommand:
     def test_tune_prints_recommendation(self, capsys):
         assert main([

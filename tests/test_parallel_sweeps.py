@@ -24,6 +24,7 @@ from repro.experiments.parallel import (
     parallel_replicate,
     parallel_replicate_all,
     replication_seeds,
+    resolve_jobs,
     run_experiments_parallel,
     run_sweep,
 )
@@ -481,6 +482,42 @@ class TestRunSweep:
         serial = run_sweep(points)
         chunked = run_sweep(points, jobs=2, chunksize=3)
         assert chunked == serial
+
+
+class TestResolveJobs:
+    """Regression: ``jobs>1`` on a single-core host must degrade to
+    serial execution instead of paying fork/IPC overhead for nothing."""
+
+    def test_single_core_resolves_to_serial(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        assert resolve_jobs(8) == 1
+        assert resolve_jobs(1) == 1
+
+    def test_unknown_core_count_resolves_to_serial(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: None)
+        assert resolve_jobs(4) == 1
+
+    def test_multi_core_passes_through(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        assert resolve_jobs(4) == 4
+        assert resolve_jobs(16) == 16  # deliberate oversubscription allowed
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+    def test_run_sweep_on_single_core_spawns_no_pool(self, monkeypatch):
+        from repro.experiments import parallel as parallel_module
+
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+
+        def forbid_pool(*args, **kwargs):
+            raise AssertionError("single-core sweep must not build a pool")
+
+        monkeypatch.setattr(parallel_module, "SweepPool", forbid_pool)
+        spec = _spec()
+        points = [MeasurePoint(spec, s) for s in (0, 1)]
+        assert run_sweep(points, jobs=4) == [p.execute() for p in points]
 
 
 class TestChunksize:

@@ -1,0 +1,216 @@
+"""Tests for the constellation topology layer.
+
+Covers the declarative graph (shapes, validation, templates), the
+LinkSpec resolution rules, the builder's determinism contract (same
+master seed → bit-identical per-link summaries and rollups), and
+per-link fault isolation (a fault plan on one link cannot shift another
+link's RNG draws or accounting).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LamsDlcConfig
+from repro.faults import FaultPlan
+from repro.simulator import Satellite
+from repro.topology import (
+    EndpointSpec,
+    FlowSpec,
+    LinkSpec,
+    NodeSpec,
+    Topology,
+    build_constellation,
+    chain_topology,
+    cross_traffic,
+    grid_topology,
+    ring_topology,
+)
+
+FAST = LinkSpec(scenario="short_hop")
+
+
+def _run_ring(master_seed=7, size=4, fault_plans=None, until=0.2):
+    """Build and run a small ring; returns (summaries, rollup)."""
+    topo = ring_topology(size, FAST)
+    if fault_plans:
+        topo = topo.map_links(
+            lambda spec: spec.with_(fault_plan=fault_plans.get(spec.name))
+        )
+    flows = cross_traffic(topo.node_names(), stride=1, messages=10,
+                          interval=until / 40, poisson=True)
+    constellation = build_constellation(
+        topo, master_seed=master_seed, flows=flows, horizon=until,
+        probe_interval=until / 10,
+    )
+    constellation.run(until=until)
+    return constellation.link_summaries(), constellation.network_rollup()
+
+
+class TestGraph:
+    def test_ring_shape(self):
+        topo = ring_topology(5, FAST)
+        assert topo.node_names() == [f"n{i}" for i in range(5)]
+        assert [link.name for link in topo.links] == [f"l{i}" for i in range(5)]
+        assert topo.degree("n0") == 2
+        assert topo.adjacency()["n0"] == {"n1": "l0", "n4": "l4"}
+
+    def test_chain_shape(self):
+        topo = chain_topology(3, FAST)
+        assert len(topo.nodes) == 4 and len(topo.links) == 3
+        assert topo.degree("n0") == 1 and topo.degree("n1") == 2
+
+    def test_grid_shape(self):
+        topo = grid_topology(3, 4, FAST)
+        assert len(topo.nodes) == 12
+        # 3 intra-plane rings of 4 + 3 wrapped cross-plane bundles of 4.
+        assert len(topo.links) == 24
+        assert topo.link("p0.l0").a == "p0s0" and topo.link("x0.l1").b == "p1s1"
+
+    def test_grid_no_wrap_with_two_planes(self):
+        topo = grid_topology(2, 3, FAST)
+        # Wrapping two planes would duplicate the cross links.
+        assert len(topo.links) == 2 * 3 + 3
+
+    def test_satellite_ring_nodes_carry_orbits(self):
+        topo = ring_topology(4, FAST, satellites=True, altitude_km=800.0)
+        sats = [node.satellite for node in topo.nodes]
+        assert all(isinstance(sat, Satellite) for sat in sats)
+        assert len({sat.phase_deg for sat in sats}) == 4
+
+    def test_rejects_duplicate_names_and_unknown_ends(self):
+        with pytest.raises(ValueError, match="duplicate node"):
+            Topology(nodes=("a", "a"), links=())
+        with pytest.raises(ValueError, match="unknown node"):
+            Topology(nodes=("a", "b"), links=(FAST.with_(a="a", b="zz"),))
+        with pytest.raises(ValueError, match="duplicate link"):
+            Topology(
+                nodes=("a", "b", "c"),
+                links=(FAST.with_(name="l", a="a", b="b"),
+                       FAST.with_(name="l", a="b", b="c")),
+            )
+
+    def test_map_links_rewrites_every_spec(self):
+        topo = ring_topology(3, FAST).map_links(lambda s: s.with_(seed=9))
+        assert all(link.seed == 9 for link in topo.links)
+
+
+class TestLinkSpec:
+    def test_rejects_self_loop_and_double_error_spec(self):
+        with pytest.raises(ValueError, match="itself"):
+            LinkSpec(a="x", b="x")
+        with pytest.raises(ValueError, match="not both"):
+            LinkSpec(error_model="perfect", iframe_errors="perfect")
+
+    def test_explicit_seed_wins_over_derivation(self):
+        assert LinkSpec(seed=5).resolve_seed(123) == 5
+        derived = LinkSpec(name="l9").resolve_seed(123)
+        assert derived == LinkSpec(name="l9").resolve_seed(123)
+        assert derived != LinkSpec(name="l8").resolve_seed(123)
+
+    def test_config_resolution_order(self):
+        explicit = LamsDlcConfig(checkpoint_interval=0.5)
+        per_side = LamsDlcConfig(checkpoint_interval=0.25)
+        spec = LinkSpec(config=explicit,
+                        endpoint_b=EndpointSpec(config=per_side))
+        assert spec.protocol_config("a") is explicit
+        assert spec.protocol_config("b") is per_side
+        derived = LinkSpec(scenario="short_hop",
+                           overrides={"cumulation_depth": 7})
+        assert derived.protocol_config("a").cumulation_depth == 7
+
+    def test_other_end(self):
+        spec = LinkSpec(a="x", b="y")
+        assert spec.other("x") == "y" and spec.other("y") == "x"
+        with pytest.raises(ValueError):
+            spec.other("z")
+
+
+class TestDeterminism:
+    def test_same_master_seed_is_bit_identical(self):
+        first_links, first_rollup = _run_ring(master_seed=7)
+        second_links, second_rollup = _run_ring(master_seed=7)
+        assert first_links == second_links
+        assert first_rollup == second_rollup
+
+    def test_different_master_seed_differs(self):
+        _, first = _run_ring(master_seed=7)
+        _, second = _run_ring(master_seed=8)
+        assert first != second
+
+    def test_probing_does_not_perturb_delivery(self):
+        topo = ring_topology(4, FAST)
+        flows = cross_traffic(topo.node_names(), stride=1, messages=10,
+                              interval=0.005, poisson=True)
+
+        def run(probe_interval):
+            constellation = build_constellation(
+                topo, master_seed=3, flows=flows, horizon=0.2,
+                probe_interval=probe_interval,
+            )
+            constellation.run(until=0.2)
+            rollup = constellation.network_rollup()
+            # Probe-derived fields legitimately differ.
+            for probed in ("peak_heap", "peak_buffered_max", "events"):
+                rollup.pop(probed)
+            return rollup
+
+        assert run(None) == run(0.01)
+
+
+class TestFaultIsolation:
+    def test_fault_on_one_link_cannot_shift_another(self):
+        plans = {"l2": FaultPlan.single_outage(0.05, 0.05)}
+        baseline_links, _ = _run_ring(master_seed=7, fault_plans=None)
+        faulted_links, _ = _run_ring(master_seed=7, fault_plans=plans)
+        by_name = {summary["name"]: summary for summary in faulted_links}
+        base_by_name = {summary["name"]: summary for summary in baseline_links}
+        # The faulted link visibly changes...
+        assert by_name["l2"] != base_by_name["l2"]
+        assert by_name["l2"]["frames_lost_outage"] > 0
+        # ...but a link no faulted traffic touches keeps identical
+        # accounting: per-link stream isolation means l2's outage can
+        # consume no draws from l0's registry.  (stride-1 ring flows:
+        # each datagram crosses exactly one link.)
+        assert by_name["l0"] == base_by_name["l0"]
+
+    def test_declared_failure_reaches_the_node(self):
+        topo = chain_topology(2, FAST.with_(
+            fault_plan=None))
+        # Outage long enough for LAMS to declare the link dead.
+        topo = topo.map_links(
+            lambda spec: spec.with_(
+                fault_plan=FaultPlan.single_outage(0.02, 5.0)
+            ) if spec.name == "l0" else spec
+        )
+        constellation = build_constellation(topo, master_seed=1)
+        constellation.run(until=2.0)
+        assert "l0" in constellation.layers["n0"].link_failures
+
+
+class TestFlows:
+    def test_cross_traffic_covers_every_node(self):
+        flows = cross_traffic([f"n{i}" for i in range(6)], stride=2)
+        assert len(flows) == 6
+        assert {flow.source for flow in flows} == {f"n{i}" for i in range(6)}
+        for flow in flows:
+            assert flow.source != flow.destination
+
+    def test_cross_traffic_rejects_self_stride(self):
+        with pytest.raises(ValueError):
+            cross_traffic(["a", "b"], stride=2)
+
+    def test_flow_accounting(self):
+        topo = chain_topology(1, FAST)
+        constellation = build_constellation(
+            topo,
+            flows=[FlowSpec(source="n0", destination="n1", messages=25,
+                            interval=0.001)],
+            horizon=1.0,
+        )
+        constellation.run(until=1.0)
+        assert constellation.datagrams_sent() == 25
+        assert constellation.datagrams_delivered() == 25
+        log = constellation.logs["n1"]
+        assert log.in_order("n0") and log.exactly_once("n0", 25)
+        assert constellation.end_to_end_delay().count == 25
