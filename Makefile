@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-smoke bench-sweep report examples sweep-smoke faults-smoke soak-smoke constellation-smoke clean
+.PHONY: install test bench bench-smoke bench-sweep report examples sweep-smoke faults-smoke soak-smoke constellation-smoke transport-smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -64,6 +64,19 @@ constellation-smoke:
 	assert all(row['delivery_ratio'] == 1.0 for row in result.rows), result.rows; \
 	assert all(row['deterministic'] in (None, True) for row in result.rows), result.rows; \
 	print('E24 ok:', ', '.join(row['cell'] for row in result.rows))"
+
+# Transport-backend smoke (docs/TRANSPORT.md): a loopback LAMS-DLC
+# transfer over real asyncio-UDP sockets with the invariant monitors
+# armed (clean + lossy golden scenarios), then the DES-vs-UDP
+# conformance harness asserting byte-identical delivery and identical
+# monitor verdicts on both backends.
+transport-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro transmit --golden clean --frames 24 \
+		--timeout 20
+	PYTHONPATH=src $(PYTHON) -m repro transmit --golden lossy --frames 24 \
+		--timeout 20
+	PYTHONPATH=src $(PYTHON) -m repro transmit --conform --frames 32 \
+		--timeout 20
 
 examples:
 	for script in examples/*.py; do \

@@ -57,9 +57,13 @@ from . import nbdt as _nbdt  # noqa: F401
 from .core.endpoint import (
     Endpoint,
     EndpointPair,
+    TransportBackend,
+    available_backends,
     available_protocols,
     build_endpoint_pair,
+    register_backend,
     register_pair_factory,
+    resolve_backend,
     resolve_protocol,
 )
 from .chaos import EpisodeSpec, SoakResult, generate_episodes, run_soak
@@ -106,8 +110,10 @@ __all__ = [
     "RecoveryMetrics",
     "SoakResult",
     "Topology",
+    "TransportBackend",
     "Violation",
     "attach_monitors",
+    "available_backends",
     "available_error_models",
     "available_protocols",
     "build_constellation",
@@ -118,8 +124,10 @@ __all__ = [
     "grid_topology",
     "make_endpoint_pair",
     "make_error_model",
+    "register_backend",
     "register_error_model",
     "register_pair_factory",
+    "resolve_backend",
     "resolve_error_model",
     "resolve_protocol",
     "ring_topology",
@@ -133,6 +141,7 @@ def make_endpoint_pair(
     link: Any,
     config: Any,
     *,
+    backend: str = "des",
     config_b: Any = None,
     tracer: Any = None,
     deliver_a: Optional[Callable[[Any], None]] = None,
@@ -150,8 +159,15 @@ def make_endpoint_pair(
         ``"gbn"``, ``"nbdt-continuous"``, ...).  Alias-implied config
         adjustments (e.g. ``selective=False`` for ``"gbn"``) are applied
         to *config* automatically.
+    backend:
+        A name from :func:`available_backends`.  ``"des"`` (default)
+        runs on the discrete-event simulator; ``"udp"`` runs the same
+        state machines over real asyncio-UDP sockets, in which case
+        *sim* must be a :class:`~repro.transport.clock.AsyncioClock`
+        and *link* a :class:`~repro.transport.udp.UdpLink` (see
+        ``docs/TRANSPORT.md``).
     sim, link:
-        The simulator and the full-duplex link to wire across.
+        The simulator/clock and the full-duplex link to wire across.
     config, config_b:
         The protocol configuration (``LamsDlcConfig`` / ``HdlcConfig`` /
         ``NbdtConfig``); *config_b* overrides the B side when the two
@@ -186,6 +202,25 @@ def make_endpoint_pair(
        and any multi-link topology — should build a :class:`LinkSpec`
        directly.
     """
+    if backend != "des":
+        # Non-DES substrates bypass the LinkSpec path (specs describe
+        # simulated links); construction dispatches through the
+        # (protocol, backend) registry, then the shared error-model /
+        # fault-plan semantics are applied to the live channels.
+        pair = build_endpoint_pair(
+            protocol, sim, link, config, backend=backend,
+            config_b=config_b, tracer=tracer,
+            deliver_a=deliver_a, deliver_b=deliver_b, **extras,
+        )
+        if error_model is not None:
+            for channel in (link.forward, link.reverse):
+                channel.iframe_errors = resolve_error_model(
+                    error_model, bit_rate=channel.bit_rate,
+                )
+        if fault_plan is not None and len(fault_plan):
+            FaultInjector(sim, link, fault_plan,
+                          tracer=getattr(link, "tracer", None))
+        return pair
     spec = spec_from_kwargs(
         protocol, config, config_b=config_b,
         deliver_a=deliver_a, deliver_b=deliver_b,
@@ -195,19 +230,34 @@ def make_endpoint_pair(
     return instantiate_pair(spec, sim, link, tracer=tracer, apply_error_model=True)
 
 
-def build_simulation(scenario, protocol: str, **kwargs):
-    """One-way transfer simulation for any protocol over *scenario*.
+def build_simulation(scenario, protocol: str = "lams", *, backend: str = "des", **kwargs):
+    """One-way transfer for any protocol over *scenario*, any backend.
 
-    Convenience re-export of
+    With ``backend="des"`` (default) this is a convenience re-export of
     :func:`repro.workloads.scenarios.build_simulation` (kept there so
     the scenario module remains self-contained); see that function for
-    the keyword arguments.
+    the keyword arguments, and it returns a ready-to-run
+    :class:`~repro.workloads.scenarios.SimulationSetup`.
+
+    Other backends dispatch through the backend registry: for
+    ``backend="udp"`` the result is an *awaitable*
+    :class:`~repro.transport.session.TransportSetup` (the UDP substrate
+    lives on the asyncio event loop) — or use
+    :func:`repro.transport.run_transfer` for a blocking whole-transfer
+    facade.
 
     .. note:: Legacy surface, kept working indefinitely — internally it
        now builds a one-link :class:`LinkSpec` and runs the spec path.
        For anything beyond a single one-way link, describe the system
        as a :class:`Topology` and use :func:`build_constellation`.
     """
+    if backend != "des":
+        impl = resolve_backend(backend)
+        if impl.build_simulation is None:
+            raise ValueError(
+                f"backend {backend!r} does not support build_simulation"
+            )
+        return impl.build_simulation(scenario, protocol, **kwargs)
     from .workloads.scenarios import build_simulation as _build
 
     return _build(scenario, protocol, **kwargs)

@@ -14,11 +14,22 @@ The commands cover the library's everyday uses:
   suite (``--episodes N --seed S --jobs J --fail-fast``); exits
   non-zero if any invariant was violated, printing each violation with
   its trace window and reproducer command.
+- ``transmit`` / ``serve`` — run LAMS-DLC over the real asyncio-UDP
+  transport backend: loopback sessions with the invariant monitors
+  attached (``transmit``), the DES-vs-UDP conformance harness
+  (``transmit --conform``), or one endpoint per process
+  (``serve`` + ``transmit --connect HOST:PORT``).  See
+  ``docs/TRANSPORT.md``.
 - ``orbit`` — LEO pair geometry: visibility windows and RTT statistics.
 - ``report`` — regenerate the full evaluation as one document.
 
 Every command accepts ``--preset`` (short_hop / nominal / long_haul /
 noisy) plus overrides for the physical and protocol knobs.
+
+The cross-cutting knobs — ``--seed``, ``--jobs``/``--chunksize``,
+``--error-model``, ``--fault-plan`` — are defined once as argparse
+*parent parsers* and shared by every command that accepts them, so
+they spell and behave identically everywhere.
 """
 
 from __future__ import annotations
@@ -63,6 +74,88 @@ def _scenario_from_args(args: argparse.Namespace) -> LinkScenario:
         if value is not None:
             overrides[field] = value
     return scenario.with_(**overrides) if overrides else scenario
+
+
+# -- shared parent parsers --------------------------------------------------
+#
+# One definition per cross-cutting knob; every subcommand that accepts
+# the knob lists the parent, so help text, types, and defaults cannot
+# drift between commands.
+
+
+def _seed_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--seed", type=int, default=0,
+                        help="simulation / master seed (derived streams "
+                             "make runs reproducible)")
+    return parent
+
+
+def _pool_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--jobs", type=int, default=1,
+                        help="worker processes")
+    parent.add_argument("--chunksize", type=int, default=0,
+                        help="work units per worker dispatch (0 = adaptive)")
+    return parent
+
+
+def _error_model_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--error-model", default=None,
+                        help="registered error-model name for both frame "
+                             "classes (perfect/bernoulli/gilbert-elliott/...)")
+    return parent
+
+
+def _fault_plan_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--fault-plan", default=None, metavar="FILE",
+                        help="JSON FaultPlan to inject during the run "
+                             "(see docs/FAULTS.md)")
+    return parent
+
+
+def _validate_pool_args(args: argparse.Namespace) -> Optional[str]:
+    """Shared --jobs/--chunksize validation; an error message or None."""
+    if args.jobs < 1:
+        return "--jobs must be >= 1"
+    if args.chunksize < 0:
+        return "--chunksize must be >= 0 (0 = adaptive)"
+    return None
+
+
+def _apply_error_model_arg(
+    scenario: LinkScenario, args: argparse.Namespace,
+) -> Optional[LinkScenario]:
+    """Fold a validated --error-model into the scenario; None on error."""
+    name = getattr(args, "error_model", None)
+    if name is None:
+        return scenario
+    from .simulator.errormodel import available_error_models
+
+    if name.lower() not in available_error_models():
+        print(f"error: unknown error model {name!r} "
+              f"(use one of: {', '.join(available_error_models())})",
+              file=sys.stderr)
+        return None
+    return scenario.with_(iframe_error_model=name, cframe_error_model=name)
+
+
+def _load_fault_plan_arg(args: argparse.Namespace) -> tuple[Optional[object], bool]:
+    """Load a --fault-plan file; ``(plan, ok)`` with errors printed."""
+    path = getattr(args, "fault_plan", None)
+    if path is None:
+        return None, True
+    from .faults import FaultPlan
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return FaultPlan.from_json(handle.read()), True
+    except (OSError, ValueError, TypeError) as error:
+        print(f"error: cannot load fault plan {path!r}: {error}",
+              file=sys.stderr)
+        return None, False
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -119,32 +212,17 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    scenario = _scenario_from_args(args)
-    if args.error_model is not None:
-        from .simulator.errormodel import available_error_models
-
-        if args.error_model.lower() not in available_error_models():
-            print(f"error: unknown error model {args.error_model!r} "
-                  f"(use one of: {', '.join(available_error_models())})",
-                  file=sys.stderr)
-            return 2
-        scenario = scenario.with_(
-            iframe_error_model=args.error_model,
-            cframe_error_model=args.error_model,
-        )
-    if args.fault_plan is not None:
+    scenario = _apply_error_model_arg(_scenario_from_args(args), args)
+    if scenario is None:
+        return 2
+    plan, ok = _load_fault_plan_arg(args)
+    if not ok:
+        return 2
+    if plan is not None:
         from .experiments.runner import measure_fault_plan
-        from .faults import FaultPlan
 
         if args.saturated:
             print("error: --fault-plan runs a finite batch; drop --saturated",
-                  file=sys.stderr)
-            return 2
-        try:
-            with open(args.fault_plan, "r", encoding="utf-8") as handle:
-                plan = FaultPlan.from_json(handle.read())
-        except (OSError, ValueError, TypeError) as error:
-            print(f"error: cannot load fault plan {args.fault_plan!r}: {error}",
                   file=sys.stderr)
             return 2
         result = measure_fault_plan(
@@ -179,11 +257,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     from .simulator.trace import Tracer
 
-    if args.jobs < 1:
-        print("error: --jobs must be >= 1", file=sys.stderr)
+    problem = _validate_pool_args(args)
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
         return 2
-    if args.chunksize < 0:
-        print("error: --chunksize must be >= 0 (0 = adaptive)", file=sys.stderr)
+    plan, ok = _load_fault_plan_arg(args)
+    if not ok:
+        return 2
+    if args.experiments and (plan is not None or args.error_model is not None):
+        print("error: --fault-plan/--error-model shape the scenario; "
+              "registry experiments (--experiments) define their own",
+              file=sys.stderr)
         return 2
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     stats = Tracer()
@@ -218,20 +302,44 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             except ValueError as error:
                 print(f"error: {error}", file=sys.stderr)
                 return 2
-            scenario = _scenario_from_args(args)
-            seeds = replication_seeds(args.master_seed, args.seeds)
+            scenario = _apply_error_model_arg(_scenario_from_args(args), args)
+            if scenario is None:
+                return 2
+            master_seed = (args.master_seed if args.master_seed is not None
+                           else args.seed)
+            seeds = replication_seeds(master_seed, args.seeds)
             rows = []
             for protocol in args.protocols:
-                spec = MeasureSpec.create(
-                    "measure_saturated", scenario, protocol, duration=args.duration
-                )
+                if plan is not None:
+                    # Replicated fault-plan runs: the plan rides in the
+                    # MeasureSpec kwargs (protocol too — the runner takes
+                    # it as a keyword), and the cache is skipped because
+                    # FaultPlan objects are not cache-key serialisable.
+                    spec = MeasureSpec.create(
+                        "measure_fault_plan", scenario, None,
+                        fault_plan=plan, total_time=args.duration,
+                        protocol=protocol,
+                    )
+                    point_cache = None
+                else:
+                    spec = MeasureSpec.create(
+                        "measure_saturated", scenario, protocol,
+                        duration=args.duration,
+                    )
+                    point_cache = cache
                 # Streaming aggregation: summaries fold in as results
                 # arrive, bit-identical to batch (docs/API.md).
-                summaries = parallel_replicate_all(
-                    spec, args.metrics, seeds, jobs=jobs,
-                    cache=cache, stats=stats,
-                    pool=pool, chunksize=args.chunksize, streaming=True,
-                )
+                try:
+                    summaries = parallel_replicate_all(
+                        spec, args.metrics, seeds, jobs=jobs,
+                        cache=point_cache, stats=stats,
+                        pool=pool, chunksize=args.chunksize, streaming=True,
+                    )
+                except KeyError as error:
+                    print(f"error: metric {error.args[0]!r} is not in the "
+                          f"runner's output; pick --metrics from the "
+                          f"{spec.runner} result columns", file=sys.stderr)
+                    return 2
                 for metric in args.metrics:
                     summary = summaries[metric]
                     rows.append({
@@ -244,7 +352,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(render_table(
                 rows,
                 title=f"replicated sweep over preset '{scenario.name}' "
-                      f"({args.seeds} seeds, master {args.master_seed})",
+                      f"({args.seeds} seeds, master {master_seed})",
             ))
     finally:
         if pool is not None:
@@ -325,11 +433,9 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     if args.episodes < 1:
         print("error: --episodes must be >= 1", file=sys.stderr)
         return 2
-    if args.jobs < 1:
-        print("error: --jobs must be >= 1", file=sys.stderr)
-        return 2
-    if args.chunksize < 0:
-        print("error: --chunksize must be >= 0 (0 = adaptive)", file=sys.stderr)
+    problem = _validate_pool_args(args)
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
         return 2
 
     def progress(report: dict) -> None:
@@ -389,7 +495,9 @@ def _cmd_constellation(args: argparse.Namespace) -> int:
     if args.duration <= 0:
         print("error: --duration must be positive", file=sys.stderr)
         return 2
-    scenario = _scenario_from_args(args)
+    scenario = _apply_error_model_arg(_scenario_from_args(args), args)
+    if scenario is None:
+        return 2
     template = LinkSpec(scenario=scenario)
     if args.topology == "ring":
         topo = ring_topology(args.size, template, name=f"ring-{args.size}")
@@ -421,6 +529,132 @@ def _cmd_constellation(args: argparse.Namespace) -> int:
         [{"quantity": key, "value": rollup[key]} for key in sorted(rollup)],
         title="network rollup",
     ))
+    return 0
+
+
+def _parse_hostport(value: str, default_port: int = 47901) -> tuple[str, int]:
+    """``HOST[:PORT]`` -> ``(host, port)``; raises ValueError."""
+    host, sep, port = value.rpartition(":")
+    if not sep:
+        return value, default_port
+    if not host:
+        raise ValueError(f"missing host in {value!r}")
+    return host, int(port)
+
+
+def _transport_scenario(args: argparse.Namespace) -> Optional[LinkScenario]:
+    """The scenario a transport command runs: golden or preset-derived."""
+    if getattr(args, "golden", None) is not None:
+        from .transport.conformance import golden_scenario
+
+        scenario = golden_scenario(args.golden)
+    else:
+        scenario = _scenario_from_args(args)
+    return _apply_error_model_arg(scenario, args)
+
+
+def _cmd_transmit(args: argparse.Namespace) -> int:
+    if args.frames < 1:
+        print("error: --frames must be >= 1", file=sys.stderr)
+        return 2
+    if args.conform and args.connect:
+        print("error: --conform runs loopback sessions; drop --connect",
+              file=sys.stderr)
+        return 2
+    plan, ok = _load_fault_plan_arg(args)
+    if not ok:
+        return 2
+
+    if args.conform:
+        if plan is not None or args.error_model is not None:
+            print("error: --conform runs the fixed golden scenarios; drop "
+                  "--fault-plan/--error-model", file=sys.stderr)
+            return 2
+        from .transport.conformance import run_conformance
+
+        names = [args.golden] if args.golden is not None else None
+        reports = run_conformance(
+            names, seed=args.seed, n_frames=args.frames,
+            payload_bytes=args.payload_bytes, timeout=args.timeout,
+        )
+        for report in reports:
+            print(report.summary())
+        matches = all(report.matches for report in reports)
+        print(f"\nconformance: {sum(r.matches for r in reports)}/"
+              f"{len(reports)} scenario(s) match across backends")
+        return 0 if matches else 1
+
+    scenario = _transport_scenario(args)
+    if scenario is None:
+        return 2
+
+    if args.connect:
+        from .transport.session import run_client
+
+        try:
+            peer = _parse_hostport(args.connect)
+        except ValueError as error:
+            print(f"error: bad --connect address: {error}", file=sys.stderr)
+            return 2
+        report = run_client(
+            scenario, connect=peer, seed=args.seed, n_frames=args.frames,
+            payload_bytes=args.payload_bytes, timeout=args.timeout,
+        )
+        status = "complete" if report.completed else "INCOMPLETE"
+        print(f"transmit -> {peer[0]}:{peer[1]}: offered {report.offered} "
+              f"frame(s), {report.retransmissions} retransmission(s), "
+              f"{report.held_remaining} still held, "
+              f"{report.elapsed:.2f}s [{status}]")
+        return 0 if report.completed else 1
+
+    from .transport.session import run_transfer
+
+    result = run_transfer(
+        scenario, "lams", args.seed,
+        n_frames=args.frames, payload_bytes=args.payload_bytes,
+        timeout=args.timeout, jitter=args.jitter, drop=args.drop,
+        fault_plan=plan, run_with_invariants=not args.no_invariants,
+    )
+    digest = "match" if result.digest == result.expected_digest else "MISMATCH"
+    print(f"transport loopback: {result.scenario} (seed {result.seed}, "
+          f"{result.n_frames} frames)")
+    print(f"delivered {result.delivered_unique}/{result.n_frames} unique "
+          f"({result.duplicates} duplicate(s)), digest {digest}, "
+          f"{result.elapsed:.2f}s"
+          f"{'' if result.completed else ' [INCOMPLETE]'}")
+    stats = result.stats
+    print(f"forward: {stats['forward_frames_sent']} frame(s) sent, "
+          f"{stats['forward_frames_corrupted']} corrupted, "
+          f"{stats['forward_frames_dropped']} dropped; "
+          f"retransmissions {stats['retransmissions']}")
+    if result.monitors is None:
+        print("invariants: monitors disabled (--no-invariants)")
+    else:
+        print(f"invariants: {result.monitors.report()}")
+    return 0 if result.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    scenario = _transport_scenario(args)
+    if scenario is None:
+        return 2
+    try:
+        bind = _parse_hostport(args.bind)
+    except ValueError as error:
+        print(f"error: bad --bind address: {error}", file=sys.stderr)
+        return 2
+    from .transport.session import run_serve
+
+    print(f"serving {scenario.name} on {bind[0]}:{bind[1]} "
+          f"for {args.duration:g}s ...")
+    report = run_serve(
+        scenario, bind=bind, seed=args.seed, duration=args.duration,
+    )
+    print(f"serve: {report.received_unique} unique payload(s) "
+          f"({report.duplicates} duplicate(s)), "
+          f"{report.datagrams_received} datagram(s) "
+          f"({report.datagrams_undecodable} undecodable), "
+          f"digest {report.digest[:16]}..., {report.elapsed:.1f}s")
     return 0
 
 
@@ -534,6 +768,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    # Shared parents: one definition per cross-cutting knob.
+    seed_parent = _seed_parent()
+    pool_parent = _pool_parent()
+    error_model_parent = _error_model_parent()
+    fault_plan_parent = _fault_plan_parent()
+
     exp = subparsers.add_parser("experiments", help="run the E1-E19 registry")
     exp_sub = exp.add_subparsers(dest="action", required=True)
     exp_sub.add_parser("list", help="list experiment ids")
@@ -551,7 +791,10 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_parser.add_argument("--frames", type=int, default=50_000)
     cmp_parser.set_defaults(handler=_cmd_compare)
 
-    sim_parser = subparsers.add_parser("simulate", help="run the executable protocol")
+    sim_parser = subparsers.add_parser(
+        "simulate", help="run the executable protocol",
+        parents=[seed_parent, error_model_parent, fault_plan_parent],
+    )
     _add_scenario_arguments(sim_parser)
     sim_parser.add_argument(
         "--protocol",
@@ -563,17 +806,12 @@ def build_parser() -> argparse.ArgumentParser:
                             help="max (batch) or total (saturated) seconds")
     sim_parser.add_argument("--saturated", action="store_true",
                             help="saturated source instead of a finite batch")
-    sim_parser.add_argument("--seed", type=int, default=0)
-    sim_parser.add_argument("--error-model", default=None,
-                            help="registered error-model name for both frame "
-                                 "classes (perfect/bernoulli/gilbert-elliott)")
-    sim_parser.add_argument("--fault-plan", default=None, metavar="FILE",
-                            help="JSON FaultPlan to inject during a batch "
-                                 "transfer (see docs/FAULTS.md)")
     sim_parser.set_defaults(handler=_cmd_simulate)
 
     sweep_parser = subparsers.add_parser(
-        "sweep", help="replicated measurements over a process pool"
+        "sweep", help="replicated measurements over a process pool",
+        parents=[seed_parent, pool_parent, error_model_parent,
+                 fault_plan_parent],
     )
     _add_scenario_arguments(sweep_parser)
     sweep_parser.add_argument(
@@ -587,16 +825,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--seeds", type=int, default=8,
                               help="replications per protocol")
-    sweep_parser.add_argument("--master-seed", type=int, default=0,
-                              help="master seed the replication seeds derive from")
+    sweep_parser.add_argument("--master-seed", type=int, default=None,
+                              help="deprecated alias of --seed (the master "
+                                   "seed replication seeds derive from)")
     sweep_parser.add_argument("--duration", type=float, default=1.0,
                               help="simulated seconds per replication")
     sweep_parser.add_argument("--metrics", nargs="*", default=["efficiency"],
-                              help="measure_saturated metrics to summarise")
-    sweep_parser.add_argument("--jobs", type=int, default=1,
-                              help="worker processes")
-    sweep_parser.add_argument("--chunksize", type=int, default=0,
-                              help="points per worker dispatch (0 = adaptive)")
+                              help="runner metrics to summarise")
     sweep_parser.add_argument("--cache-dir", default=".sweep-cache",
                               help="on-disk result cache directory")
     sweep_parser.add_argument("--no-cache", action="store_true",
@@ -628,16 +863,11 @@ def build_parser() -> argparse.ArgumentParser:
     tune_parser.set_defaults(handler=_cmd_tune)
 
     soak_parser = subparsers.add_parser(
-        "soak", help="randomized chaos soak under invariant monitors"
+        "soak", help="randomized chaos soak under invariant monitors",
+        parents=[seed_parent, pool_parent],
     )
     soak_parser.add_argument("--episodes", type=int, default=50,
                              help="number of randomized episodes")
-    soak_parser.add_argument("--seed", type=int, default=0,
-                             help="master seed the episodes derive from")
-    soak_parser.add_argument("--jobs", type=int, default=1,
-                             help="worker processes")
-    soak_parser.add_argument("--chunksize", type=int, default=0,
-                             help="episodes per worker dispatch (0 = adaptive)")
     soak_parser.add_argument("--fail-fast", action="store_true",
                              help="stop scheduling new episodes after the "
                                   "first violation")
@@ -650,6 +880,7 @@ def build_parser() -> argparse.ArgumentParser:
         "constellation",
         help="run a multi-link constellation (topology layer) and print "
              "per-link + network rollup stats",
+        parents=[seed_parent, error_model_parent],
     )
     _add_scenario_arguments(constellation_parser)
     constellation_parser.add_argument(
@@ -670,14 +901,66 @@ def build_parser() -> argparse.ArgumentParser:
                                       help="datagrams per flow")
     constellation_parser.add_argument("--duration", type=float, default=2.0,
                                       help="simulated seconds")
-    constellation_parser.add_argument("--seed", type=int, default=0,
-                                      help="master seed (links and flows "
-                                           "derive per-name streams from it)")
     constellation_parser.add_argument(
         "--dynamic-routing", action="store_true",
         help="recompute routes and reclaim payloads on declared link failures",
     )
     constellation_parser.set_defaults(handler=_cmd_constellation)
+
+    transmit_parser = subparsers.add_parser(
+        "transmit",
+        help="run LAMS-DLC over real asyncio-UDP sockets (loopback with "
+             "invariant monitors, --connect for two-process, --conform "
+             "for the DES-vs-UDP conformance harness)",
+        parents=[seed_parent, error_model_parent, fault_plan_parent],
+    )
+    _add_scenario_arguments(transmit_parser)
+    transmit_parser.add_argument(
+        "--golden", choices=("clean", "lossy"), default=None,
+        help="use a golden conformance scenario instead of --preset "
+             "(real-time-friendly rates; see docs/TRANSPORT.md)",
+    )
+    transmit_parser.add_argument("--frames", type=int, default=48,
+                                 help="payloads to transfer")
+    transmit_parser.add_argument("--payload-bytes", type=int, default=256,
+                                 help="bytes per payload")
+    transmit_parser.add_argument("--timeout", type=float, default=30.0,
+                                 help="wall-clock cap on the session")
+    transmit_parser.add_argument("--jitter", type=float, default=0.0,
+                                 help="uniform extra one-way delay in seconds")
+    transmit_parser.add_argument("--drop", type=float, default=None,
+                                 help="i.i.d. datagram loss probability "
+                                      "(the 'uniform-loss' error model)")
+    transmit_parser.add_argument("--connect", default=None, metavar="HOST:PORT",
+                                 help="two-process mode: send to a running "
+                                      "'repro serve' instead of loopback")
+    transmit_parser.add_argument("--conform", action="store_true",
+                                 help="run the golden scenarios on both "
+                                      "backends and compare digests and "
+                                      "monitor verdicts")
+    transmit_parser.add_argument("--no-invariants", action="store_true",
+                                 help="skip the invariant monitor suite "
+                                      "(loopback mode)")
+    transmit_parser.set_defaults(handler=_cmd_transmit)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="receive side of a two-process UDP session "
+             "(pair with 'transmit --connect')",
+        parents=[seed_parent, error_model_parent],
+    )
+    _add_scenario_arguments(serve_parser)
+    serve_parser.add_argument(
+        "--golden", choices=("clean", "lossy"), default=None,
+        help="use a golden conformance scenario instead of --preset",
+    )
+    serve_parser.add_argument("--bind", default="127.0.0.1:47901",
+                              metavar="HOST:PORT",
+                              help="address to listen on (the peer is "
+                                   "learned from the first datagram)")
+    serve_parser.add_argument("--duration", type=float, default=30.0,
+                              help="seconds to serve before reporting")
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     bench_parser = subparsers.add_parser(
         "bench-baseline",

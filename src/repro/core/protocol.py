@@ -191,11 +191,19 @@ def lams_dlc_pair(
 ) -> tuple[LamsDlcEndpoint, LamsDlcEndpoint]:
     """Create and wire a pair of endpoints across *link*.
 
-    Thin shim over the unified factory registry — equivalent to
-    ``repro.api.make_endpoint_pair("lams", ...)``.  Returns
-    ``(endpoint_a, endpoint_b)``; call :meth:`~LamsDlcEndpoint.start`
-    on each with the roles the experiment needs.
+    .. deprecated:: transport backend PR
+       Thin shim over the unified factory registry — use
+       ``repro.api.make_endpoint_pair("lams", ...)`` instead, which
+       also accepts ``backend="udp"``.  Scheduled for removal in the
+       1.0 release (see docs/API.md "Backends").
     """
+    import warnings
+
+    warnings.warn(
+        "lams_dlc_pair is deprecated; use "
+        "repro.api.make_endpoint_pair('lams', ...) (removal target: 1.0)",
+        DeprecationWarning, stacklevel=2,
+    )
     return _make_lams_pair(
         sim, link, config,
         config_b=config_b, tracer=tracer,

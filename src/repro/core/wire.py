@@ -101,14 +101,20 @@ def encode_iframe(frame: IFrame, payload: bytes, origin: Optional[int] = None) -
     return append_crc32(header + payload)
 
 
-def decode_iframe(data: bytes) -> tuple[IFrame, bytes, int]:
+def decode_iframe(data: bytes, *, verify: bool = True) -> tuple[IFrame, bytes, int]:
     """Decode an I-frame; returns ``(frame, payload, origin)``.
 
     Raises :class:`WireFormatError` on truncation, CRC failure, or a
     wrong frame type — all "detectable errors" in the paper's sense.
+    ``verify=False`` skips the CRC check (the trailer is still
+    stripped): the transport backend's salvage path uses it to recover
+    the header of a corrupted-on-the-wire frame, mirroring the DES
+    channel's delivery of corrupted frames with readable headers.
     """
-    if not verify_crc32(data):
+    if verify and not verify_crc32(data):
         raise WireFormatError("I-frame CRC check failed")
+    if len(data) < 4:
+        raise WireFormatError("I-frame too short")
     body = data[:-4]
     if len(body) < 14:
         raise WireFormatError("I-frame too short")
@@ -162,10 +168,12 @@ def encode_checkpoint(frame: CheckpointFrame) -> bytes:
     return append_crc16(b"".join(parts))
 
 
-def decode_checkpoint(data: bytes) -> CheckpointFrame:
-    """Decode a Check-Point command."""
-    if not verify_crc16(data):
+def decode_checkpoint(data: bytes, *, verify: bool = True) -> CheckpointFrame:
+    """Decode a Check-Point command (``verify=False`` skips the CRC)."""
+    if verify and not verify_crc16(data):
         raise WireFormatError("checkpoint CRC check failed")
+    if len(data) < 2:
+        raise WireFormatError("checkpoint too short")
     body = data[:-2]
     if len(body) < 14:
         raise WireFormatError("checkpoint too short")
@@ -208,10 +216,12 @@ def encode_request_nak(frame: RequestNakFrame) -> bytes:
     return append_crc16(struct.pack(">Bd", FRAME_TYPE_REQUEST_NAK, frame.request_time))
 
 
-def decode_request_nak(data: bytes) -> RequestNakFrame:
-    """Decode a Request-NAK probe."""
-    if not verify_crc16(data):
+def decode_request_nak(data: bytes, *, verify: bool = True) -> RequestNakFrame:
+    """Decode a Request-NAK probe (``verify=False`` skips the CRC)."""
+    if verify and not verify_crc16(data):
         raise WireFormatError("Request-NAK CRC check failed")
+    if len(data) < 2:
+        raise WireFormatError("Request-NAK too short")
     body = data[:-2]
     if len(body) != 9:
         raise WireFormatError("Request-NAK length mismatch")
@@ -238,13 +248,14 @@ def encode_frame(frame: WireDecodable, payload: bytes = b"") -> bytes:
     raise TypeError(f"cannot encode {type(frame).__name__}")
 
 
-def decode_frame(data: bytes) -> WireDecodable:
+def decode_frame(data: bytes, *, verify: bool = True) -> WireDecodable:
     """Decode any LAMS-DLC frame by its leading type octet.
 
     Accepts arbitrary octets: anything that is not a well-formed,
     CRC-passing LAMS-DLC frame raises :class:`WireFormatError` (and
     nothing else) — the paper's "detectable error" contract at the
-    byte level.
+    byte level.  ``verify=False`` skips the CRC checks so a known-bad
+    frame's structure can still be salvaged when it parses.
     """
     if not isinstance(data, (bytes, bytearray, memoryview)):
         raise WireFormatError(
@@ -255,10 +266,10 @@ def decode_frame(data: bytes) -> WireDecodable:
         raise WireFormatError("empty frame")
     frame_type = data[0]
     if frame_type == FRAME_TYPE_IFRAME:
-        frame, _, _ = decode_iframe(data)
+        frame, _, _ = decode_iframe(data, verify=verify)
         return frame
     if frame_type == FRAME_TYPE_CHECKPOINT:
-        return decode_checkpoint(data)
+        return decode_checkpoint(data, verify=verify)
     if frame_type == FRAME_TYPE_REQUEST_NAK:
-        return decode_request_nak(data)
+        return decode_request_nak(data, verify=verify)
     raise WireFormatError(f"unknown frame type 0x{frame_type:02x}")

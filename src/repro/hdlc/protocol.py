@@ -120,10 +120,19 @@ def hdlc_pair(
 ) -> tuple[HdlcEndpoint, HdlcEndpoint]:
     """Create and wire a pair of HDLC endpoints across *link*.
 
-    Thin shim over the unified factory registry — equivalent to
-    ``repro.api.make_endpoint_pair("hdlc", ...)``; same shape as
-    :func:`repro.core.protocol.lams_dlc_pair`.
+    .. deprecated:: transport backend PR
+       Thin shim over the unified factory registry — use
+       ``repro.api.make_endpoint_pair("hdlc", ...)`` instead.
+       Scheduled for removal in the 1.0 release (see docs/API.md
+       "Backends").
     """
+    import warnings
+
+    warnings.warn(
+        "hdlc_pair is deprecated; use "
+        "repro.api.make_endpoint_pair('hdlc', ...) (removal target: 1.0)",
+        DeprecationWarning, stacklevel=2,
+    )
     return _make_hdlc_pair(
         sim, link, config,
         config_b=config_b, tracer=tracer,

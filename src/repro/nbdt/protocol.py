@@ -99,9 +99,19 @@ def nbdt_pair(
 ) -> tuple[NbdtEndpoint, NbdtEndpoint]:
     """Create and wire a pair of NBDT endpoints across *link*.
 
-    Thin shim over the unified factory registry — equivalent to
-    ``repro.api.make_endpoint_pair("nbdt", ...)``.
+    .. deprecated:: transport backend PR
+       Thin shim over the unified factory registry — use
+       ``repro.api.make_endpoint_pair("nbdt", ...)`` instead.
+       Scheduled for removal in the 1.0 release (see docs/API.md
+       "Backends").
     """
+    import warnings
+
+    warnings.warn(
+        "nbdt_pair is deprecated; use "
+        "repro.api.make_endpoint_pair('nbdt', ...) (removal target: 1.0)",
+        DeprecationWarning, stacklevel=2,
+    )
     return _make_nbdt_pair(
         sim, link, config,
         config_b=config_b, tracer=tracer,

@@ -1,0 +1,68 @@
+"""Real-network asyncio-UDP backend for LAMS-DLC endpoints.
+
+The protocol halves in :mod:`repro.core` are written against the
+:class:`~repro.core.clock.Clock` scheduling contract, not against
+virtual time.  This package supplies the second implementation of that
+contract — :class:`~repro.transport.clock.AsyncioClock` maps the event
+heap onto the asyncio event loop — plus everything needed to run two
+LAMS-DLC endpoints over actual UDP sockets:
+
+- :mod:`repro.transport.udp` — :class:`UdpChannel` (serialization,
+  emulated impairment, real ``sendto``) and :class:`UdpLink` (a
+  loopback socket pair that duck-types
+  :class:`~repro.simulator.link.FullDuplexLink`), so the registered
+  LAMS pair factory works verbatim.
+- :mod:`repro.transport.impair` — the emulated-impairment shim:
+  delay/jitter/drop plus per-frame-class corruption drawn from the
+  string-keyed error-model registry, reproducing
+  :class:`~repro.workloads.scenarios.LinkScenario` conditions on the
+  wire.
+- :mod:`repro.transport.session` — loopback sessions with the
+  invariant :class:`~repro.invariants.monitors.MonitorSuite` attached
+  to live traffic, and single-socket endpoints for two-process
+  ``serve``/``transmit``.
+- :mod:`repro.transport.conformance` — the golden scenarios run on
+  both backends with wire digests and monitor verdicts compared.
+
+Importing :mod:`repro.transport.backend` (done lazily by the backend
+registry) registers the ``"udp"`` backend for
+``make_endpoint_pair(..., backend="udp")``.
+
+See ``docs/TRANSPORT.md`` for the architecture walkthrough.
+"""
+
+from __future__ import annotations
+
+from .clock import AsyncioClock
+from .conformance import (
+    GOLDEN_SCENARIOS,
+    ConformanceReport,
+    golden_scenario,
+    make_payload,
+    payload_digest,
+    payload_index,
+    run_conformance,
+)
+from .impair import Impairments, corrupt_crc
+from .session import TransportResult, TransportSetup, run_transfer
+from .udp import UdpChannel, UdpEndpointSocket, UdpLink, decode_datagram
+
+__all__ = [
+    "AsyncioClock",
+    "ConformanceReport",
+    "GOLDEN_SCENARIOS",
+    "Impairments",
+    "TransportResult",
+    "TransportSetup",
+    "UdpChannel",
+    "UdpEndpointSocket",
+    "UdpLink",
+    "corrupt_crc",
+    "decode_datagram",
+    "golden_scenario",
+    "make_payload",
+    "payload_digest",
+    "payload_index",
+    "run_conformance",
+    "run_transfer",
+]

@@ -1,0 +1,70 @@
+"""Registers the ``"udp"`` transport backend.
+
+Imported lazily by the backend registry
+(:func:`repro.core.endpoint.resolve_backend`) the first time anyone
+asks for ``backend="udp"``; importing this module is what makes the
+backend available.
+
+The UDP backend carries only the LAMS family: it needs a byte-exact
+frame codec (:mod:`repro.core.wire`), which the comparison protocols
+(SR-HDLC/GBN, NBDT) — simulation-only baselines — do not define.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.endpoint import PairFactory, TransportBackend, register_backend
+from .clock import AsyncioClock
+from .udp import UdpLink
+
+__all__ = ["UDP_BACKEND"]
+
+
+def _udp_build_pair(
+    family: str,
+    factory: PairFactory,
+    sim: Any,
+    link: Any,
+    config: Any,
+    **kwargs: Any,
+) -> Any:
+    """Validate the substrate, then run the family factory unchanged.
+
+    The whole point of the backend seam: the factory (and the state
+    machines it wires) cannot tell it is talking to sockets.
+    """
+    if not isinstance(sim, AsyncioClock):
+        raise TypeError(
+            f"backend 'udp' needs an AsyncioClock, got {type(sim).__name__} "
+            "(build one with repro.transport.AsyncioClock() inside a "
+            "running event loop)"
+        )
+    if not isinstance(link, UdpLink):
+        raise TypeError(
+            f"backend 'udp' needs a UdpLink, got {type(link).__name__} "
+            "(open one with await repro.transport.UdpLink.open(clock, ...))"
+        )
+    return factory(sim, link, config, **kwargs)
+
+
+def _udp_build_simulation(scenario: Any, protocol: str = "lams", **kwargs: Any):
+    """``build_simulation(..., backend="udp")``: an *awaitable* setup.
+
+    Returns the :func:`repro.transport.session.open_loopback` coroutine
+    — the UDP substrate lives on the asyncio loop, so the caller awaits
+    the setup and drives it in real time (or uses the blocking facade
+    :func:`repro.transport.session.run_transfer` for a whole transfer).
+    """
+    from .session import open_loopback
+
+    return open_loopback(scenario, protocol, **kwargs)
+
+
+UDP_BACKEND = register_backend(TransportBackend(
+    name="udp",
+    build_pair=_udp_build_pair,
+    build_simulation=_udp_build_simulation,
+    families=frozenset({"lams"}),
+    description="asyncio-UDP sockets with emulated impairments (real time)",
+))

@@ -1,0 +1,149 @@
+"""The emulated-impairment shim for the UDP backend.
+
+A localhost socket is, for this protocol's purposes, a perfect
+zero-delay channel — useless for studying ARQ behaviour.  The shim
+reproduces :class:`~repro.workloads.scenarios.LinkScenario` conditions
+on the wire, applied on the *sending* side before the datagram reaches
+the kernel:
+
+- **delay / jitter** — the scenario's one-way propagation delay plus an
+  optional uniform jitter, scheduled on the
+  :class:`~repro.transport.clock.AsyncioClock`; arrivals are clamped
+  monotone exactly like the DES channel, so frames never overtake.
+- **corruption** — drawn per frame from the same string-keyed
+  error-model registry (:mod:`repro.simulator.errormodel`) the DES
+  channel uses, with the same per-class named RNG streams
+  (``"<channel>.iframe"`` / ``"<channel>.cframe"``), then applied to
+  real bytes by flipping the CRC trailer: the frame stays parseable
+  (header salvage, matching the DES ``corrupted=True`` delivery) but
+  fails its checksum.
+- **drop** — datagram loss, itself a registered error model
+  (``"uniform-loss"``, registered here) drawn from its own stream, so
+  loss processes are seeded and named like every other error process.
+
+Because every random decision goes through a
+:class:`~repro.simulator.rng.StreamRegistry` stream derived from the
+session seed, a UDP run's impairment sequence is as reproducible as a
+DES run's (timing, of course, is not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional
+
+import numpy as np
+
+from ..simulator.errormodel import (
+    ErrorModel,
+    ErrorModelSpec,
+    register_error_model,
+    resolve_error_model,
+)
+
+__all__ = ["Impairments", "UniformLossModel", "corrupt_crc"]
+
+
+class UniformLossModel:
+    """Size-independent i.i.d. datagram loss at a fixed probability.
+
+    Registered as ``"uniform-loss"`` so drop processes resolve through
+    the same registry as corruption processes.
+    """
+
+    def __init__(self, probability: float = 0.0, **_context: Any) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"loss probability must be in [0, 1]: {probability!r}")
+        self.probability = probability
+
+    def frame_error(self, start: float, bits: int, rng: np.random.Generator) -> bool:
+        return bool(self.probability and rng.random() < self.probability)
+
+    def __repr__(self) -> str:
+        return f"UniformLossModel(p={self.probability:g})"
+
+
+register_error_model("uniform-loss", UniformLossModel)
+
+
+def corrupt_crc(data: bytes) -> bytes:
+    """Damage *data* so its CRC fails but its structure still parses.
+
+    Flipping the trailer (not the body) mirrors the DES channel, which
+    delivers corrupted frames with readable headers — the receiving
+    protocol decides what a detectable error salvages.
+    """
+    if not data:
+        return data
+    return data[:-1] + bytes((data[-1] ^ 0xFF,))
+
+
+@dataclass(frozen=True)
+class Impairments:
+    """One direction's emulated link conditions.
+
+    ``iframe_errors`` / ``cframe_errors`` / ``drop`` accept any
+    :data:`~repro.simulator.errormodel.ErrorModelSpec` (registered
+    name, ``(name, kwargs)``, mapping, instance); ``None`` keeps the
+    historical default — Bernoulli at the class BER when nonzero,
+    perfect otherwise.
+    """
+
+    propagation_delay: float = 0.0
+    jitter: float = 0.0
+    drop: ErrorModelSpec = None
+    iframe_errors: ErrorModelSpec = None
+    cframe_errors: ErrorModelSpec = None
+    iframe_ber: float = 0.0
+    cframe_ber: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.propagation_delay < 0:
+            raise ValueError("propagation delay cannot be negative")
+        if self.jitter < 0:
+            raise ValueError("jitter cannot be negative")
+
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario: Any,
+        *,
+        jitter: float = 0.0,
+        drop: Optional[float] = None,
+    ) -> "Impairments":
+        """The scenario's link conditions as wire impairments.
+
+        *drop* is a plain probability shorthand for the
+        ``"uniform-loss"`` model (``None``/0 means no loss).
+        """
+        drop_spec: ErrorModelSpec = None
+        if drop:
+            drop_spec = ("uniform-loss", {"probability": float(drop)})
+        return cls(
+            propagation_delay=scenario.one_way_delay,
+            jitter=jitter,
+            drop=drop_spec,
+            iframe_errors=scenario.iframe_error_model,
+            cframe_errors=scenario.cframe_error_model,
+            iframe_ber=scenario.iframe_ber,
+            cframe_ber=scenario.cframe_ber,
+        )
+
+    def with_(self, **changes: Any) -> "Impairments":
+        """A copy with fields replaced."""
+        return replace(self, **changes)
+
+    def resolve_models(
+        self, bit_rate: float,
+    ) -> tuple[ErrorModel, ErrorModel, Optional[ErrorModel]]:
+        """``(iframe_model, cframe_model, drop_model)`` live instances."""
+        iframe = resolve_error_model(
+            self.iframe_errors, ber=self.iframe_ber, bit_rate=bit_rate,
+        )
+        cframe = resolve_error_model(
+            self.cframe_errors, ber=self.cframe_ber, bit_rate=bit_rate,
+        )
+        drop = None
+        if self.drop is not None:
+            drop = resolve_error_model(self.drop, bit_rate=bit_rate)
+        return iframe, cframe, drop

@@ -1,0 +1,532 @@
+"""Live LAMS-DLC sessions over the UDP backend.
+
+Three ways to run the protocol on real sockets:
+
+- :func:`open_loopback` / :func:`run_transfer` — both endpoints in one
+  process over a localhost socket pair, with the full invariant
+  :class:`~repro.invariants.monitors.MonitorSuite` attached to the
+  live traffic.  This is the transport twin of
+  :func:`repro.workloads.scenarios.build_simulation`:
+  :class:`TransportSetup` mirrors ``SimulationSetup``'s shape, so
+  :func:`~repro.invariants.harness.attach_monitors` works unchanged.
+- :func:`run_serve` / :func:`run_client` — one endpoint per process
+  (the ``python -m repro serve`` / ``transmit --connect`` pair), for
+  sessions across a real network path.
+
+Completion semantics: a transfer is complete when the destination
+resequencer has released every offered payload in order *and* the
+sender's zero-loss ledger is empty (every copy released by a
+checkpoint), so the monitor suite finalizes from a quiescent state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..core.endpoint import build_endpoint_pair
+from ..faults.plan import FaultPlan
+from ..simulator.rng import StreamRegistry
+from ..simulator.trace import Tracer
+from ..workloads.scenarios import DeliveredList, LinkScenario
+from .clock import AsyncioClock
+from .conformance import (
+    make_payload,
+    payload_digest,
+    payload_index,
+    resequence_digest,
+)
+from .impair import Impairments
+from .udp import UdpEndpointSocket, UdpLink
+
+__all__ = [
+    "ClientReport",
+    "ServeReport",
+    "TransportResult",
+    "TransportSetup",
+    "open_loopback",
+    "run_client",
+    "run_serve",
+    "run_transfer",
+]
+
+# Polling cadence for real-time waits (offers refused by Stop-Go,
+# settle loops).  Coarse enough to stay off the hot path, fine enough
+# that golden-scenario sessions finish promptly.
+_POLL = 0.005
+
+
+@dataclass
+class TransportSetup:
+    """A live loopback session (the transport twin of ``SimulationSetup``).
+
+    ``sim`` is the :class:`AsyncioClock` — named for shape-compatibility
+    with harness code written against ``SimulationSetup``.
+    """
+
+    sim: AsyncioClock
+    link: UdpLink
+    endpoint_a: Any
+    endpoint_b: Any
+    delivered: DeliveredList
+    tracer: Tracer
+    fault_injector: Optional[Any] = None
+    recovery: Optional[Any] = None
+    monitors: Optional[Any] = None
+
+    def finalize_monitors(self) -> Any:
+        """Run the monitors' end-of-run checks; returns the suite."""
+        if self.monitors is not None:
+            self.monitors.finalize(self.sim.now)
+        return self.monitors
+
+    async def close(self) -> None:
+        """Stop both endpoints and release sockets and timers."""
+        self.endpoint_a.stop()
+        self.endpoint_b.stop()
+        self.sim.kick()
+        self.link.close()
+        self.sim.close()
+        # Let the loop process the transport close callbacks.
+        await asyncio.sleep(0)
+
+
+@dataclass
+class TransportResult:
+    """Outcome of one loopback transfer."""
+
+    scenario: str
+    protocol: str
+    seed: int
+    n_frames: int
+    completed: bool
+    delivered_unique: int
+    duplicates: int
+    digest: str
+    expected_digest: str
+    elapsed: float
+    monitors: Optional[Any] = None
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Complete, byte-exact, and every invariant held."""
+        return (self.completed
+                and self.digest == self.expected_digest
+                and (self.monitors is None or self.monitors.ok))
+
+    @property
+    def violations(self) -> list[Any]:
+        return [] if self.monitors is None else self.monitors.violations
+
+
+async def open_loopback(
+    scenario: LinkScenario,
+    protocol: str = "lams",
+    seed: int = 0,
+    *,
+    overrides: Optional[dict] = None,
+    jitter: float = 0.0,
+    drop: Optional[float] = None,
+    iframe_errors: Optional[Any] = None,
+    cframe_errors: Optional[Any] = None,
+    error_model: Optional[Any] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    run_with_invariants: bool = True,
+    tracer: Optional[Tracer] = None,
+    host: str = "127.0.0.1",
+) -> TransportSetup:
+    """Open a one-way loopback session: A sends, B receives.
+
+    Construction order matches ``build_simulation`` exactly — link,
+    endpoints, start, fault injector, monitors — so the two backends
+    observe the same event sequence at startup.  *error_model* /
+    *iframe_errors* / *cframe_errors* override the scenario's error
+    processes exactly like their ``build_simulation`` namesakes.
+    """
+    if error_model is not None and iframe_errors is not None:
+        raise ValueError("pass error_model or iframe_errors, not both")
+    clock = AsyncioClock()
+    tracer = tracer or Tracer()
+    delivered = DeliveredList()
+    impairments = Impairments.from_scenario(scenario, jitter=jitter, drop=drop)
+    data_spec = error_model if error_model is not None else iframe_errors
+    if data_spec is not None:
+        impairments = impairments.with_(iframe_errors=data_spec)
+    if cframe_errors is not None:
+        impairments = impairments.with_(cframe_errors=cframe_errors)
+    link = await UdpLink.open(
+        clock, name=scenario.name, bit_rate=scenario.bit_rate,
+        impairments=impairments, seed=seed, tracer=tracer, host=host,
+    )
+    config = scenario.protocol_config(protocol, **(overrides or {}))
+    endpoint_a, endpoint_b = build_endpoint_pair(
+        protocol, clock, link, config, backend="udp",
+        tracer=tracer, deliver_b=delivered.append,
+    )
+    endpoint_a.start(send=True, receive=False)
+    endpoint_b.start(send=False, receive=True)
+    injector = recovery = None
+    if fault_plan is not None and len(fault_plan):
+        from ..faults.injector import FaultInjector
+        from ..faults.metrics import RecoveryMetrics
+
+        recovery = RecoveryMetrics(tracer)
+        injector = FaultInjector(clock, link, fault_plan, tracer=tracer)
+    setup = TransportSetup(
+        clock, link, endpoint_a, endpoint_b, delivered, tracer,
+        fault_injector=injector, recovery=recovery,
+    )
+    if run_with_invariants:
+        from ..invariants.harness import attach_monitors
+
+        setup.monitors = attach_monitors(
+            setup, scenario, fault_plan=fault_plan,
+            context={"scenario": scenario.name, "protocol": protocol,
+                     "seed": seed, "backend": "udp"},
+        )
+    clock.kick()
+    return setup
+
+
+def _settle_budget(config: Any, rtt: float) -> float:
+    """Real-time allowance for the sender's ledger to drain after the
+    last in-order delivery (resolving period + one extra round)."""
+    resolving = config.resolving_period(rtt)
+    return 2.0 * resolving + rtt + 0.1
+
+
+async def _offer_all(setup: TransportSetup, payloads: list[bytes]) -> int:
+    """Offer every payload, yielding while Stop-Go refuses; count accepted."""
+    clock = setup.sim
+    accepted = 0
+    for payload in payloads:
+        while True:
+            clock.kick()
+            ok = setup.endpoint_a.accept(payload)
+            clock.kick()
+            if ok:
+                accepted += 1
+                break
+            await asyncio.sleep(_POLL)
+    return accepted
+
+
+async def _transfer(
+    setup: TransportSetup,
+    scenario: LinkScenario,
+    payloads: list[bytes],
+    timeout: float,
+) -> bool:
+    """Drive one transfer on an open session; True when fully complete."""
+    clock = setup.sim
+    n_frames = len(payloads)
+    complete = asyncio.Event()
+    seen: set[int] = set()
+
+    def on_delivery() -> None:
+        index = payload_index(setup.delivered[-1])
+        if index is not None:
+            seen.add(index)
+        if len(seen) >= n_frames:
+            complete.set()
+
+    setup.delivered.on_append = on_delivery
+    deadline = asyncio.get_running_loop().time() + timeout
+    try:
+        await asyncio.wait_for(
+            _offer_all(setup, payloads),
+            timeout=max(0.0, deadline - asyncio.get_running_loop().time()),
+        )
+        await asyncio.wait_for(
+            complete.wait(),
+            timeout=max(0.0, deadline - asyncio.get_running_loop().time()),
+        )
+    except asyncio.TimeoutError:
+        return False
+    finally:
+        setup.delivered.on_append = None
+    # Quiesce: the checkpoints releasing the sender's last copies are
+    # still in flight when the final payload lands at the destination.
+    sender = getattr(setup.endpoint_a, "sender", None)
+    if sender is not None and hasattr(sender, "held_payloads"):
+        budget = _settle_budget(sender.config, scenario.round_trip_time)
+        settle_deadline = min(deadline,
+                              asyncio.get_running_loop().time() + budget)
+        while asyncio.get_running_loop().time() < settle_deadline:
+            clock.kick()
+            if not sender.held_payloads():
+                break
+            await asyncio.sleep(_POLL)
+    return True
+
+
+async def _run_transfer(
+    scenario: LinkScenario,
+    protocol: str,
+    seed: int,
+    n_frames: int,
+    payload_bytes: int,
+    timeout: float,
+    **open_kwargs: Any,
+) -> TransportResult:
+    payloads = [make_payload(i, payload_bytes) for i in range(n_frames)]
+    setup = await open_loopback(scenario, protocol, seed, **open_kwargs)
+    start = asyncio.get_running_loop().time()
+    try:
+        completed = await _transfer(setup, scenario, payloads, timeout)
+        elapsed = asyncio.get_running_loop().time() - start
+        suite = setup.finalize_monitors()
+    finally:
+        await setup.close()
+    digest, duplicates = resequence_digest(list(setup.delivered))
+    unique = len({payload_index(d) for d in setup.delivered
+                  if payload_index(d) is not None})
+    forward, reverse = setup.link.forward, setup.link.reverse
+    sender = getattr(setup.endpoint_a, "sender", None)
+    stats = {
+        "forward_frames_sent": forward.frames_sent,
+        "forward_frames_corrupted": forward.frames_corrupted,
+        "forward_frames_dropped": forward.frames_dropped,
+        "reverse_frames_sent": reverse.frames_sent,
+        "reverse_frames_corrupted": reverse.frames_corrupted,
+        "reverse_frames_dropped": reverse.frames_dropped,
+        "datagrams_received_b": setup.link.socket_b.datagrams_received,
+        "datagrams_received_a": setup.link.socket_a.datagrams_received,
+        "retransmissions": getattr(sender, "retransmissions", None),
+        "event_count": setup.sim.event_count,
+    }
+    return TransportResult(
+        scenario=scenario.name, protocol=protocol, seed=seed,
+        n_frames=n_frames, completed=completed,
+        delivered_unique=unique, duplicates=duplicates,
+        digest=digest, expected_digest=payload_digest(payloads),
+        elapsed=elapsed, monitors=suite, stats=stats,
+    )
+
+
+def run_transfer(
+    scenario: LinkScenario,
+    protocol: str = "lams",
+    seed: int = 0,
+    *,
+    n_frames: int = 48,
+    payload_bytes: int = 256,
+    timeout: float = 30.0,
+    overrides: Optional[dict] = None,
+    jitter: float = 0.0,
+    drop: Optional[float] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    run_with_invariants: bool = True,
+    tracer: Optional[Tracer] = None,
+    host: str = "127.0.0.1",
+) -> TransportResult:
+    """Run one complete loopback transfer (blocking facade).
+
+    Opens the session, offers *n_frames* payloads, waits (in real time,
+    capped by *timeout*) for in-order delivery plus sender-ledger
+    drain, finalizes the monitors, and tears everything down.
+    """
+    return asyncio.run(_run_transfer(
+        scenario, protocol, seed, n_frames, payload_bytes, timeout,
+        overrides=overrides, jitter=jitter, drop=drop,
+        fault_plan=fault_plan, run_with_invariants=run_with_invariants,
+        tracer=tracer, host=host,
+    ))
+
+
+# -- two-process endpoints (serve / transmit --connect) -------------------
+
+
+@dataclass
+class ServeReport:
+    """Outcome of one receive-side (``serve``) session."""
+
+    received_unique: int
+    duplicates: int
+    digest: str
+    datagrams_received: int
+    datagrams_undecodable: int
+    elapsed: float
+
+
+@dataclass
+class ClientReport:
+    """Outcome of one send-side (``transmit --connect``) session."""
+
+    offered: int
+    completed: bool
+    held_remaining: int
+    retransmissions: int
+    elapsed: float
+
+
+def _open_single_endpoint(
+    clock: AsyncioClock,
+    scenario: LinkScenario,
+    seed: int,
+    overrides: Optional[dict],
+    tracer: Tracer,
+    role: str,
+    **socket_kwargs: Any,
+):
+    """Coroutine factory shared by serve/client: one socket, one endpoint."""
+    from ..core.protocol import LamsDlcEndpoint
+
+    async def _open(deliver=None):
+        streams = StreamRegistry(seed=seed)
+        outgoing = "fwd" if role == "A" else "rev"
+        incoming = "rev" if role == "A" else "fwd"
+        sock = await UdpEndpointSocket.open(
+            clock,
+            outgoing_name=f"{scenario.name}.{outgoing}",
+            incoming_name=f"{scenario.name}.{incoming}",
+            bit_rate=scenario.bit_rate,
+            impairments=Impairments.from_scenario(scenario),
+            streams=streams, tracer=tracer, **socket_kwargs,
+        )
+        config = scenario.protocol_config("lams", **(overrides or {}))
+        endpoint = LamsDlcEndpoint(
+            clock, config, outgoing=sock.channel,
+            expected_rtt=scenario.round_trip_time,
+            name=f"{scenario.name}.{role}", tracer=tracer, deliver=deliver,
+            link_start_time=clock.now,
+        )
+        sock.attach(endpoint.on_frame)
+        return sock, endpoint
+
+    return _open
+
+
+async def _serve(
+    scenario: LinkScenario,
+    bind: tuple[str, int],
+    seed: int,
+    duration: float,
+    overrides: Optional[dict],
+    tracer: Optional[Tracer],
+) -> ServeReport:
+    # Pinned epoch: both processes of a two-process session sit on the
+    # machine-wide monotonic clock, so cross-endpoint timestamps
+    # (checkpoint issue_time vs expected_arrival) are comparable.
+    clock = AsyncioClock(epoch=0.0)
+    tracer = tracer or Tracer()
+    delivered: list[bytes] = []
+    opener = _open_single_endpoint(
+        clock, scenario, seed, overrides, tracer, role="B",
+        bind=bind, learn_peer=True,
+    )
+    sock, endpoint = await opener(deliver=delivered.append)
+    endpoint.start(send=False, receive=True)
+    clock.kick()
+    start = asyncio.get_running_loop().time()
+    try:
+        await asyncio.sleep(duration)
+        clock.kick()
+    finally:
+        endpoint.stop()
+        clock.kick()
+        sock.close()
+        clock.close()
+        await asyncio.sleep(0)
+    digest, duplicates = resequence_digest(delivered)
+    unique = len({payload_index(d) for d in delivered
+                  if payload_index(d) is not None})
+    return ServeReport(
+        received_unique=unique, duplicates=duplicates, digest=digest,
+        datagrams_received=sock.datagrams_received,
+        datagrams_undecodable=sock.datagrams_undecodable,
+        elapsed=asyncio.get_running_loop().time() - start,
+    )
+
+
+def run_serve(
+    scenario: LinkScenario,
+    *,
+    bind: tuple[str, int] = ("127.0.0.1", 47901),
+    seed: int = 0,
+    duration: float = 30.0,
+    overrides: Optional[dict] = None,
+    tracer: Optional[Tracer] = None,
+) -> ServeReport:
+    """Run the receive side of a two-process session for *duration*.
+
+    The peer address is learned from the first arriving datagram, so
+    the server needs no prior knowledge of the client.
+    """
+    return asyncio.run(_serve(scenario, bind, seed, duration, overrides, tracer))
+
+
+async def _client(
+    scenario: LinkScenario,
+    connect: tuple[str, int],
+    seed: int,
+    n_frames: int,
+    payload_bytes: int,
+    timeout: float,
+    overrides: Optional[dict],
+    tracer: Optional[Tracer],
+) -> ClientReport:
+    # Same pinned epoch as the serving process — see _serve.
+    clock = AsyncioClock(epoch=0.0)
+    tracer = tracer or Tracer()
+    opener = _open_single_endpoint(
+        clock, scenario, seed, overrides, tracer, role="A", peer=connect,
+    )
+    sock, endpoint = await opener()
+    endpoint.start(send=True, receive=False)
+    clock.kick()
+    start = asyncio.get_running_loop().time()
+    sender = endpoint.sender
+    offered = 0
+    deadline = start + timeout
+    completed = False
+    try:
+        for index in range(n_frames):
+            payload = make_payload(index, payload_bytes)
+            while asyncio.get_running_loop().time() < deadline:
+                clock.kick()
+                ok = endpoint.accept(payload)
+                clock.kick()
+                if ok:
+                    offered += 1
+                    break
+                await asyncio.sleep(_POLL)
+        # Complete when every copy is released by a checkpoint.
+        while asyncio.get_running_loop().time() < deadline:
+            clock.kick()
+            if offered == n_frames and not sender.held_payloads():
+                completed = True
+                break
+            await asyncio.sleep(_POLL)
+    finally:
+        endpoint.stop()
+        clock.kick()
+        sock.close()
+        clock.close()
+        await asyncio.sleep(0)
+    return ClientReport(
+        offered=offered, completed=completed,
+        held_remaining=len(sender.held_payloads()),
+        retransmissions=sender.retransmissions,
+        elapsed=asyncio.get_running_loop().time() - start,
+    )
+
+
+def run_client(
+    scenario: LinkScenario,
+    *,
+    connect: tuple[str, int],
+    seed: int = 0,
+    n_frames: int = 48,
+    payload_bytes: int = 256,
+    timeout: float = 30.0,
+    overrides: Optional[dict] = None,
+    tracer: Optional[Tracer] = None,
+) -> ClientReport:
+    """Run the send side of a two-process session against *connect*."""
+    return asyncio.run(_client(
+        scenario, connect, seed, n_frames, payload_bytes, timeout,
+        overrides, tracer,
+    ))

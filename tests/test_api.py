@@ -388,3 +388,88 @@ class TestSpecFacade:
             return delivered
 
         assert run_facade() == run_spec()
+
+
+class TestBackendRegistry:
+    def test_available_backends_lists_des_and_udp(self):
+        names = api.available_backends()
+        assert "des" in names
+        assert "udp" in names
+
+    def test_resolve_backend_lazy_loads_udp(self):
+        impl = api.resolve_backend("udp")
+        assert impl.name == "udp"
+        assert impl.families == frozenset({"lams"})
+        assert impl.build_simulation is not None
+
+    def test_resolve_backend_unknown(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            api.resolve_backend("carrier-pigeon")
+
+    def test_des_backend_carries_every_family(self):
+        impl = api.resolve_backend("des")
+        assert impl.families is None
+
+    def test_udp_backend_rejects_des_substrate(self):
+        scenario = preset("short_hop")
+        sim = Simulator()
+        link = scenario.build_link(sim, seed=0)
+        with pytest.raises(TypeError, match="AsyncioClock"):
+            api.make_endpoint_pair(
+                "lams", sim, link, scenario.lams_config(), backend="udp")
+
+    def test_udp_backend_rejects_foreign_families(self):
+        scenario = preset("short_hop")
+        sim = Simulator()
+        link = scenario.build_link(sim, seed=0)
+        with pytest.raises(ValueError, match="not available on backend"):
+            api.make_endpoint_pair(
+                "hdlc", sim, link, HdlcConfig(), backend="udp")
+
+    def test_make_endpoint_pair_unknown_backend(self):
+        scenario = preset("short_hop")
+        sim = Simulator()
+        link = scenario.build_link(sim, seed=0)
+        with pytest.raises(ValueError, match="unknown backend"):
+            api.make_endpoint_pair(
+                "lams", sim, link, scenario.lams_config(), backend="tcp")
+
+    def test_build_simulation_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            api.build_simulation(preset("short_hop"), backend="smoke-signals")
+
+
+class TestDeprecatedShims:
+    """The per-protocol pair factories warn but keep working."""
+
+    def test_lams_dlc_pair_warns(self):
+        scenario = preset("short_hop")
+        sim = Simulator()
+        link = scenario.build_link(sim, seed=0)
+        with pytest.warns(DeprecationWarning, match="lams_dlc_pair"):
+            a, b = lams_dlc_pair(sim, link, scenario.lams_config())
+        assert a is not None and b is not None
+
+    def test_hdlc_pair_warns(self):
+        scenario = preset("short_hop")
+        sim = Simulator()
+        link = scenario.build_link(sim, seed=0)
+        with pytest.warns(DeprecationWarning, match="hdlc_pair"):
+            hdlc_pair(sim, link, HdlcConfig())
+
+    def test_nbdt_pair_warns(self):
+        scenario = preset("short_hop")
+        sim = Simulator()
+        link = scenario.build_link(sim, seed=0)
+        with pytest.warns(DeprecationWarning, match="nbdt_pair"):
+            nbdt_pair(sim, link, NbdtConfig())
+
+    def test_facade_path_stays_silent(self):
+        import warnings as _warnings
+
+        scenario = preset("short_hop")
+        sim = Simulator()
+        link = scenario.build_link(sim, seed=0)
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", DeprecationWarning)
+            api.make_endpoint_pair("lams", sim, link, scenario.lams_config())

@@ -112,3 +112,77 @@ class TestTuneCommand:
     def test_tune_requires_link_parameters(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["tune"])
+
+
+class TestSharedParents:
+    """The shared parent parsers give every runner the same core flags."""
+
+    @pytest.mark.parametrize("command", [
+        "simulate", "sweep", "soak", "constellation", "transmit", "serve",
+    ])
+    def test_seed_flag_everywhere(self, command):
+        args = build_parser().parse_args([command, "--seed", "7"])
+        assert args.seed == 7
+
+    @pytest.mark.parametrize("command", ["sweep", "soak"])
+    def test_pool_flags(self, command):
+        args = build_parser().parse_args(
+            [command, "--jobs", "3", "--chunksize", "2"])
+        assert args.jobs == 3 and args.chunksize == 2
+
+    @pytest.mark.parametrize("command", [
+        "simulate", "sweep", "constellation", "transmit", "serve",
+    ])
+    def test_error_model_flag(self, command):
+        args = build_parser().parse_args(
+            [command, "--error-model", "gilbert-elliott"])
+        assert args.error_model == "gilbert-elliott"
+
+    @pytest.mark.parametrize("command", ["simulate", "sweep", "transmit"])
+    def test_fault_plan_flag(self, command):
+        args = build_parser().parse_args(
+            [command, "--fault-plan", "plan.json"])
+        assert args.fault_plan == "plan.json"
+
+    def test_sweep_master_seed_is_deprecated_alias(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.master_seed is None  # unset -> --seed wins
+        args = build_parser().parse_args(["sweep", "--master-seed", "9"])
+        assert args.master_seed == 9
+
+    def test_rejects_unknown_error_model(self, capsys):
+        assert main(["simulate", "--error-model", "psychic",
+                     "--duration", "0.1"]) == 2
+        assert "unknown error model" in capsys.readouterr().err
+
+    def test_rejects_bad_jobs(self, capsys):
+        assert main(["sweep", "--jobs", "0"]) == 2
+
+
+class TestTransportCommands:
+    def test_transmit_defaults(self):
+        args = build_parser().parse_args(["transmit"])
+        assert args.frames == 48
+        assert args.payload_bytes == 256
+        assert args.golden is None
+        assert args.connect is None
+        assert not args.conform
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.bind == "127.0.0.1:47901"
+        assert args.duration == 30.0
+
+    def test_transmit_rejects_conform_with_connect(self, capsys):
+        assert main(["transmit", "--conform", "--connect",
+                     "127.0.0.1:1"]) == 2
+
+    def test_transmit_rejects_nonpositive_frames(self, capsys):
+        assert main(["transmit", "--frames", "0"]) == 2
+
+    def test_transmit_loopback_clean(self, capsys):
+        assert main(["transmit", "--golden", "clean", "--frames", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "delivered 8/8" in out
+        assert "digest match" in out
+        assert "all invariants held" in out

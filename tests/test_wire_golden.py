@@ -1,0 +1,129 @@
+"""Golden-frame byte fixtures for the wire codec.
+
+The UDP transport backend makes the wire format an *interoperability*
+surface: two independently started processes must agree on every byte.
+These fixtures pin the exact encodings so an accidental format change
+(field width, ordering, CRC placement) fails loudly instead of silently
+breaking ``serve`` / ``transmit --connect`` across versions.
+
+The hex strings were produced by the codec itself at the time the
+format was frozen; they are the contract now, not the code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.frames import CheckpointFrame, IFrame, RequestNakFrame
+from repro.core.wire import (
+    WireFormatError,
+    decode_checkpoint,
+    decode_frame,
+    decode_iframe,
+    decode_request_nak,
+    encode_checkpoint,
+    encode_frame,
+    encode_iframe,
+    encode_request_nak,
+)
+from repro.transport.impair import corrupt_crc
+
+GOLDEN_IFRAME = bytes.fromhex(
+    "010000070000002a000000280006676f6c64656e1bc5c356"
+)
+GOLDEN_CHECKPOINT = bytes.fromhex(
+    "0205000000033ff40000000000000000002900020005000986f7"
+)
+GOLDEN_REQUEST_NAK = bytes.fromhex("0340040000000000000220")
+
+
+def golden_iframe() -> IFrame:
+    return IFrame(seq=7, payload=b"golden", size_bits=2128,
+                  transmit_index=42, origin=40)
+
+
+def golden_checkpoint() -> CheckpointFrame:
+    return CheckpointFrame(cp_index=3, issue_time=1.25, naks=(5, 9),
+                           frontier=41, enforced=True, stop_go=False,
+                           size_bits=128)
+
+
+class TestGoldenEncodings:
+    def test_iframe_bytes_are_stable(self):
+        data = encode_iframe(golden_iframe(), b"golden", origin=40)
+        assert data == GOLDEN_IFRAME
+
+    def test_checkpoint_bytes_are_stable(self):
+        assert encode_checkpoint(golden_checkpoint()) == GOLDEN_CHECKPOINT
+
+    def test_request_nak_bytes_are_stable(self):
+        frame = RequestNakFrame(request_time=2.5, size_bits=64)
+        assert encode_request_nak(frame) == GOLDEN_REQUEST_NAK
+
+    def test_encode_frame_dispatches_identically(self):
+        assert encode_frame(golden_iframe(), b"golden") == GOLDEN_IFRAME
+        assert encode_frame(golden_checkpoint()) == GOLDEN_CHECKPOINT
+
+
+class TestGoldenDecodings:
+    def test_iframe_fields(self):
+        frame, payload, origin = decode_iframe(GOLDEN_IFRAME)
+        assert frame.seq == 7
+        assert frame.transmit_index == 42
+        assert payload == b"golden"
+        assert origin == 40
+
+    def test_checkpoint_fields(self):
+        frame = decode_checkpoint(GOLDEN_CHECKPOINT)
+        assert frame.cp_index == 3
+        assert frame.issue_time == 1.25
+        assert frame.naks == (5, 9)
+        assert frame.frontier == 41
+        assert frame.enforced is True
+        assert frame.stop_go is False
+
+    def test_request_nak_fields(self):
+        frame = decode_request_nak(GOLDEN_REQUEST_NAK)
+        assert frame.request_time == 2.5
+
+    def test_decode_frame_dispatches(self):
+        frame = decode_frame(GOLDEN_CHECKPOINT)
+        assert isinstance(frame, CheckpointFrame)
+        frame = decode_frame(GOLDEN_REQUEST_NAK)
+        assert isinstance(frame, RequestNakFrame)
+
+
+class TestSalvageDecoding:
+    """verify=False: parse the header of a CRC-damaged frame.
+
+    The UDP receive path uses this to reproduce the DES semantics of
+    "corrupted frame with a readable header" — the frame reaches the
+    protocol with corrupted=True instead of vanishing.
+    """
+
+    def test_corrupt_crc_flips_only_the_trailer(self):
+        damaged = corrupt_crc(GOLDEN_CHECKPOINT)
+        assert damaged != GOLDEN_CHECKPOINT
+        assert damaged[:-1] == GOLDEN_CHECKPOINT[:-1]
+
+    def test_strict_decode_rejects_damaged_frame(self):
+        with pytest.raises(WireFormatError):
+            decode_frame(corrupt_crc(GOLDEN_CHECKPOINT))
+
+    def test_salvage_decode_recovers_header(self):
+        frame = decode_frame(corrupt_crc(GOLDEN_CHECKPOINT), verify=False)
+        assert isinstance(frame, CheckpointFrame)
+        assert frame.cp_index == 3
+        assert frame.naks == (5, 9)
+
+    def test_salvage_decode_recovers_iframe_payload_bytes(self):
+        frame, payload, origin = decode_iframe(
+            corrupt_crc(GOLDEN_IFRAME), verify=False)
+        assert frame.seq == 7
+        assert payload == b"golden"
+        assert origin == 40
+
+    def test_short_input_raises_cleanly(self):
+        for data in (b"", b"\x01", GOLDEN_IFRAME[:5]):
+            with pytest.raises(WireFormatError):
+                decode_frame(data)
