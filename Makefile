@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-smoke bench-sweep report examples sweep-smoke faults-smoke soak-smoke constellation-smoke transport-smoke clean
+.PHONY: install test bench bench-smoke bench-sweep report examples sweep-smoke faults-smoke soak-smoke constellation-smoke transport-smoke transport-soak-smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -77,6 +77,17 @@ transport-smoke:
 		--timeout 20
 	PYTHONPATH=src $(PYTHON) -m repro transmit --conform --frames 32 \
 		--timeout 20
+
+# Live chaos-soak on the UDP backend (docs/TRANSPORT.md "Resilience"):
+# seeded episodes run as supervised real-time loopback sessions with
+# transport-level fault injection (endpoint stalls, peer restarts,
+# handshake blackholes, send-error bursts); the supervisor must ride
+# every fault out via reconnect + backlog replay with zero invariant
+# violations, and fault-free episodes are cross-checked against the
+# DES reference digest.
+transport-soak-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro soak --backend udp --episodes 3 \
+		--seed 7 --fail-fast
 
 examples:
 	for script in examples/*.py; do \

@@ -8,8 +8,19 @@
   armed; ``python -m repro soak`` is the CLI surface.
 """
 
-from .episodes import EpisodeSpec, generate_episode, generate_episodes
-from .soak import ChaosPoint, SoakResult, run_episode, run_soak
+from .episodes import (
+    EpisodeSpec,
+    generate_episode,
+    generate_episodes,
+    generate_transport_episode,
+)
+from .soak import (
+    ChaosPoint,
+    SoakResult,
+    run_episode,
+    run_soak,
+    run_transport_episode,
+)
 
 __all__ = [
     "ChaosPoint",
@@ -17,6 +28,8 @@ __all__ = [
     "SoakResult",
     "generate_episode",
     "generate_episodes",
+    "generate_transport_episode",
     "run_episode",
     "run_soak",
+    "run_transport_episode",
 ]

@@ -20,18 +20,28 @@ from typing import Any, Optional
 
 import numpy as np
 
+from ..faults.metrics import declared_failure_bound
 from ..faults.plan import (
     BerStorm,
     ControlCorruption,
+    EndpointStall,
     Fault,
     FaultPlan,
     FeedbackBlackout,
+    HandshakeBlackhole,
     LinkOutage,
+    PeerRestart,
+    SendErrorBurst,
 )
 from ..simulator.rng import derive_seed
 from ..workloads.scenarios import PRESETS, LinkScenario
 
-__all__ = ["EpisodeSpec", "generate_episode", "generate_episodes"]
+__all__ = [
+    "EpisodeSpec",
+    "generate_episode",
+    "generate_episodes",
+    "generate_transport_episode",
+]
 
 # Presets the generator perturbs; every draw stays inside the paper's
 # Section 2.1 envelope (300 Mbps–1 Gbps, 2,000–10,000 km).
@@ -59,12 +69,16 @@ class EpisodeSpec:
     """Optional ``(name, params)`` error-model spec for the data
     channel, overriding the scenario's string field (used for models
     needing drawn parameters, like Gilbert–Elliott)."""
+    backend: str = "des"
+    """Which substrate runs the episode: ``"des"`` (virtual time) or
+    ``"udp"`` (supervised real-time loopback sessions)."""
 
     @property
     def label(self) -> str:
+        tag = "" if self.backend == "des" else f" backend={self.backend}"
         return (
             f"episode[{self.index}]@{self.scenario.name} "
-            f"faults={len(self.fault_plan)} seed={self.seed}"
+            f"faults={len(self.fault_plan)} seed={self.seed}{tag}"
         )
 
     @property
@@ -73,13 +87,16 @@ class EpisodeSpec:
 
     def reproducer(self) -> dict[str, Any]:
         """Everything needed to regenerate and re-run this episode."""
+        backend_flag = "" if self.backend == "des" else f" --backend {self.backend}"
         return {
             "master_seed": self.master_seed,
             "episode": self.index,
             "seed": self.seed,
             "scenario": self.scenario.name,
+            "backend": self.backend,
             "command": (
-                f"python -m repro soak --seed {self.master_seed} "
+                f"python -m repro soak --seed {self.master_seed}"
+                f"{backend_flag} "
                 f"--episodes {self.index + 1} --only {self.index}"
             ),
         }
@@ -199,8 +216,143 @@ def generate_episode(master_seed: int, index: int) -> EpisodeSpec:
     )
 
 
-def generate_episodes(master_seed: int, count: int) -> list[EpisodeSpec]:
-    """The first *count* episodes under *master_seed*."""
+# -- transport (UDP) episodes ------------------------------------------------
+
+# The UDP soak runs in real time, so its envelope is the golden-
+# conformance operating point (megabit-class link, millisecond frames)
+# rather than the paper's gigabit presets: each episode costs wall
+# seconds, and the violence comes from the fault plan, not the BER.
+_TRANSPORT_FAULT_MENU = (
+    "endpoint-stall",
+    "peer-restart",
+    "handshake-blackhole",
+    "send-error-burst",
+    "outage",
+    "ber-storm",
+)
+
+
+def _random_transport_faults(
+    rng: np.random.Generator, horizon: float, declared_bound: float,
+) -> list[Fault]:
+    """1–2 faults sized against the declared-failure budget.
+
+    Stall-class windows last several failure budgets, so the protocol
+    (or the supervisor's heartbeat) *must* declare and the session must
+    recover through a supervised reconnect — the regime this soak
+    exists to exercise.  *horizon* bounds the start draws: at megabit
+    rates the whole transfer lasts tens of milliseconds, so starts
+    stay inside that active window or the fault would fire into an
+    already-finished session.
+    """
+    faults: list[Fault] = []
+    for _ in range(int(rng.integers(1, 3))):
+        kind = str(rng.choice(_TRANSPORT_FAULT_MENU))
+        start = float(rng.uniform(0.01, horizon))
+        stall_duration = float(
+            rng.uniform(1.5 * declared_bound, 3.0 * declared_bound + 0.4)
+        )
+        if kind == "handshake-blackhole":
+            faults.append(HandshakeBlackhole(
+                start=float(rng.uniform(0.0, 0.02)), duration=stall_duration,
+            ))
+        elif kind == "endpoint-stall":
+            faults.append(EndpointStall(
+                start=start, duration=stall_duration,
+                endpoint=str(rng.choice(["a", "b"])),
+            ))
+        elif kind == "peer-restart":
+            # Restarts only bite while frames are still in flight, and
+            # the send phase is the first few tens of milliseconds —
+            # draw these earlier than the shared start.
+            faults.append(PeerRestart(
+                start=float(rng.uniform(0.005, horizon * 0.3)),
+                duration=stall_duration,
+            ))
+        elif kind == "send-error-burst":
+            faults.append(SendErrorBurst(
+                start=start,
+                duration=float(rng.uniform(0.1, 0.4)),
+                probability=float(rng.choice([0.5, 1.0])),
+                direction=str(rng.choice(["forward", "reverse"])),
+            ))
+        elif kind == "outage":
+            faults.append(LinkOutage(
+                start=start, duration=stall_duration,
+                direction=str(rng.choice(["forward", "reverse", "both"])),
+            ))
+        else:
+            faults.append(BerStorm(
+                start=start,
+                duration=float(rng.uniform(0.1, 0.3)),
+                model="bernoulli",
+                params=(("ber", float(rng.choice([1e-5, 1e-4]))),),
+                direction=str(rng.choice(["forward", "reverse"])),
+                targets=("iframe",),
+            ))
+    return faults
+
+
+def generate_transport_episode(master_seed: int, index: int) -> EpisodeSpec:
+    """The *index*-th randomized UDP-backend episode under *master_seed*.
+
+    Same purity contract as :func:`generate_episode`, drawn from a
+    distinct seed namespace (``"udp-episode[i]"``) so the two soak
+    planes never share an episode stream.  Roughly a quarter of the
+    episodes are fault-free: the soak runner cross-checks those against
+    the DES reference digest as a live conformance probe.
+    """
+    seed = derive_seed(master_seed, f"udp-episode[{index}]")
+    rng = np.random.Generator(np.random.PCG64(seed))
+
+    checkpoint_interval = float(rng.uniform(0.012, 0.03))
+    cumulation_depth = int(rng.integers(2, 5))
+    scenario = LinkScenario(
+        name=f"udp~chaos{index}",
+        bit_rate=2e6,
+        distance_km=float(rng.uniform(1000.0, 6000.0)),
+        iframe_ber=float(rng.choice([0.0, 1e-6, 4e-5])),
+        cframe_ber=0.0,
+        iframe_payload_bits=2048,
+        iframe_overhead_bits=80,
+        cframe_bits=96,
+        checkpoint_interval=checkpoint_interval,
+        cumulation_depth=cumulation_depth,
+        processing_time=10e-6,
+    )
+    config = scenario.protocol_config("lams")
+    declared = declared_failure_bound(config, scenario.round_trip_time)
+
+    n_frames = int(rng.integers(12, 33))
+    # Wall-clock watchdog: transfer + a couple of reconnect cycles +
+    # settle, with generous CI headroom.  An episode that needs more
+    # than this has hung, and the runner reports it as a violation.
+    max_time = float(6.0 + rng.uniform(0.0, 2.0))
+    faults: tuple[Fault, ...] = ()
+    if rng.random() >= 0.25:
+        faults = tuple(_random_transport_faults(rng, 0.15, declared))
+    return EpisodeSpec(
+        index=index,
+        seed=seed,
+        master_seed=master_seed,
+        scenario=scenario,
+        fault_plan=FaultPlan(faults=faults, name=f"udp-chaos[{index}]"),
+        overrides=(),
+        n_frames=n_frames,
+        max_time=max_time,
+        backend="udp",
+    )
+
+
+def generate_episodes(
+    master_seed: int, count: int, backend: str = "des",
+) -> list[EpisodeSpec]:
+    """The first *count* episodes under *master_seed* for *backend*."""
     if count < 1:
         raise ValueError("need at least one episode")
-    return [generate_episode(master_seed, index) for index in range(count)]
+    if backend == "des":
+        return [generate_episode(master_seed, index) for index in range(count)]
+    if backend == "udp":
+        return [generate_transport_episode(master_seed, index)
+                for index in range(count)]
+    raise ValueError(f"unknown soak backend {backend!r} (use 'des' or 'udp')")

@@ -30,7 +30,13 @@ from ..workloads.generators import FiniteBatch
 from ..workloads.scenarios import build_simulation
 from .episodes import EpisodeSpec, generate_episodes
 
-__all__ = ["ChaosPoint", "SoakResult", "run_episode", "run_soak"]
+__all__ = [
+    "ChaosPoint",
+    "SoakResult",
+    "run_episode",
+    "run_soak",
+    "run_transport_episode",
+]
 
 
 def run_episode(spec: EpisodeSpec) -> dict[str, Any]:
@@ -87,6 +93,121 @@ def run_episode(spec: EpisodeSpec) -> dict[str, Any]:
     }
 
 
+def _synthetic_violation(
+    invariant: str, message: str, spec: EpisodeSpec, **detail: Any,
+) -> dict[str, Any]:
+    """A violation-shaped entry for failures the monitors cannot see
+    (wall-clock hangs, cross-backend digest mismatches)."""
+    return {
+        "invariant": invariant,
+        "time": spec.max_time,
+        "message": message,
+        "detail": {k: repr(v) for k, v in detail.items()},
+        "trace_window": [],
+        "context": {k: repr(v) for k, v in spec.reproducer().items()},
+    }
+
+
+def run_transport_episode(spec: EpisodeSpec) -> dict[str, Any]:
+    """Run one chaos episode as a supervised real-time UDP session.
+
+    The episode's fault plan is injected at the transport layer
+    (:class:`~repro.transport.impair.TransportFaultInjector`), the
+    session runs under the full invariant suite plus the supervisor's
+    reconnect/replay lifecycle, and ``spec.max_time`` acts as the
+    per-episode watchdog — a session that hangs past it is reported as
+    a synthetic ``transport-watchdog`` violation.  Fault-free episodes
+    double as live conformance probes: their transfer is re-run on the
+    DES backend and the wire digests must agree.
+    """
+    from ..transport.conformance import run_des_reference
+    from ..transport.supervisor import SupervisorPolicy, run_supervised_transfer
+
+    config = spec.scenario.protocol_config("lams", **spec.overrides_dict)
+    # Tight reconnect pacing: soak episodes budget wall seconds, so cap
+    # the backoff well below the interactive default and allow enough
+    # attempts to ride out the longest generated stall.
+    policy = SupervisorPolicy.for_scenario(
+        spec.scenario, config=config, max_attempts=8, backoff_cap=0.4,
+    )
+    result = run_supervised_transfer(
+        spec.scenario, "lams", seed=spec.seed,
+        n_frames=spec.n_frames, payload_bytes=256,
+        timeout=spec.max_time, policy=policy,
+        overrides=spec.overrides_dict, fault_plan=spec.fault_plan,
+        run_with_invariants=True,
+    )
+    suite = result.monitors
+    if suite is not None:
+        suite.context.update(spec.reproducer())
+    violations = [v.as_dict() for v in result.violations]
+    if result.failure_reason == "watchdog":
+        violations.append(_synthetic_violation(
+            "transport-watchdog",
+            f"session hung past the {spec.max_time:.1f}s episode watchdog "
+            f"({result.delivered_unique}/{spec.n_frames} delivered, "
+            f"{result.attempts} attempt(s))",
+            spec, attempts=result.attempts, reconnects=result.reconnects,
+        ))
+    if result.completed and result.digest != result.expected_digest:
+        violations.append(_synthetic_violation(
+            "transport-digest",
+            "completed session delivered a payload set that does not "
+            "match the offered bytes",
+            spec, digest=result.digest, expected=result.expected_digest,
+        ))
+    conformance: dict[str, Any] | None = None
+    if not len(spec.fault_plan):
+        if not result.completed:
+            violations.append(_synthetic_violation(
+                "transport-completion",
+                f"fault-free episode failed to complete "
+                f"(reason={result.failure_reason!r})",
+                spec, failure_reason=result.failure_reason,
+            ))
+        reference = run_des_reference(
+            spec.scenario, "lams", seed=spec.seed,
+            n_frames=spec.n_frames, payload_bytes=256,
+            overrides=spec.overrides_dict,
+        )
+        conformance = {
+            "des_completed": reference.completed,
+            "des_digest": reference.digest,
+            "udp_digest": result.digest,
+            "match": reference.digest == result.digest,
+        }
+        if (reference.completed and result.completed
+                and reference.digest != result.digest):
+            violations.append(_synthetic_violation(
+                "des-conformance",
+                "fault-free UDP episode's wire digest disagrees with the "
+                "DES reference",
+                spec, des=reference.digest, udp=result.digest,
+            ))
+    return {
+        "episode": spec.index,
+        "seed": spec.seed,
+        "master_seed": spec.master_seed,
+        "backend": "udp",
+        "scenario": spec.scenario.name,
+        "fault_plan": spec.fault_plan.to_dict(),
+        "n_frames": spec.n_frames,
+        "completed": result.completed,
+        "failure_reason": result.failure_reason,
+        "attempts": result.attempts,
+        "reconnects": result.reconnects,
+        "delivered": result.delivered_unique,
+        "duplicates": result.duplicates,
+        "elapsed": result.elapsed,
+        "stats": result.stats,
+        "conformance": conformance,
+        "monitor_summary": suite.summary() if suite is not None else {},
+        "violations": violations,
+        "ok": not violations,
+        "reproducer": spec.reproducer(),
+    }
+
+
 @dataclass(frozen=True)
 class ChaosPoint:
     """One episode as a cacheable, picklable sweep work unit."""
@@ -98,22 +219,29 @@ class ChaosPoint:
         return self.spec.label
 
     def cache_key(self) -> dict[str, Any]:
+        kwargs = {
+            "fault_plan": self.spec.fault_plan.to_dict(),
+            "overrides": dict(self.spec.overrides),
+            "n_frames": self.spec.n_frames,
+            "max_time": self.spec.max_time,
+            "episode": self.spec.index,
+            "iframe_errors": repr(self.spec.iframe_errors),
+        }
+        # Only non-DES runs key on the backend, so historical DES soak
+        # cache entries stay valid.
+        if self.spec.backend != "des":
+            kwargs["backend"] = self.spec.backend
         return {
             "experiment_id": "chaos-soak",
             "scenario": dataclasses.asdict(self.spec.scenario),
-            "kwargs": {
-                "fault_plan": self.spec.fault_plan.to_dict(),
-                "overrides": dict(self.spec.overrides),
-                "n_frames": self.spec.n_frames,
-                "max_time": self.spec.max_time,
-                "episode": self.spec.index,
-                "iframe_errors": repr(self.spec.iframe_errors),
-            },
+            "kwargs": kwargs,
             "seed": self.spec.seed,
             "code_version": CODE_VERSION,
         }
 
     def execute(self) -> Any:
+        if self.spec.backend == "udp":
+            return _jsonable(run_transport_episode(self.spec))
         return _jsonable(run_episode(self.spec))
 
 
@@ -168,6 +296,7 @@ def run_soak(
     *,
     pool: Any = None,
     chunksize: int = 0,
+    backend: str = "des",
 ) -> SoakResult:
     """Run *episodes* randomized chaos episodes under full monitoring.
 
@@ -178,9 +307,12 @@ def run_soak(
     report dict as it completes.  *pool* shares a persistent
     :class:`~repro.experiments.parallel.SweepPool` with other sweeps in
     the same session (the soak rides the same warm workers); *chunksize*
-    is the sweep dispatch granularity (0 = adaptive).
+    is the sweep dispatch granularity (0 = adaptive).  *backend*
+    selects the soak plane: ``"des"`` episodes run in virtual time,
+    ``"udp"`` episodes as supervised real-time loopback sessions with
+    transport-level fault injection.
     """
-    specs = generate_episodes(master_seed, episodes)
+    specs = generate_episodes(master_seed, episodes, backend=backend)
     if only is not None:
         if not 0 <= only < len(specs):
             raise ValueError(

@@ -440,10 +440,18 @@ def _cmd_soak(args: argparse.Namespace) -> int:
 
     def progress(report: dict) -> None:
         status = "ok" if report["ok"] else "VIOLATION"
-        print(f"episode[{report['episode']:>3}] {report['scenario']:<28} "
-              f"faults={len(report['fault_plan'].get('faults', ()))} "
-              f"delivered={report['delivered']}/{report['offered']} "
-              f"failures={report['failures_declared']} {status}")
+        if report.get("backend") == "udp":
+            reason = report.get("failure_reason")
+            outcome = "completed" if report["completed"] else f"failed:{reason}"
+            print(f"episode[{report['episode']:>3}] {report['scenario']:<28} "
+                  f"faults={len(report['fault_plan'].get('faults', ()))} "
+                  f"delivered={report['delivered']}/{report['n_frames']} "
+                  f"reconnects={report['reconnects']} {outcome} {status}")
+        else:
+            print(f"episode[{report['episode']:>3}] {report['scenario']:<28} "
+                  f"faults={len(report['fault_plan'].get('faults', ()))} "
+                  f"delivered={report['delivered']}/{report['offered']} "
+                  f"failures={report['failures_declared']} {status}")
 
     jobs = resolve_jobs(args.jobs)
     pool = SweepPool(jobs) if jobs > 1 else None
@@ -451,7 +459,7 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         result = run_soak(
             episodes=args.episodes, master_seed=args.seed, jobs=jobs,
             fail_fast=args.fail_fast, only=args.only, progress=progress,
-            pool=pool, chunksize=args.chunksize,
+            pool=pool, chunksize=args.chunksize, backend=args.backend,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -599,12 +607,15 @@ def _cmd_transmit(args: argparse.Namespace) -> int:
         report = run_client(
             scenario, connect=peer, seed=args.seed, n_frames=args.frames,
             payload_bytes=args.payload_bytes, timeout=args.timeout,
+            install_signals=True,
         )
-        status = "complete" if report.completed else "INCOMPLETE"
+        status = "complete" if report.completed else f"INCOMPLETE:{report.reason}"
         print(f"transmit -> {peer[0]}:{peer[1]}: offered {report.offered} "
               f"frame(s), {report.retransmissions} retransmission(s), "
               f"{report.held_remaining} still held, "
               f"{report.elapsed:.2f}s [{status}]")
+        if report.reason == "interrupted":
+            return 130
         return 0 if report.completed else 1
 
     from .transport.session import run_transfer
@@ -614,14 +625,17 @@ def _cmd_transmit(args: argparse.Namespace) -> int:
         n_frames=args.frames, payload_bytes=args.payload_bytes,
         timeout=args.timeout, jitter=args.jitter, drop=args.drop,
         fault_plan=plan, run_with_invariants=not args.no_invariants,
+        install_signals=True,
     )
     digest = "match" if result.digest == result.expected_digest else "MISMATCH"
+    incomplete = ""
+    if not result.completed:
+        incomplete = f" [INCOMPLETE:{result.failure_reason}]"
     print(f"transport loopback: {result.scenario} (seed {result.seed}, "
           f"{result.n_frames} frames)")
     print(f"delivered {result.delivered_unique}/{result.n_frames} unique "
           f"({result.duplicates} duplicate(s)), digest {digest}, "
-          f"{result.elapsed:.2f}s"
-          f"{'' if result.completed else ' [INCOMPLETE]'}")
+          f"{result.elapsed:.2f}s{incomplete}")
     stats = result.stats
     print(f"forward: {stats['forward_frames_sent']} frame(s) sent, "
           f"{stats['forward_frames_corrupted']} corrupted, "
@@ -631,6 +645,8 @@ def _cmd_transmit(args: argparse.Namespace) -> int:
         print("invariants: monitors disabled (--no-invariants)")
     else:
         print(f"invariants: {result.monitors.report()}")
+    if result.failure_reason == "interrupted":
+        return 130
     return 0 if result.ok else 1
 
 
@@ -649,13 +665,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"for {args.duration:g}s ...")
     report = run_serve(
         scenario, bind=bind, seed=args.seed, duration=args.duration,
+        install_signals=True,
     )
     print(f"serve: {report.received_unique} unique payload(s) "
           f"({report.duplicates} duplicate(s)), "
           f"{report.datagrams_received} datagram(s) "
           f"({report.datagrams_undecodable} undecodable), "
-          f"digest {report.digest[:16]}..., {report.elapsed:.1f}s")
-    return 0
+          f"digest {report.digest[:16]}..., {report.elapsed:.1f}s "
+          f"[{report.reason}]")
+    return 130 if report.reason == "interrupted" else 0
 
 
 def _cmd_bench_baseline(args: argparse.Namespace) -> int:
@@ -874,6 +892,10 @@ def build_parser() -> argparse.ArgumentParser:
     soak_parser.add_argument("--only", type=int, default=None, metavar="INDEX",
                              help="run a single episode index (reproducing "
                                   "a violation report)")
+    soak_parser.add_argument("--backend", choices=("des", "udp"), default="des",
+                             help="episode substrate: 'des' (virtual time) or "
+                                  "'udp' (supervised real-time loopback "
+                                  "sessions with transport fault injection)")
     soak_parser.set_defaults(handler=_cmd_soak)
 
     constellation_parser = subparsers.add_parser(

@@ -413,6 +413,21 @@ class LamsReceiver:
         these count as held, not lost, at end of run)."""
         return list(self._receive_queue)
 
+    def flush(self) -> int:
+        """Deliver every queued payload upward immediately; returns count.
+
+        Checkpoint-acknowledged payloads sitting in the receive queue
+        have already been released by the sender's ledger, so a teardown
+        that discards this receiver without draining them loses them.
+        Graceful-teardown paths (session supervisor recycling an
+        endpoint generation) call this before dropping the receiver.
+        """
+        count = 0
+        while self._receive_queue:
+            self._drain_one()
+            count += 1
+        return count
+
     def __repr__(self) -> str:
         return (
             f"<LamsReceiver {self.name} cp={self.cp_index} "

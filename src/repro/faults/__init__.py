@@ -14,12 +14,17 @@ from .metrics import (
     detection_bound,
 )
 from .plan import (
+    TRANSPORT_FAULT_KINDS,
     BerStorm,
     ControlCorruption,
+    EndpointStall,
     Fault,
     FaultPlan,
     FeedbackBlackout,
+    HandshakeBlackhole,
     LinkOutage,
+    PeerRestart,
+    SendErrorBurst,
     fault_from_dict,
 )
 
@@ -27,13 +32,18 @@ __all__ = [
     "BerStorm",
     "ControlCorruption",
     "ControlCorruptingModel",
+    "EndpointStall",
     "Fault",
     "FaultInjector",
     "FaultPlan",
     "FeedbackBlackout",
+    "HandshakeBlackhole",
     "LinkOutage",
     "OutageRecord",
+    "PeerRestart",
     "RecoveryMetrics",
+    "SendErrorBurst",
+    "TRANSPORT_FAULT_KINDS",
     "declared_failure_bound",
     "detection_bound",
     "fault_from_dict",

@@ -66,6 +66,17 @@ class ControlCorruptingModel:
 class FaultInjector:
     """Drives one fault plan against one full-duplex link."""
 
+    #: Fault kinds this injector knows how to drive.  Transport-native
+    #: kinds (socket send errors, endpoint stalls, peer restarts,
+    #: handshake blackholes) need the UDP backend's
+    #: :class:`~repro.transport.impair.TransportFaultInjector`; a plan
+    #: containing one is rejected here rather than silently no-opped —
+    #: a skipped fault would corrupt the latency monitors' silence
+    #: timelines.
+    supported_kinds: frozenset = frozenset(
+        {"outage", "feedback-blackout", "ber-storm", "control-corruption"}
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -73,6 +84,14 @@ class FaultInjector:
         plan: FaultPlan,
         tracer: Optional[Tracer] = None,
     ) -> None:
+        for fault in plan:
+            if fault.kind not in self.supported_kinds:
+                raise ValueError(
+                    f"{type(self).__name__} cannot inject fault kind "
+                    f"{fault.kind!r} (supported: "
+                    f"{', '.join(sorted(self.supported_kinds))}); "
+                    f"transport-native faults need the UDP backend"
+                )
         self.sim = sim
         self.link = link
         self.plan = plan
@@ -85,9 +104,12 @@ class FaultInjector:
         # list of active fault layers applied over it.
         self._base_models: dict[tuple[str, str], ErrorModel] = {}
         self._layers: dict[tuple[str, str], list[tuple[int, str, Any]]] = {}
+        # Clamp to "now": on the real-time backend the clock has
+        # already crept past t=0 by construction time, so a fault
+        # starting at (or before) the session open fires immediately.
         for index, fault in enumerate(plan):
-            sim.schedule_at(fault.start, self._begin, index, fault)
-            sim.schedule_at(fault.end, self._finish, index, fault)
+            sim.schedule_at(max(fault.start, sim.now), self._begin, index, fault)
+            sim.schedule_at(max(fault.end, sim.now), self._finish, index, fault)
 
     # -- wiring -----------------------------------------------------------
 

@@ -33,13 +33,19 @@ from typing import Any, Iterator, Mapping, Optional, Sequence, Union
 __all__ = [
     "BerStorm",
     "ControlCorruption",
+    "EndpointStall",
     "FaultPlan",
     "FeedbackBlackout",
+    "HandshakeBlackhole",
     "LinkOutage",
+    "PeerRestart",
+    "SendErrorBurst",
+    "TRANSPORT_FAULT_KINDS",
     "fault_from_dict",
 ]
 
 _DIRECTIONS = ("forward", "reverse", "both")
+_ENDPOINTS = ("a", "b")
 
 
 def _check_window(start: float, duration: float) -> None:
@@ -53,6 +59,13 @@ def _check_direction(direction: str) -> None:
     if direction not in _DIRECTIONS:
         raise ValueError(
             f"direction must be one of {_DIRECTIONS}, got {direction!r}"
+        )
+
+
+def _check_endpoint(endpoint: str) -> None:
+    if endpoint not in _ENDPOINTS:
+        raise ValueError(
+            f"endpoint must be one of {_ENDPOINTS}, got {endpoint!r}"
         )
 
 
@@ -178,14 +191,145 @@ class ControlCorruption:
         return self.start + self.duration
 
 
-Fault = Union[LinkOutage, FeedbackBlackout, BerStorm, ControlCorruption]
+# -- transport-native faults (the live UDP backend's failure surface) -----
+#
+# The four kinds below act on sockets and endpoint processes rather than
+# on emulated channels, so only the transport-aware injector
+# (:class:`repro.transport.impair.TransportFaultInjector`) can schedule
+# them; the base DES :class:`~repro.faults.injector.FaultInjector`
+# rejects plans containing them.
+
+
+@dataclass(frozen=True)
+class SendErrorBurst:
+    """The OS send path fails for a window (``EAGAIN``/``ENOBUFS``-style).
+
+    Each datagram handed to ``sendto`` during the window is refused
+    with ``probability`` — counted as a send error and lost, exactly
+    like the transient kernel errors the socket layer absorbs.
+    ``direction`` picks whose sends fail: ``"forward"`` is endpoint A's
+    outgoing datagrams, ``"reverse"`` endpoint B's.
+    """
+
+    start: float
+    duration: float
+    probability: float = 1.0
+    direction: str = "forward"
+    kind: str = field(default="send-error-burst", init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.duration)
+        _check_direction(self.direction)
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in (0, 1], got {self.probability!r}"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class EndpointStall:
+    """One endpoint's process freezes for a window: nothing is sent,
+    arriving datagrams are discarded, then normal operation resumes
+    with protocol state intact (a GC pause / CPU-starved peer).
+    """
+
+    start: float
+    duration: float
+    endpoint: str = "b"
+    kind: str = field(default="endpoint-stall", init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.duration)
+        _check_endpoint(self.endpoint)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def direction(self) -> str:
+        """The traffic direction the stall silences (a stalled B stops
+        feedback; a stalled A stops data)."""
+        return "reverse" if self.endpoint == "b" else "forward"
+
+
+@dataclass(frozen=True)
+class PeerRestart:
+    """One endpoint dies and comes back with no protocol state.
+
+    During the window the peer is absent (like :class:`EndpointStall`);
+    at the window's end it returns *fresh*, so the session must be
+    re-established and the unacknowledged backlog replayed — the
+    supervised-reconnect scenario.  Without a supervisor a restart
+    degrades to a stall (the state loss goes unobserved).
+    """
+
+    start: float
+    duration: float
+    endpoint: str = "b"
+    kind: str = field(default="peer-restart", init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.duration)
+        _check_endpoint(self.endpoint)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def direction(self) -> str:
+        return "reverse" if self.endpoint == "b" else "forward"
+
+
+@dataclass(frozen=True)
+class HandshakeBlackhole:
+    """Every datagram in both directions is silently discarded at the
+    sockets for a window — the "server unreachable at connect time"
+    regime that forces handshake timeout + backoff in a supervisor.
+    """
+
+    start: float
+    duration: float
+    kind: str = field(default="handshake-blackhole", init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.duration)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def direction(self) -> str:
+        return "both"
+
+
+Fault = Union[
+    LinkOutage, FeedbackBlackout, BerStorm, ControlCorruption,
+    SendErrorBurst, EndpointStall, PeerRestart, HandshakeBlackhole,
+]
 
 _FAULT_KINDS: dict[str, type] = {
     "outage": LinkOutage,
     "feedback-blackout": FeedbackBlackout,
     "ber-storm": BerStorm,
     "control-corruption": ControlCorruption,
+    "send-error-burst": SendErrorBurst,
+    "endpoint-stall": EndpointStall,
+    "peer-restart": PeerRestart,
+    "handshake-blackhole": HandshakeBlackhole,
 }
+
+#: Kinds that act on sockets/processes instead of emulated channels.
+TRANSPORT_FAULT_KINDS = frozenset(
+    {"send-error-burst", "endpoint-stall", "peer-restart",
+     "handshake-blackhole"}
+)
 
 
 def fault_from_dict(data: Mapping[str, Any]) -> Fault:
@@ -236,6 +380,10 @@ class FaultPlan:
     def outages(self) -> list[Fault]:
         """The channel-cutting faults (outages and feedback blackouts)."""
         return [f for f in self.faults if f.kind in ("outage", "feedback-blackout")]
+
+    def transport_faults(self) -> list[Fault]:
+        """The socket/process-level faults (UDP-backend only)."""
+        return [f for f in self.faults if f.kind in TRANSPORT_FAULT_KINDS]
 
     # -- serialisation ----------------------------------------------------
 

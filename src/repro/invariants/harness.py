@@ -41,6 +41,13 @@ def _cuts_feedback(fault: Any) -> bool:
         return fault.direction in ("reverse", "both")
     if fault.kind == "control-corruption":
         return fault.probability >= 1.0 and fault.direction in ("reverse", "both")
+    # Transport-native kinds (UDP backend): a stalled/restarting peer
+    # sends nothing and a stalled A discards arrivals, so either
+    # endpoint silences the feedback path; a blackhole cuts both ways.
+    if fault.kind in ("endpoint-stall", "peer-restart", "handshake-blackhole"):
+        return True
+    if fault.kind == "send-error-burst":
+        return fault.probability >= 1.0 and fault.direction in ("reverse", "both")
     return False
 
 
@@ -52,6 +59,8 @@ def _threatens_feedback(fault: Any) -> bool:
         return fault.direction in ("reverse", "both")
     if fault.kind == "ber-storm":
         return "cframe" in fault.targets and fault.direction in ("reverse", "both")
+    if fault.kind == "send-error-burst":
+        return fault.direction in ("reverse", "both")
     return False
 
 

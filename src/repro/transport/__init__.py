@@ -43,15 +43,38 @@ from .conformance import (
     payload_index,
     run_conformance,
 )
-from .impair import Impairments, corrupt_crc
-from .session import TransportResult, TransportSetup, run_transfer
+from .impair import Impairments, TransportFaultInjector, corrupt_crc
+from .session import (
+    ClientReport,
+    Deadline,
+    ServeReport,
+    TransportResult,
+    TransportSetup,
+    install_signal_stop,
+    run_client,
+    run_serve,
+    run_transfer,
+)
+from .supervisor import (
+    DecorrelatedJitterBackoff,
+    SessionSupervisor,
+    SupervisorPolicy,
+    run_supervised_transfer,
+)
 from .udp import UdpChannel, UdpEndpointSocket, UdpLink, decode_datagram
 
 __all__ = [
     "AsyncioClock",
+    "ClientReport",
     "ConformanceReport",
+    "Deadline",
+    "DecorrelatedJitterBackoff",
     "GOLDEN_SCENARIOS",
     "Impairments",
+    "ServeReport",
+    "SessionSupervisor",
+    "SupervisorPolicy",
+    "TransportFaultInjector",
     "TransportResult",
     "TransportSetup",
     "UdpChannel",
@@ -60,9 +83,13 @@ __all__ = [
     "corrupt_crc",
     "decode_datagram",
     "golden_scenario",
+    "install_signal_stop",
     "make_payload",
     "payload_digest",
     "payload_index",
+    "run_client",
     "run_conformance",
+    "run_serve",
+    "run_supervised_transfer",
     "run_transfer",
 ]

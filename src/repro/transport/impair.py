@@ -30,10 +30,12 @@ DES run's (timing, of course, is not).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 import numpy as np
 
+from ..faults.injector import FaultInjector
+from ..faults.plan import TRANSPORT_FAULT_KINDS, Fault
 from ..simulator.errormodel import (
     ErrorModel,
     ErrorModelSpec,
@@ -41,7 +43,12 @@ from ..simulator.errormodel import (
     resolve_error_model,
 )
 
-__all__ = ["Impairments", "UniformLossModel", "corrupt_crc"]
+__all__ = [
+    "Impairments",
+    "TransportFaultInjector",
+    "UniformLossModel",
+    "corrupt_crc",
+]
 
 
 class UniformLossModel:
@@ -147,3 +154,120 @@ class Impairments:
         if self.drop is not None:
             drop = resolve_error_model(self.drop, bit_rate=bit_rate)
         return iframe, cframe, drop
+
+
+class TransportFaultInjector(FaultInjector):
+    """A :class:`~repro.faults.injector.FaultInjector` that also drives
+    the transport-native fault kinds against a
+    :class:`~repro.transport.udp.UdpLink`'s real sockets.
+
+    Classic channel faults (outages, blackouts, BER storms, control
+    corruption) delegate to the base injector unchanged — the
+    :class:`~repro.transport.udp.UdpChannel` duck-types
+    ``SimplexChannel`` — while the transport kinds act one layer lower:
+
+    - ``send-error-burst`` — forces the named socket's ``sendto`` to
+      fail with the fault's probability (drawn from the channel's own
+      seeded ``.senderr`` stream), the emulated twin of
+      ``EAGAIN``/``ENOBUFS`` bursts.
+    - ``endpoint-stall`` — freezes one endpoint's socket: nothing goes
+      out, arrivals are discarded, protocol timers keep running (the
+      external behaviour of a CPU-starved peer).
+    - ``peer-restart`` — a stall whose end additionally fires
+      :attr:`on_peer_restart`, letting a
+      :class:`~repro.transport.supervisor.SessionSupervisor` model the
+      peer returning with no protocol state.  Unsupervised sessions see
+      it as a plain stall.
+    - ``handshake-blackhole`` — blackholes both sockets (every datagram
+      in either direction is discarded), the unreachable-server regime.
+
+    Stalls and blackholes are depth-counted so overlapping windows nest;
+    concurrent send-error bursts on one socket apply the largest active
+    probability.
+    """
+
+    supported_kinds = FaultInjector.supported_kinds | TRANSPORT_FAULT_KINDS
+
+    def __init__(self, sim, link, plan, tracer=None) -> None:
+        self._stall_depth: dict[str, int] = {"a": 0, "b": 0}
+        self._blackhole_depth = 0
+        self._send_bursts: dict[str, list[float]] = {"a": [], "b": []}
+        self.on_peer_restart: Optional[Callable[[Fault], None]] = None
+        super().__init__(sim, link, plan, tracer=tracer)
+
+    # -- wiring -----------------------------------------------------------
+
+    def _sockets(self, letters: tuple[str, ...]) -> list[Any]:
+        lookup = {"a": self.link.socket_a, "b": self.link.socket_b}
+        return [lookup[letter] for letter in letters]
+
+    @staticmethod
+    def _burst_letters(direction: str) -> tuple[str, ...]:
+        # Forward traffic leaves socket A, reverse traffic socket B.
+        if direction == "forward":
+            return ("a",)
+        if direction == "reverse":
+            return ("b",)
+        return ("a", "b")
+
+    def _apply_burst_rates(self) -> None:
+        for letter, rates in self._send_bursts.items():
+            socket = self._sockets((letter,))[0]
+            socket.forced_send_error_rate = max(rates, default=0.0)
+
+    # -- fault lifecycle --------------------------------------------------
+
+    def _begin(self, index: int, fault: Fault) -> None:
+        kind = fault.kind
+        if kind not in TRANSPORT_FAULT_KINDS:
+            super()._begin(index, fault)
+            return
+        self.faults_started += 1
+        if kind == "send-error-burst":
+            for letter in self._burst_letters(fault.direction):
+                self._send_bursts[letter].append(fault.probability)
+            self._apply_burst_rates()
+        elif kind in ("endpoint-stall", "peer-restart"):
+            depth = self._stall_depth[fault.endpoint]
+            if depth == 0:
+                self._sockets((fault.endpoint,))[0].freeze()
+            self._stall_depth[fault.endpoint] = depth + 1
+        elif kind == "handshake-blackhole":
+            if self._blackhole_depth == 0:
+                for socket in self._sockets(("a", "b")):
+                    socket.blackholed = True
+            self._blackhole_depth += 1
+        self.tracer.emit(
+            self.sim.now, "faults", "fault_start",
+            index=index, kind=kind, direction=fault.direction,
+            duration=fault.duration,
+        )
+
+    def _finish(self, index: int, fault: Fault) -> None:
+        kind = fault.kind
+        if kind not in TRANSPORT_FAULT_KINDS:
+            super()._finish(index, fault)
+            return
+        self.faults_ended += 1
+        if kind == "send-error-burst":
+            for letter in self._burst_letters(fault.direction):
+                rates = self._send_bursts[letter]
+                if fault.probability in rates:
+                    rates.remove(fault.probability)
+            self._apply_burst_rates()
+        elif kind in ("endpoint-stall", "peer-restart"):
+            depth = self._stall_depth[fault.endpoint] - 1
+            self._stall_depth[fault.endpoint] = max(depth, 0)
+            if depth <= 0:
+                self._sockets((fault.endpoint,))[0].unfreeze()
+        elif kind == "handshake-blackhole":
+            self._blackhole_depth = max(self._blackhole_depth - 1, 0)
+            if self._blackhole_depth == 0:
+                for socket in self._sockets(("a", "b")):
+                    socket.blackholed = False
+        self.tracer.emit(
+            self.sim.now, "faults", "fault_end",
+            index=index, kind=kind, direction=fault.direction,
+        )
+        if kind == "peer-restart" and self.on_peer_restart is not None:
+            self.on_peer_restart(fault)

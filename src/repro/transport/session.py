@@ -22,8 +22,10 @@ checkpoint), so the monitor suite finalizes from a quiescent state.
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import signal
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from ..core.endpoint import build_endpoint_pair
 from ..faults.plan import FaultPlan
@@ -42,9 +44,11 @@ from .udp import UdpEndpointSocket, UdpLink
 
 __all__ = [
     "ClientReport",
+    "Deadline",
     "ServeReport",
     "TransportResult",
     "TransportSetup",
+    "install_signal_stop",
     "open_loopback",
     "run_client",
     "run_serve",
@@ -55,6 +59,70 @@ __all__ = [
 # settle loops).  Coarse enough to stay off the hot path, fine enough
 # that golden-scenario sessions finish promptly.
 _POLL = 0.005
+
+
+class Deadline:
+    """One monotonic wall-clock budget shared by every real-time wait.
+
+    Every loop that used to hand-roll ``loop.time() < deadline`` spins
+    (offer retries, completion waits, settle drains, supervisor
+    watchdogs) draws from a single :class:`Deadline`, so a session's
+    timeout is accounted uniformly no matter which phase consumes it.
+    """
+
+    __slots__ = ("_time", "_start", "_until")
+
+    def __init__(self, timeout: float,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self._time = clock if clock is not None else (
+            asyncio.get_running_loop().time
+        )
+        self._start = self._time()
+        self._until = self._start + max(0.0, timeout)
+
+    @property
+    def expired(self) -> bool:
+        return self._time() >= self._until
+
+    def remaining(self) -> float:
+        """Seconds left (never negative)."""
+        return max(0.0, self._until - self._time())
+
+    def elapsed(self) -> float:
+        return self._time() - self._start
+
+    def sub(self, budget: float) -> "Deadline":
+        """A child deadline of at most *budget* seconds, capped by this one."""
+        return Deadline(min(budget, self.remaining()), clock=self._time)
+
+    def __repr__(self) -> str:
+        return f"<Deadline remaining={self.remaining():.3f}s>"
+
+
+def install_signal_stop(stop: asyncio.Event) -> Callable[[], None]:
+    """Route SIGINT/SIGTERM into *stop*; returns an uninstall callback.
+
+    Lets live CLI sessions (``serve`` / ``transmit``) shut down
+    gracefully — close sockets, emit a partial reason-tagged report —
+    instead of dying with a traceback.  On loops/platforms without
+    ``add_signal_handler`` (Windows, nested loops) this is a no-op and
+    the uninstaller does nothing.
+    """
+    loop = asyncio.get_running_loop()
+    installed: list[int] = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError, ValueError):
+            continue
+        installed.append(signum)
+
+    def uninstall() -> None:
+        for signum in installed:
+            with contextlib.suppress(Exception):
+                loop.remove_signal_handler(signum)
+
+    return uninstall
 
 
 @dataclass
@@ -94,7 +162,14 @@ class TransportSetup:
 
 @dataclass
 class TransportResult:
-    """Outcome of one loopback transfer."""
+    """Outcome of one loopback transfer (plain or supervised).
+
+    ``failure_reason`` is ``None`` on success; a declared failure tags
+    why the session degraded (``"handshake-timeout"``, ``"peer-dead"``,
+    ``"protocol-failure"``, ``"watchdog"``, ``"interrupted"``).
+    ``attempts`` counts session establishments, ``reconnects`` the
+    supervised teardown-and-replay cycles that preceded the outcome.
+    """
 
     scenario: str
     protocol: str
@@ -108,6 +183,9 @@ class TransportResult:
     elapsed: float
     monitors: Optional[Any] = None
     stats: dict[str, Any] = field(default_factory=dict)
+    failure_reason: Optional[str] = None
+    attempts: int = 1
+    reconnects: int = 0
 
     @property
     def ok(self) -> bool:
@@ -169,11 +247,11 @@ async def open_loopback(
     endpoint_b.start(send=False, receive=True)
     injector = recovery = None
     if fault_plan is not None and len(fault_plan):
-        from ..faults.injector import FaultInjector
         from ..faults.metrics import RecoveryMetrics
+        from .impair import TransportFaultInjector
 
         recovery = RecoveryMetrics(tracer)
-        injector = FaultInjector(clock, link, fault_plan, tracer=tracer)
+        injector = TransportFaultInjector(clock, link, fault_plan, tracer=tracer)
     setup = TransportSetup(
         clock, link, endpoint_a, endpoint_b, delivered, tracer,
         fault_injector=injector, recovery=recovery,
@@ -197,12 +275,17 @@ def _settle_budget(config: Any, rtt: float) -> float:
     return 2.0 * resolving + rtt + 0.1
 
 
-async def _offer_all(setup: TransportSetup, payloads: list[bytes]) -> int:
+async def _offer_all(
+    setup: TransportSetup,
+    payloads: list[bytes],
+    deadline: Deadline,
+    stop: Optional[asyncio.Event] = None,
+) -> int:
     """Offer every payload, yielding while Stop-Go refuses; count accepted."""
     clock = setup.sim
     accepted = 0
     for payload in payloads:
-        while True:
+        while not deadline.expired and not (stop is not None and stop.is_set()):
             clock.kick()
             ok = setup.endpoint_a.accept(payload)
             clock.kick()
@@ -210,6 +293,8 @@ async def _offer_all(setup: TransportSetup, payloads: list[bytes]) -> int:
                 accepted += 1
                 break
             await asyncio.sleep(_POLL)
+        else:
+            break
     return accepted
 
 
@@ -217,9 +302,15 @@ async def _transfer(
     setup: TransportSetup,
     scenario: LinkScenario,
     payloads: list[bytes],
-    timeout: float,
-) -> bool:
-    """Drive one transfer on an open session; True when fully complete."""
+    deadline: Deadline,
+    stop: Optional[asyncio.Event] = None,
+) -> tuple[bool, Optional[str]]:
+    """Drive one transfer on an open session.
+
+    Returns ``(completed, failure_reason)`` — ``(True, None)`` when the
+    transfer fully completed, otherwise the reason the wait ended
+    (``"watchdog"`` for the deadline, ``"interrupted"`` for *stop*).
+    """
     clock = setup.sim
     n_frames = len(payloads)
     complete = asyncio.Event()
@@ -233,18 +324,21 @@ async def _transfer(
             complete.set()
 
     setup.delivered.on_append = on_delivery
-    deadline = asyncio.get_running_loop().time() + timeout
     try:
-        await asyncio.wait_for(
-            _offer_all(setup, payloads),
-            timeout=max(0.0, deadline - asyncio.get_running_loop().time()),
-        )
-        await asyncio.wait_for(
-            complete.wait(),
-            timeout=max(0.0, deadline - asyncio.get_running_loop().time()),
-        )
-    except asyncio.TimeoutError:
-        return False
+        accepted = await _offer_all(setup, payloads, deadline, stop)
+        waits = [asyncio.ensure_future(complete.wait())]
+        if stop is not None:
+            waits.append(asyncio.ensure_future(stop.wait()))
+        try:
+            await asyncio.wait(waits, timeout=deadline.remaining(),
+                               return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            for wait in waits:
+                wait.cancel()
+        if stop is not None and stop.is_set():
+            return False, "interrupted"
+        if accepted < n_frames or not complete.is_set():
+            return False, "watchdog"
     finally:
         setup.delivered.on_append = None
     # Quiesce: the checkpoints releasing the sender's last copies are
@@ -252,14 +346,13 @@ async def _transfer(
     sender = getattr(setup.endpoint_a, "sender", None)
     if sender is not None and hasattr(sender, "held_payloads"):
         budget = _settle_budget(sender.config, scenario.round_trip_time)
-        settle_deadline = min(deadline,
-                              asyncio.get_running_loop().time() + budget)
-        while asyncio.get_running_loop().time() < settle_deadline:
+        settle = deadline.sub(budget)
+        while not settle.expired:
             clock.kick()
             if not sender.held_payloads():
                 break
             await asyncio.sleep(_POLL)
-    return True
+    return True, None
 
 
 async def _run_transfer(
@@ -269,16 +362,22 @@ async def _run_transfer(
     n_frames: int,
     payload_bytes: int,
     timeout: float,
+    stop_event: Optional[asyncio.Event] = None,
+    install_signals: bool = False,
     **open_kwargs: Any,
 ) -> TransportResult:
     payloads = [make_payload(i, payload_bytes) for i in range(n_frames)]
+    stop = stop_event if stop_event is not None else asyncio.Event()
+    uninstall = install_signal_stop(stop) if install_signals else (lambda: None)
     setup = await open_loopback(scenario, protocol, seed, **open_kwargs)
-    start = asyncio.get_running_loop().time()
+    deadline = Deadline(timeout)
     try:
-        completed = await _transfer(setup, scenario, payloads, timeout)
-        elapsed = asyncio.get_running_loop().time() - start
+        completed, reason = await _transfer(setup, scenario, payloads,
+                                            deadline, stop)
+        elapsed = deadline.elapsed()
         suite = setup.finalize_monitors()
     finally:
+        uninstall()
         await setup.close()
     digest, duplicates = resequence_digest(list(setup.delivered))
     unique = len({payload_index(d) for d in setup.delivered
@@ -303,6 +402,7 @@ async def _run_transfer(
         delivered_unique=unique, duplicates=duplicates,
         digest=digest, expected_digest=payload_digest(payloads),
         elapsed=elapsed, monitors=suite, stats=stats,
+        failure_reason=reason,
     )
 
 
@@ -321,15 +421,19 @@ def run_transfer(
     run_with_invariants: bool = True,
     tracer: Optional[Tracer] = None,
     host: str = "127.0.0.1",
+    install_signals: bool = False,
 ) -> TransportResult:
     """Run one complete loopback transfer (blocking facade).
 
     Opens the session, offers *n_frames* payloads, waits (in real time,
     capped by *timeout*) for in-order delivery plus sender-ledger
-    drain, finalizes the monitors, and tears everything down.
+    drain, finalizes the monitors, and tears everything down.  With
+    *install_signals*, SIGINT/SIGTERM end the session gracefully and
+    the result carries ``failure_reason="interrupted"``.
     """
     return asyncio.run(_run_transfer(
         scenario, protocol, seed, n_frames, payload_bytes, timeout,
+        install_signals=install_signals,
         overrides=overrides, jitter=jitter, drop=drop,
         fault_plan=fault_plan, run_with_invariants=run_with_invariants,
         tracer=tracer, host=host,
@@ -341,7 +445,12 @@ def run_transfer(
 
 @dataclass
 class ServeReport:
-    """Outcome of one receive-side (``serve``) session."""
+    """Outcome of one receive-side (``serve``) session.
+
+    ``reason`` tags how the session ended: ``"completed"`` (the
+    configured duration elapsed) or ``"interrupted"`` (SIGINT/SIGTERM
+    — still a full report over whatever was received).
+    """
 
     received_unique: int
     duplicates: int
@@ -349,17 +458,23 @@ class ServeReport:
     datagrams_received: int
     datagrams_undecodable: int
     elapsed: float
+    reason: str = "completed"
 
 
 @dataclass
 class ClientReport:
-    """Outcome of one send-side (``transmit --connect``) session."""
+    """Outcome of one send-side (``transmit --connect``) session.
+
+    ``reason`` is ``"completed"``, ``"watchdog"`` (timeout with work
+    outstanding), or ``"interrupted"`` (signal-driven early exit).
+    """
 
     offered: int
     completed: bool
     held_remaining: int
     retransmissions: int
     elapsed: float
+    reason: str = "completed"
 
 
 def _open_single_endpoint(
@@ -406,6 +521,8 @@ async def _serve(
     duration: float,
     overrides: Optional[dict],
     tracer: Optional[Tracer],
+    stop_event: Optional[asyncio.Event] = None,
+    install_signals: bool = False,
 ) -> ServeReport:
     # Pinned epoch: both processes of a two-process session sit on the
     # machine-wide monotonic clock, so cross-endpoint timestamps
@@ -413,6 +530,8 @@ async def _serve(
     clock = AsyncioClock(epoch=0.0)
     tracer = tracer or Tracer()
     delivered: list[bytes] = []
+    stop = stop_event if stop_event is not None else asyncio.Event()
+    uninstall = install_signal_stop(stop) if install_signals else (lambda: None)
     opener = _open_single_endpoint(
         clock, scenario, seed, overrides, tracer, role="B",
         bind=bind, learn_peer=True,
@@ -420,11 +539,13 @@ async def _serve(
     sock, endpoint = await opener(deliver=delivered.append)
     endpoint.start(send=False, receive=True)
     clock.kick()
-    start = asyncio.get_running_loop().time()
+    deadline = Deadline(duration)
     try:
-        await asyncio.sleep(duration)
+        with contextlib.suppress(asyncio.TimeoutError):
+            await asyncio.wait_for(stop.wait(), timeout=deadline.remaining())
         clock.kick()
     finally:
+        uninstall()
         endpoint.stop()
         clock.kick()
         sock.close()
@@ -437,7 +558,8 @@ async def _serve(
         received_unique=unique, duplicates=duplicates, digest=digest,
         datagrams_received=sock.datagrams_received,
         datagrams_undecodable=sock.datagrams_undecodable,
-        elapsed=asyncio.get_running_loop().time() - start,
+        elapsed=deadline.elapsed(),
+        reason="interrupted" if stop.is_set() else "completed",
     )
 
 
@@ -449,13 +571,19 @@ def run_serve(
     duration: float = 30.0,
     overrides: Optional[dict] = None,
     tracer: Optional[Tracer] = None,
+    stop_event: Optional[asyncio.Event] = None,
+    install_signals: bool = False,
 ) -> ServeReport:
     """Run the receive side of a two-process session for *duration*.
 
     The peer address is learned from the first arriving datagram, so
-    the server needs no prior knowledge of the client.
+    the server needs no prior knowledge of the client.  *stop_event*
+    (or SIGINT/SIGTERM with *install_signals*) ends the session early
+    with a partial report tagged ``reason="interrupted"``.
     """
-    return asyncio.run(_serve(scenario, bind, seed, duration, overrides, tracer))
+    return asyncio.run(_serve(scenario, bind, seed, duration, overrides,
+                              tracer, stop_event=stop_event,
+                              install_signals=install_signals))
 
 
 async def _client(
@@ -467,25 +595,28 @@ async def _client(
     timeout: float,
     overrides: Optional[dict],
     tracer: Optional[Tracer],
+    stop_event: Optional[asyncio.Event] = None,
+    install_signals: bool = False,
 ) -> ClientReport:
     # Same pinned epoch as the serving process — see _serve.
     clock = AsyncioClock(epoch=0.0)
     tracer = tracer or Tracer()
+    stop = stop_event if stop_event is not None else asyncio.Event()
+    uninstall = install_signal_stop(stop) if install_signals else (lambda: None)
     opener = _open_single_endpoint(
         clock, scenario, seed, overrides, tracer, role="A", peer=connect,
     )
     sock, endpoint = await opener()
     endpoint.start(send=True, receive=False)
     clock.kick()
-    start = asyncio.get_running_loop().time()
     sender = endpoint.sender
     offered = 0
-    deadline = start + timeout
+    deadline = Deadline(timeout)
     completed = False
     try:
         for index in range(n_frames):
             payload = make_payload(index, payload_bytes)
-            while asyncio.get_running_loop().time() < deadline:
+            while not deadline.expired and not stop.is_set():
                 clock.kick()
                 ok = endpoint.accept(payload)
                 clock.kick()
@@ -494,23 +625,31 @@ async def _client(
                     break
                 await asyncio.sleep(_POLL)
         # Complete when every copy is released by a checkpoint.
-        while asyncio.get_running_loop().time() < deadline:
+        while not deadline.expired and not stop.is_set():
             clock.kick()
             if offered == n_frames and not sender.held_payloads():
                 completed = True
                 break
             await asyncio.sleep(_POLL)
     finally:
+        uninstall()
         endpoint.stop()
         clock.kick()
         sock.close()
         clock.close()
         await asyncio.sleep(0)
+    if completed:
+        reason = "completed"
+    elif stop.is_set():
+        reason = "interrupted"
+    else:
+        reason = "watchdog"
     return ClientReport(
         offered=offered, completed=completed,
         held_remaining=len(sender.held_payloads()),
         retransmissions=sender.retransmissions,
-        elapsed=asyncio.get_running_loop().time() - start,
+        elapsed=deadline.elapsed(),
+        reason=reason,
     )
 
 
@@ -524,9 +663,16 @@ def run_client(
     timeout: float = 30.0,
     overrides: Optional[dict] = None,
     tracer: Optional[Tracer] = None,
+    stop_event: Optional[asyncio.Event] = None,
+    install_signals: bool = False,
 ) -> ClientReport:
-    """Run the send side of a two-process session against *connect*."""
+    """Run the send side of a two-process session against *connect*.
+
+    *stop_event* / *install_signals* end the session early with a
+    partial report tagged ``reason="interrupted"``.
+    """
     return asyncio.run(_client(
         scenario, connect, seed, n_frames, payload_bytes, timeout,
-        overrides, tracer,
+        overrides, tracer, stop_event=stop_event,
+        install_signals=install_signals,
     ))

@@ -307,6 +307,18 @@ class UdpEndpointSocket:
         self.datagrams_unaddressed = 0
         self.bytes_received = 0
         self.socket_errors = 0
+        # Fault surfaces driven by the TransportFaultInjector: a frozen
+        # socket emulates a stalled/absent peer process (nothing out,
+        # arrivals discarded), a blackholed one a dead network path;
+        # forced_send_error_rate emulates kernel send-path failures.
+        self.frozen = False
+        self.blackholed = False
+        self.forced_send_error_rate = 0.0
+        self.send_errors = 0
+        self.forced_send_errors = 0
+        self.datagrams_stalled = 0
+        self.datagrams_blackholed = 0
+        self._fault_rng = None
 
     @classmethod
     async def open(
@@ -350,14 +362,58 @@ class UdpEndpointSocket:
         """Set the ``(frame, corrupted)`` callback for arriving frames."""
         self.handler = handler
 
+    def freeze(self) -> None:
+        """Emulate a stalled peer process: drop traffic in both directions."""
+        self.frozen = True
+
+    def unfreeze(self) -> None:
+        self.frozen = False
+
     def sendto(self, data: bytes) -> None:
         """Ship one already-impaired datagram to the peer."""
         if self._transport is None or self.peer_addr is None:
             self.datagrams_unaddressed += 1
             return
-        self._transport.sendto(data, self.peer_addr)
+        if self.frozen:
+            self.datagrams_stalled += 1
+            return
+        if self.blackholed:
+            self.datagrams_blackholed += 1
+            return
+        rate = self.forced_send_error_rate
+        if rate:
+            rng = self._fault_rng
+            if rng is None:
+                rng = self._fault_rng = self.channel.streams.get(
+                    f"{self.channel.name}.senderr"
+                )
+            if rng.random() < rate:
+                self.send_errors += 1
+                self.forced_send_errors += 1
+                if self.tracer.active:
+                    self.tracer.emit(self.clock.now, self.channel.name,
+                                     "udp_send_error", forced=True)
+                return
+        try:
+            self._transport.sendto(data, self.peer_addr)
+        except OSError as error:
+            # Transient kernel send-path failures (EAGAIN, ENOBUFS,
+            # ECONNREFUSED on a connected socket, ...): UDP promises no
+            # delivery anyway, so the datagram is accounted as lost and
+            # the pump keeps running.
+            self.send_errors += 1
+            if self.tracer.active:
+                self.tracer.emit(self.clock.now, self.channel.name,
+                                 "udp_send_error", forced=False,
+                                 errno=getattr(error, "errno", None))
 
     def _on_datagram(self, data: bytes, addr: Any) -> None:
+        if self.frozen:
+            self.datagrams_stalled += 1
+            return
+        if self.blackholed:
+            self.datagrams_blackholed += 1
+            return
         self.datagrams_received += 1
         self.bytes_received += len(data)
         if self.peer_addr is None and self.learn_peer:

@@ -11,6 +11,7 @@ from repro.chaos import (
     run_episode,
     run_soak,
 )
+from repro.chaos import generate_transport_episode, run_transport_episode
 from repro.cli import main
 
 
@@ -115,6 +116,58 @@ class TestRunSoak:
         seen = []
         run_soak(episodes=3, master_seed=3, progress=seen.append)
         assert [r["episode"] for r in seen] == [0, 1, 2]
+
+
+class TestTransportEpisodes:
+    def test_regeneration_is_exact(self):
+        assert generate_transport_episode(5, 3) == generate_transport_episode(5, 3)
+
+    def test_distinct_seed_namespace_from_des_episodes(self):
+        udp, des = generate_transport_episode(5, 0), generate_episode(5, 0)
+        assert udp.seed != des.seed
+        assert udp.backend == "udp" and des.backend == "des"
+
+    def test_reproducer_names_the_udp_backend(self):
+        spec = generate_transport_episode(7, 2)
+        reproducer = spec.reproducer()
+        assert reproducer["backend"] == "udp"
+        assert "--backend udp" in reproducer["command"]
+        assert "--only 2" in reproducer["command"]
+        assert "backend=udp" in spec.label
+
+    def test_generate_episodes_dispatches_on_backend(self):
+        specs = generate_episodes(7, 3, backend="udp")
+        assert [s.backend for s in specs] == ["udp"] * 3
+        assert specs == [generate_transport_episode(7, i) for i in range(3)]
+        with pytest.raises(ValueError, match="backend"):
+            generate_episodes(7, 3, backend="tcp")
+
+    def test_fault_plans_use_transport_vocabulary(self):
+        kinds = set()
+        for i in range(12):
+            spec = generate_transport_episode(9, i)
+            for fault in spec.fault_plan:
+                kinds.add(fault.kind)
+                assert 0.0 <= fault.start < spec.max_time
+        # The generated stream must actually draw supervisor-class faults.
+        assert kinds & {"endpoint-stall", "peer-restart",
+                        "handshake-blackhole", "send-error-burst"}
+
+    def test_run_transport_episode_report_shape(self):
+        # Find a small fault-free episode: those also exercise the DES
+        # conformance cross-check without riding out stall windows.
+        spec = next(
+            s for i in range(64)
+            for s in [generate_transport_episode(7, i)]
+            if not len(s.fault_plan) and s.n_frames <= 24
+        )
+        report = run_transport_episode(spec)
+        assert report["ok"] is True, report["violations"]
+        assert report["backend"] == "udp"
+        assert report["completed"] is True
+        assert report["delivered"] == spec.n_frames
+        assert report["conformance"]["match"] is True
+        assert report["reproducer"]["backend"] == "udp"
 
 
 class TestSoakCli:

@@ -114,6 +114,19 @@ class TestTuneCommand:
             build_parser().parse_args(["tune"])
 
 
+class TestSoakBackendFlag:
+    def test_backend_defaults_to_des(self):
+        assert build_parser().parse_args(["soak"]).backend == "des"
+
+    def test_backend_udp_accepted(self):
+        args = build_parser().parse_args(["soak", "--backend", "udp"])
+        assert args.backend == "udp"
+
+    def test_backend_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["soak", "--backend", "tcp"])
+
+
 class TestSharedParents:
     """The shared parent parsers give every runner the same core flags."""
 

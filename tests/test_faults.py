@@ -16,13 +16,18 @@ import pytest
 from repro.experiments.registry import e21_fault_matrix, run_experiment
 from repro.experiments.runner import measure_fault_plan
 from repro.faults import (
+    TRANSPORT_FAULT_KINDS,
     BerStorm,
     ControlCorruption,
+    EndpointStall,
     FaultInjector,
     FaultPlan,
     FeedbackBlackout,
+    HandshakeBlackhole,
     LinkOutage,
+    PeerRestart,
     RecoveryMetrics,
+    SendErrorBurst,
     declared_failure_bound,
     detection_bound,
     fault_from_dict,
@@ -104,6 +109,62 @@ class TestFaultPlan:
         b = BerStorm(start=0.0, duration=1.0, params=(("ber", 1e-4),))
         assert a == b
         assert a.model_kwargs == {"ber": 1e-4}
+
+
+TRANSPORT_PLAN = FaultPlan(
+    faults=(
+        SendErrorBurst(start=0.05, duration=0.1, probability=0.5,
+                       direction="reverse"),
+        EndpointStall(start=0.2, duration=0.3, endpoint="a"),
+        PeerRestart(start=0.6, duration=0.2),
+        HandshakeBlackhole(start=0.0, duration=0.4),
+    ),
+    name="transport",
+)
+
+
+class TestTransportFaultKinds:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="probability"):
+            SendErrorBurst(start=0.0, duration=1.0, probability=0.0)
+        with pytest.raises(ValueError, match="direction"):
+            SendErrorBurst(start=0.0, duration=1.0, direction="sideways")
+        with pytest.raises(ValueError, match="endpoint"):
+            EndpointStall(start=0.0, duration=1.0, endpoint="c")
+        with pytest.raises(ValueError, match="endpoint"):
+            PeerRestart(start=0.0, duration=1.0, endpoint="ab")
+        with pytest.raises(ValueError, match="positive"):
+            HandshakeBlackhole(start=0.0, duration=0.0)
+
+    def test_direction_derived_from_endpoint(self):
+        assert EndpointStall(start=0.0, duration=1.0, endpoint="b").direction == "reverse"
+        assert EndpointStall(start=0.0, duration=1.0, endpoint="a").direction == "forward"
+        assert PeerRestart(start=0.0, duration=1.0).direction == "reverse"
+        assert HandshakeBlackhole(start=0.0, duration=1.0).direction == "both"
+
+    def test_json_round_trip_all_transport_kinds(self):
+        rebuilt = FaultPlan.from_json(TRANSPORT_PLAN.to_json())
+        assert rebuilt == TRANSPORT_PLAN
+        assert {f.kind for f in rebuilt} == TRANSPORT_FAULT_KINDS
+        assert rebuilt.transport_faults() == list(rebuilt.faults)
+        assert FULL_PLAN.transport_faults() == []
+
+    def test_from_dict_rejects_malformed(self):
+        with pytest.raises(ValueError, match="unknown field"):
+            fault_from_dict({"kind": "peer-restart", "start": 0.0,
+                             "duration": 1.0, "pid": 42})
+        with pytest.raises(ValueError, match="unknown field"):
+            fault_from_dict({"kind": "handshake-blackhole", "start": 0.0,
+                             "duration": 1.0, "endpoint": "b"})
+        with pytest.raises(TypeError):
+            fault_from_dict({"kind": "endpoint-stall", "endpoint": "a"})
+
+    def test_des_injector_rejects_transport_kinds(self):
+        sim = Simulator()
+        link = make_link(sim)
+        for fault in TRANSPORT_PLAN:
+            with pytest.raises(ValueError, match="transport-native"):
+                FaultInjector(sim, link, FaultPlan(faults=(fault,)))
 
 
 class TestFaultInjector:
