@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-smoke bench-sweep report examples sweep-smoke faults-smoke soak-smoke constellation-smoke transport-smoke transport-soak-smoke clean
+.PHONY: install test bench bench-smoke bench-sweep report examples sweep-smoke faults-smoke soak-smoke constellation-smoke transport-smoke transport-soak-smoke channels-smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -89,6 +89,25 @@ transport-soak-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro soak --backend udp --episodes 3 \
 		--seed 7 --fail-fast
 
+# Time-varying channel smoke (docs/CHANNELS.md): synthesize a
+# Gilbert–Elliott error trace, replay it, and verify the
+# delivered-payload digest reproduces bit-identically; then a
+# two-point E25 cell asserting throughput degrades when only the
+# feedback (checkpoint/NAK) direction loses frames.
+channels-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro trace-synth --preset noisy \
+		--model gilbert-elliott \
+		--params '{"good_ber": 1e-7, "bad_ber": 1e-4, "mean_good": 0.02, "mean_bad": 0.004}' \
+		--frames 150 --seed 3 --output .channels-smoke-trace.jsonl --verify
+	PYTHONPATH=src $(PYTHON) -c "\
+	from repro.experiments import run_experiment; \
+	result = run_experiment('E25', duration=0.5, \
+		feedback_bers=(0.0, 5e-3), depths=(2,)); \
+	clean, lossy = result.rows; \
+	assert lossy['efficiency'] < clean['efficiency'], result.rows; \
+	print('E25 ok: efficiency %.3f -> %.3f under feedback loss' \
+		% (clean['efficiency'], lossy['efficiency']))"
+
 examples:
 	for script in examples/*.py; do \
 		echo "=== $$script ==="; \
@@ -97,4 +116,5 @@ examples:
 
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache .sweep-cache
+	rm -f .channels-smoke-trace.jsonl
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

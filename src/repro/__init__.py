@@ -29,6 +29,6 @@ Quickstart::
     assert len(setup.delivered) == 1000
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

@@ -48,9 +48,16 @@ __all__ = [
 _PRESET_NAMES = ("short_hop", "nominal", "long_haul", "noisy")
 
 # Error-model choices for the data channel: the default (Bernoulli at
-# the scenario BER), an explicit Bernoulli, or a Gilbert–Elliott burst
-# process (whose parameters the generator draws).
-_IFRAME_MODELS = ("default", "bernoulli", "gilbert-elliott")
+# the scenario BER), an explicit Bernoulli, a Gilbert–Elliott burst
+# process, a BER-timeline trace replay, or an orbit-coupled channel
+# (parameters for the last three drawn by the generator).
+_IFRAME_MODELS = (
+    "default",
+    "bernoulli",
+    "gilbert-elliott",
+    "trace-replay",
+    "orbit-coupled",
+)
 
 
 @dataclass(frozen=True)
@@ -174,6 +181,40 @@ def generate_episode(master_seed: int, index: int) -> EpisodeSpec:
                 ("bad_ber", float(rng.choice([1e-4, 1e-3]))),
                 ("mean_good", float(rng.uniform(0.05, 0.2))),
                 ("mean_bad", float(rng.uniform(0.001, 0.01))),
+            ),
+        )
+    elif model_choice == "trace-replay":
+        # An inline piecewise-constant BER timeline: 3–6 breakpoints
+        # over a horizon generously covering any drawn max_time, BERs
+        # inside the monitors' error budget.  The records ride the spec
+        # as nested tuples, keeping it frozen/picklable/repr-stable.
+        breakpoints = sorted(
+            float(rng.uniform(0.0, 3.0)) for _ in range(int(rng.integers(2, 6)))
+        )
+        levels = [0.0] + [
+            float(iframe_ber * rng.choice([0.5, 2.0, 10.0]))
+            for _ in breakpoints
+        ]
+        records = tuple(
+            (t, min(ber, 1e-4))
+            for t, ber in zip([0.0] + breakpoints, levels)
+        )
+        iframe_errors = (
+            "trace-replay",
+            (("records", records), ("mode", "ber")),
+        )
+    elif model_choice == "orbit-coupled":
+        iframe_errors = (
+            "orbit-coupled",
+            (
+                ("ber", iframe_ber),
+                ("altitude_km", float(rng.uniform(600.0, 1400.0))),
+                ("inclination_deg", float(rng.uniform(40.0, 80.0))),
+                ("raan_separation_deg", float(rng.uniform(10.0, 60.0))),
+                ("phase_separation_deg", float(rng.uniform(0.0, 30.0))),
+                ("distance_exponent", float(rng.choice([1.0, 2.0]))),
+                ("mispointing_gain", float(rng.uniform(0.0, 1.0))),
+                ("max_ber", 1e-4),
             ),
         )
     scenario = base.with_(

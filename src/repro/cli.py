@@ -21,6 +21,11 @@ The commands cover the library's everyday uses:
   (``serve`` + ``transmit --connect HOST:PORT``).  See
   ``docs/TRANSPORT.md``.
 - ``orbit`` — LEO pair geometry: visibility windows and RTT statistics.
+- ``trace-synth`` — record a replayable error trace from any registered
+  model driving a batch transfer (``--verify`` replays it and checks
+  the delivered-payload digest bit-identically); see docs/CHANNELS.md.
+- ``channels`` — list or describe the registered error models
+  (``--model NAME --timeline`` prints a time-varying model's BER).
 - ``report`` — regenerate the full evaluation as one document.
 
 Every command accepts ``--preset`` (short_hop / nominal / long_haul /
@@ -778,6 +783,124 @@ def _cmd_orbit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_synth(args: argparse.Namespace) -> int:
+    import json
+
+    from .simulator.channels import replay_trace, synthesize_trace, write_trace
+
+    scenario = _scenario_from_args(args)
+    model_spec = None
+    if args.params is not None:
+        if args.model is None:
+            print("error: --params requires --model", file=sys.stderr)
+            return 2
+        try:
+            params = json.loads(args.params)
+        except json.JSONDecodeError as error:
+            print(f"error: --params is not valid JSON: {error}", file=sys.stderr)
+            return 2
+        if not isinstance(params, dict):
+            print("error: --params must be a JSON object", file=sys.stderr)
+            return 2
+        model_spec = (args.model, params)
+    elif args.model is not None:
+        model_spec = args.model
+    try:
+        result = synthesize_trace(
+            scenario, model_spec, protocol=args.protocol, seed=args.seed,
+            n_frames=args.frames, max_time=args.max_time,
+        )
+    except (TypeError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    write_trace(
+        args.output, result.records, mode="frame",
+        model=args.model, scenario=scenario.name, seed=args.seed,
+        bit_rate=scenario.bit_rate, digest=result.digest,
+        extra={"protocol": args.protocol, "n_frames": args.frames},
+    )
+    print(f"trace written to {args.output}: {len(result.records)} frame "
+          f"records, {result.delivered} payloads delivered in "
+          f"{result.duration:.3f}s")
+    print(f"delivered-payload digest: {result.digest}")
+    if args.verify:
+        replayed = replay_trace(
+            scenario, args.output, protocol=args.protocol, seed=args.seed,
+            n_frames=args.frames, max_time=args.max_time,
+        )
+        if replayed.digest != result.digest:
+            print(f"verify: FAIL — replay digest {replayed.digest} != "
+                  f"recorded digest {result.digest}", file=sys.stderr)
+            return 1
+        print("verify: ok — replay reproduces the digest bit-identically")
+    return 0
+
+
+def _cmd_channels(args: argparse.Namespace) -> int:
+    import inspect
+    import json
+
+    from .simulator.errormodel import (
+        available_error_models,
+        error_model_factory,
+        resolve_error_model,
+    )
+
+    if args.model is None:
+        rows = []
+        for name in available_error_models():
+            factory = error_model_factory(name)
+            doc = inspect.getdoc(factory) or ""
+            rows.append({"model": name,
+                         "summary": doc.splitlines()[0] if doc else ""})
+        print(render_table(rows, title="registered error models"))
+        return 0
+
+    try:
+        factory = error_model_factory(args.model)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"{args.model}: {factory.__module__}.{factory.__qualname__}")
+    print(f"  signature: {inspect.signature(factory)}")
+    doc = inspect.getdoc(factory)
+    if doc:
+        print()
+        print("\n".join(f"  {line}" for line in doc.splitlines()))
+    if args.timeline:
+        params = {}
+        if args.params is not None:
+            try:
+                params = json.loads(args.params)
+            except json.JSONDecodeError as error:
+                print(f"error: --params is not valid JSON: {error}",
+                      file=sys.stderr)
+                return 2
+        scenario = _scenario_from_args(args)
+        try:
+            instance = resolve_error_model(
+                (args.model, params), ber=scenario.iframe_ber,
+                bit_rate=scenario.bit_rate,
+            )
+        except (TypeError, ValueError) as error:
+            print(f"error: cannot instantiate {args.model!r}: {error}",
+                  file=sys.stderr)
+            return 1
+        if not hasattr(instance, "instantaneous_ber"):
+            print(f"error: {args.model!r} has no instantaneous_ber(t) — "
+                  f"--timeline only applies to time-varying models",
+                  file=sys.stderr)
+            return 1
+        rows = []
+        t = 0.0
+        while t <= args.span + 1e-9:
+            rows.append({"t_s": t, "ber": instance.instantaneous_ber(t)})
+            t += args.step
+        print()
+        print(render_table(rows, title=f"instantaneous BER over {args.span:g}s"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -1043,6 +1166,54 @@ def build_parser() -> argparse.ArgumentParser:
     orbit_parser.add_argument("--step", type=float, default=5.0)
     orbit_parser.add_argument("--max-range", type=float, default=6000.0)
     orbit_parser.set_defaults(handler=_cmd_orbit)
+
+    trace_parser = subparsers.add_parser(
+        "trace-synth",
+        help="record an error trace from a registered model driving a "
+             "batch transfer (every trace is a replayable regression "
+             "fixture; see docs/CHANNELS.md)",
+        parents=[seed_parent],
+    )
+    _add_scenario_arguments(trace_parser)
+    trace_parser.add_argument("--model", default=None,
+                              help="registered error-model name to record "
+                                   "(default: the scenario's I-frame model)")
+    trace_parser.add_argument("--params", default=None, metavar="JSON",
+                              help="JSON object of model constructor kwargs, "
+                                   "e.g. '{\"good_ber\": 1e-7, ...}'")
+    trace_parser.add_argument("--protocol", default="lams",
+                              help="protocol driving the recorded transfer")
+    trace_parser.add_argument("--frames", type=int, default=200,
+                              help="payloads in the recorded batch")
+    trace_parser.add_argument("--max-time", type=float, default=60.0,
+                              help="simulated-seconds cap on the batch")
+    trace_parser.add_argument("--output", default="trace.jsonl",
+                              help="JSONL trace file to write")
+    trace_parser.add_argument("--verify", action="store_true",
+                              help="replay the written trace and fail unless "
+                                   "the delivered-payload digest matches "
+                                   "bit-identically")
+    trace_parser.set_defaults(handler=_cmd_trace_synth)
+
+    channels_parser = subparsers.add_parser(
+        "channels",
+        help="list registered error models, or describe one "
+             "(--model NAME [--timeline])",
+    )
+    _add_scenario_arguments(channels_parser)
+    channels_parser.add_argument("--model", default=None,
+                                 help="describe one registered model instead "
+                                      "of listing all")
+    channels_parser.add_argument("--params", default=None, metavar="JSON",
+                                 help="constructor kwargs for --timeline")
+    channels_parser.add_argument("--timeline", action="store_true",
+                                 help="print instantaneous_ber(t) over --span "
+                                      "(time-varying models only)")
+    channels_parser.add_argument("--span", type=float, default=600.0,
+                                 help="timeline span in seconds")
+    channels_parser.add_argument("--step", type=float, default=60.0,
+                                 help="timeline step in seconds")
+    channels_parser.set_defaults(handler=_cmd_channels)
 
     return parser
 

@@ -1102,6 +1102,72 @@ def e24_constellation(
     )
 
 
+# ---------------------------------------------------------------------------
+# E25 — feedback asymmetry: checkpoint/NAK loss vs the cumulative-NAK bound
+# ---------------------------------------------------------------------------
+
+
+def e25_feedback_asymmetry(
+    scenario: LinkScenario | None = None,
+    seed: int = 25,
+    duration: float = 2.0,
+    feedback_bers: tuple[float, ...] = (1e-8, 1e-4, 1e-3, 5e-3, 2e-2),
+    depths: tuple[int, ...] = (2, 4),
+) -> ExperimentResult:
+    """Throughput vs feedback-channel BER at fixed forward BER.
+
+    The paper's recovery argument leans on cumulative NAKs: a NAK is
+    repeated in ``C_depth`` consecutive checkpoints, so the sender
+    misses a retransmission request only when *every* copy is lost —
+    probability ``p_cp**C_depth`` for checkpoint-loss probability
+    ``p_cp``.  The scenario's ``reverse_cframe_ber`` field decouples the
+    feedback direction from the forward BER, so this sweep holds the
+    forward channel fixed (the ``noisy`` preset) and degrades only the
+    checkpoint/NAK path.
+
+    Expected shape: efficiency is flat while ``p_cp**C_depth`` stays
+    negligible (cumulation absorbs isolated feedback losses), then
+    degrades as whole NAK streaks start vanishing and recovery waits on
+    the ``C_depth·W_cp`` watchdog; a deeper ``C_depth`` holds the
+    plateau further into the feedback-loss axis.
+    """
+    scenario = scenario or preset("noisy")
+    rows = []
+    for c_depth in depths:
+        for fb in feedback_bers:
+            cell = scenario.with_(
+                name=f"{scenario.name}~fb{fb:g}~c{c_depth}",
+                cumulation_depth=c_depth,
+                reverse_cframe_ber=fb,
+            )
+            result = runner.measure_saturated(cell, "lams", duration, seed=seed)
+            p_cp = frame_error_probability(fb, scenario.cframe_bits)
+            rows.append(
+                {
+                    "c_depth": c_depth,
+                    "feedback_ber": fb,
+                    "forward_ber": scenario.iframe_ber,
+                    "p_checkpoint_loss": p_cp,
+                    "p_nak_streak_lost": p_cp ** c_depth,
+                    "efficiency": result["efficiency"],
+                    "delivered": result["delivered"],
+                    "retransmissions": result["retransmissions"],
+                    "mean_holding_time": result["mean_holding_time"],
+                    "sendbuf_max": result["sendbuf_max"],
+                }
+            )
+    return ExperimentResult(
+        "E25",
+        "Feedback asymmetry: checkpoint/NAK loss at fixed forward BER",
+        rows,
+        notes="Only the reverse (feedback) direction degrades; the forward "
+        "channel is pinned at the preset BER. Efficiency holds while "
+        "p_cp**C_depth is negligible — cumulative NAKs absorb isolated "
+        "checkpoint losses — and falls once whole NAK streaks vanish "
+        "and recovery waits on the watchdog.",
+    )
+
+
 REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "E1": e1_retransmission_factor,
     "E2": e2_delivery_time,
@@ -1128,11 +1194,12 @@ REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "E19": e19_validation_matrix,
     "E21": e21_fault_matrix,
     "E24": e24_constellation,
+    "E25": e25_feedback_asymmetry,
 }
 
 SIMULATED_EXPERIMENTS: frozenset[str] = frozenset(
     {"E2-sim", "E4-sim", "E8", "E10", "E12", "E13", "E14", "E15", "E18", "E19",
-     "E21", "E24"}
+     "E21", "E24", "E25"}
 )
 """Experiments whose rows come from the discrete-event simulator.
 

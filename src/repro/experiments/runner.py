@@ -12,7 +12,7 @@ from typing import Any, Optional
 
 from ..faults.plan import FaultPlan
 from ..simulator.engine import Simulator
-from ..simulator.errormodel import ErrorModel, GilbertElliottChannel
+from ..simulator.errormodel import ErrorModel
 from ..workloads.generators import FiniteBatch, SaturatedSource
 from ..workloads.scenarios import LinkScenario, build_simulation
 
@@ -197,18 +197,23 @@ def measure_burst_utilization(
     cumulative-NAK condition ``C_depth * W_cp > L_burst`` decides
     whether LAMS-DLC rides the burst out.
     """
-    def burst_model() -> GilbertElliottChannel:
-        return GilbertElliottChannel(
-            good_ber=scenario.iframe_ber,
-            bad_ber=bad_ber,
-            mean_good=mean_gap,
-            mean_bad=mean_burst,
-            bit_rate=scenario.bit_rate,
-        )
-
+    # Registry specs, not instances: the resolver stamps out one fresh
+    # GilbertElliottChannel per channel direction, which the model's
+    # FIFO-time guard requires (a shared instance would see the two
+    # directions' interleaved, non-monotonic frame times).
+    burst_model = (
+        "gilbert-elliott",
+        {
+            "good_ber": scenario.iframe_ber,
+            "bad_ber": bad_ber,
+            "mean_good": mean_gap,
+            "mean_bad": mean_burst,
+            "bit_rate": scenario.bit_rate,
+        },
+    )
     result = measure_saturated(
         scenario, protocol, duration, seed=seed, overrides=overrides,
-        iframe_errors=burst_model(), cframe_errors=burst_model(),
+        iframe_errors=burst_model, cframe_errors=burst_model,
     )
     result["mean_burst"] = mean_burst
     result["covered"] = (

@@ -25,6 +25,15 @@ from .errormodel import (
     PerfectChannel,
     frame_error_probability,
 )
+from .channels import (
+    OrbitCoupledChannel,
+    RecordingChannel,
+    TraceReplayChannel,
+    load_trace,
+    replay_trace,
+    synthesize_trace,
+    write_trace,
+)
 from .link import (
     LIGHT_SPEED_KM_S,
     FullDuplexLink,
@@ -59,9 +68,11 @@ __all__ = [
     "IsolatedLinkGeometry",
     "LIGHT_SPEED_KM_S",
     "Node",
+    "OrbitCoupledChannel",
     "PacketSink",
     "PerfectChannel",
     "Process",
+    "RecordingChannel",
     "SampleStat",
     "Satellite",
     "SimplexChannel",
@@ -73,13 +84,18 @@ __all__ = [
     "TimeWeightedStat",
     "Timer",
     "TraceRecord",
+    "TraceReplayChannel",
     "Tracer",
     "VisibilityWindow",
     "delay_from_distance_km",
     "derive_seed",
     "frame_error_probability",
     "link_distance_km",
+    "load_trace",
     "propagation_delay_fn",
+    "replay_trace",
     "rtt_statistics",
+    "synthesize_trace",
     "visibility_windows",
+    "write_trace",
 ]

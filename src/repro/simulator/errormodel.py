@@ -35,10 +35,12 @@ __all__ = [
     "BernoulliChannel",
     "GilbertElliottChannel",
     "available_error_models",
+    "error_model_factory",
     "frame_error_probability",
     "make_error_model",
     "register_error_model",
     "resolve_error_model",
+    "resolve_link_error_models",
 ]
 
 
@@ -92,15 +94,17 @@ class BernoulliChannel:
         # a handful of distinct frame sizes, while the expm1/log1p pair is
         # measurably hot when evaluated per frame.
         self._prob_by_bits: dict[int, float] = {}
-        # Buffered uniform draws.  Generator.random(n) produces exactly
-        # the same double sequence as n scalar random() calls, so draw k
-        # still sees the k-th variate of the stream — bit-identical
-        # results, minus the per-call numpy dispatch overhead.  Assumes
-        # the generator is not shared with other consumers, which holds
-        # for the per-direction streams the link layer hands us.
-        self._buf = None
-        self._buf_rng = None
-        self._buf_idx = 0
+        # Buffered uniform draws, kept PER GENERATOR.  Generator.random(n)
+        # produces exactly the same double sequence as n scalar random()
+        # calls, so draw k still sees the k-th variate of the stream —
+        # bit-identical results, minus the per-call numpy dispatch
+        # overhead.  A single-slot buffer keyed on the last generator
+        # would be invalidated on every call when one instance serves two
+        # per-direction streams (burning 512 variates per frame and
+        # diverging from the scalar reference), so each generator gets
+        # its own ``[rng, index, buffer]`` entry.  A channel direction
+        # uses one generator, so the list holds at most a few entries.
+        self._draws: list[list] = []
 
     def frame_error(self, start: float, bits: int, rng: np.random.Generator) -> bool:
         probability = self._prob_by_bits.get(bits)
@@ -112,14 +116,18 @@ class BernoulliChannel:
         # random sequence identical to a PerfectChannel run).
         if probability == 0.0:
             return False
-        buf = self._buf
-        index = self._buf_idx
-        if buf is None or rng is not self._buf_rng or index >= 512:
-            buf = self._buf = rng.random(512)
-            self._buf_rng = rng
+        for entry in self._draws:
+            if entry[0] is rng:
+                break
+        else:
+            entry = [rng, 0, rng.random(512)]
+            self._draws.append(entry)
+        index = entry[1]
+        if index >= 512:
+            entry[2] = rng.random(512)
             index = 0
-        self._buf_idx = index + 1
-        return buf.item(index) < probability
+        entry[1] = index + 1
+        return entry[2].item(index) < probability
 
     def __repr__(self) -> str:
         return f"BernoulliChannel(ber={self.ber:g})"
@@ -138,7 +146,12 @@ class GilbertElliottChannel:
     The state trajectory is sampled lazily and deterministically from
     the supplied RNG, so one channel instance must always be driven with
     the same generator and with non-decreasing *start* times (links
-    transmit FIFO, so this holds by construction).
+    transmit FIFO, so this holds by construction for a single channel
+    direction).  Sharing one instance across directions interleaves
+    non-monotonic times and silently corrupts the state trajectory, so
+    :meth:`frame_error` rejects any time regression with a
+    :class:`ValueError` — use one instance per direction (what
+    :func:`resolve_link_error_models` arranges).
 
     Parameters
     ----------
@@ -175,6 +188,7 @@ class GilbertElliottChannel:
         self._in_bad = False
         self._state_until = 0.0
         self._initialised = False
+        self._last_start = -math.inf
 
     @property
     def steady_state_bad_fraction(self) -> float:
@@ -195,6 +209,14 @@ class GilbertElliottChannel:
             self._state_until += rng.exponential(mean)
 
     def frame_error(self, start: float, bits: int, rng: np.random.Generator) -> bool:
+        if start < self._last_start:
+            raise ValueError(
+                f"time went backwards in GilbertElliottChannel.frame_error "
+                f"({start!r} < {self._last_start!r}); the state trajectory "
+                f"assumes FIFO frame times — use one instance per channel "
+                f"direction"
+            )
+        self._last_start = start
         if bits == 0:
             return False
         duration = bits / self.bit_rate
@@ -266,6 +288,41 @@ def available_error_models() -> list[str]:
     return sorted(_ERROR_MODELS)
 
 
+def error_model_factory(name: str) -> Callable[..., ErrorModel]:
+    """The factory registered under *name* (case-insensitive)."""
+    try:
+        return _ERROR_MODELS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown error model {name!r} "
+            f"(use one of: {', '.join(available_error_models())})"
+        ) from None
+
+
+# Accepted-parameter sets per factory, computed once: ConstellationBuilder
+# resolves models for every link of a constellation, and re-running
+# inspect.signature per link is measurably hot at 1000 links.
+_FACTORY_ACCEPTS: dict[Callable[..., ErrorModel], tuple[frozenset, bool]] = {}
+
+
+def _factory_accepts(factory: Callable[..., ErrorModel]) -> tuple[frozenset, bool]:
+    """``(keyword-parameter names, accepts **kwargs)`` for *factory*, cached."""
+    try:
+        return _FACTORY_ACCEPTS[factory]
+    except KeyError:
+        pass
+    parameters = inspect.signature(factory).parameters.values()
+    names = frozenset(
+        p.name
+        for p in parameters
+        if p.kind
+        in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+    )
+    var_keyword = any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters)
+    result = _FACTORY_ACCEPTS[factory] = (names, var_keyword)
+    return result
+
+
 def make_error_model(
     name: str,
     context: Optional[Mapping[str, Any]] = None,
@@ -278,19 +335,18 @@ def make_error_model(
     ``ber`` and ``bit_rate`` into whichever model a scenario names, so
     ``make_error_model("bernoulli", {"ber": 1e-6})`` and
     ``make_error_model("gilbert-elliott", {"bit_rate": 3e8}, ...)`` both
-    work without the caller knowing each model's signature.
+    work without the caller knowing each model's signature.  A factory
+    taking ``**kwargs`` receives every non-``None`` context entry.
     """
-    try:
-        factory = _ERROR_MODELS[name.lower()]
-    except KeyError:
-        raise ValueError(
-            f"unknown error model {name!r} "
-            f"(use one of: {', '.join(available_error_models())})"
-        ) from None
+    factory = error_model_factory(name)
     if context:
-        accepted = inspect.signature(factory).parameters
+        accepted, var_keyword = _factory_accepts(factory)
         for key, value in context.items():
-            if key in accepted and key not in kwargs and value is not None:
+            if (
+                (var_keyword or key in accepted)
+                and key not in kwargs
+                and value is not None
+            ):
                 kwargs[key] = value
     return factory(**kwargs)
 
@@ -300,12 +356,16 @@ def resolve_error_model(
     *,
     ber: float = 0.0,
     bit_rate: Optional[float] = None,
+    context: Optional[Mapping[str, Any]] = None,
 ) -> ErrorModel:
     """Turn any :data:`ErrorModelSpec` into a live :class:`ErrorModel`.
 
     ``None`` keeps the historical default — Bernoulli at *ber* when the
     BER is nonzero, perfect otherwise — so every existing call site is a
-    degenerate case of the registry.
+    degenerate case of the registry.  *context* entries are merged over
+    the ``ber``/``bit_rate`` defaults and offered to the factory the
+    same way (the topology layer uses this to thread a link's orbital
+    ``geometry`` into models that can use it).
     """
     if spec is None:
         return BernoulliChannel(ber) if ber else PerfectChannel()
@@ -322,13 +382,98 @@ def resolve_error_model(
     elif isinstance(spec, tuple):
         if len(spec) != 2:
             raise ValueError(f"error-model tuple must be (name, kwargs): {spec!r}")
-        name, kwargs = spec[0], dict(spec[1])
+        name, params = spec
+        # The second element must be mapping-shaped: a Mapping proper or
+        # an iterable of (key, value) pairs (the frozen chaos episode
+        # specs use nested pair-tuples).  Anything else used to surface
+        # as a confusing TypeError deep inside dict().
+        if isinstance(params, Mapping):
+            kwargs = dict(params)
+        elif isinstance(params, str) or not hasattr(params, "__iter__"):
+            raise ValueError(
+                f"error-model tuple must be (name, kwargs) with a mapping "
+                f"(or key/value pairs) second element, "
+                f"got {type(params).__name__}: {spec!r}"
+            )
+        else:
+            try:
+                kwargs = dict(params)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"error-model tuple must be (name, kwargs) with a mapping "
+                    f"(or key/value pairs) second element: {spec!r}"
+                ) from None
     else:
         # Already a model instance (anything with frame_error).
         if not hasattr(spec, "frame_error"):
             raise TypeError(f"not an error-model spec: {spec!r}")
         return spec
-    return make_error_model(name, {"ber": ber, "bit_rate": bit_rate}, **kwargs)
+    merged: dict[str, Any] = {"ber": ber, "bit_rate": bit_rate}
+    if context:
+        merged.update(context)
+    return make_error_model(name, merged, **kwargs)
+
+
+def _is_model_instance(spec: ErrorModelSpec) -> bool:
+    """True when *spec* is already a live model rather than a recipe."""
+    return not (spec is None or isinstance(spec, (str, tuple, Mapping)))
+
+
+def resolve_link_error_models(
+    *,
+    iframe: ErrorModelSpec = None,
+    cframe: ErrorModelSpec = None,
+    reverse_iframe: ErrorModelSpec = None,
+    reverse_cframe: ErrorModelSpec = None,
+    iframe_ber: float = 0.0,
+    cframe_ber: float = 0.0,
+    reverse_iframe_ber: Optional[float] = None,
+    reverse_cframe_ber: Optional[float] = None,
+    bit_rate: Optional[float] = None,
+    context: Optional[Mapping[str, Any]] = None,
+) -> tuple[ErrorModel, ErrorModel, Optional[ErrorModel], Optional[ErrorModel]]:
+    """Resolve the four per-direction models of one full-duplex link.
+
+    Returns ``(iframe, cframe, reverse_iframe, reverse_cframe)`` ready
+    for :class:`~repro.simulator.link.FullDuplexLink`.  Reverse specs
+    and BERs default to the forward ones, giving the historical
+    symmetric link; setting either independently realises an asymmetric
+    feedback channel (checkpoint/NAK loss decoupled from forward BER).
+
+    Constructible specs (name / tuple / mapping / ``None``) always
+    yield a FRESH instance per direction: stateful models
+    (Gilbert–Elliott, trace replay) must never be driven by two RNG
+    streams at interleaved times.  A reverse entry is ``None`` — "share
+    the forward instance", the legacy behaviour — only when the forward
+    spec is already a live instance and nothing overrides the reverse
+    direction.
+    """
+    fwd_iframe = resolve_error_model(
+        iframe, ber=iframe_ber, bit_rate=bit_rate, context=context
+    )
+    fwd_cframe = resolve_error_model(
+        cframe, ber=cframe_ber, bit_rate=bit_rate, context=context
+    )
+
+    def _reverse(forward_spec, reverse_spec, forward_ber, reverse_ber):
+        if (
+            reverse_spec is None
+            and reverse_ber is None
+            and _is_model_instance(forward_spec)
+        ):
+            return None  # legacy: FullDuplexLink shares the forward instance
+        spec = reverse_spec if reverse_spec is not None else forward_spec
+        direction_ber = reverse_ber if reverse_ber is not None else forward_ber
+        return resolve_error_model(
+            spec, ber=direction_ber, bit_rate=bit_rate, context=context
+        )
+
+    return (
+        fwd_iframe,
+        fwd_cframe,
+        _reverse(iframe, reverse_iframe, iframe_ber, reverse_iframe_ber),
+        _reverse(cframe, reverse_cframe, cframe_ber, reverse_cframe_ber),
+    )
 
 
 register_error_model("perfect", PerfectChannel)

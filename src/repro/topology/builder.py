@@ -31,7 +31,7 @@ from ..netlayer.datagram import DatagramService, DeliveryLog
 from ..netlayer.forwarding import ForwardingNetworkLayer, shortest_path_routes
 from ..simulator.engine import Simulator
 from ..simulator.node import Node
-from ..simulator.orbit import propagation_delay_fn
+from ..simulator.orbit import IsolatedLinkGeometry
 from ..simulator.rng import StreamRegistry, derive_seed
 from ..simulator.trace import Tracer
 from .flows import FlowDriver, FlowSpec
@@ -320,14 +320,15 @@ class ConstellationBuilder:
         node_a, node_b = nodes[spec.a], nodes[spec.b]
         sat_a = self.topology.node(spec.a).satellite
         sat_b = self.topology.node(spec.b).satellite
-        orbit_delay = (
-            propagation_delay_fn(sat_a, sat_b)
+        geometry = (
+            IsolatedLinkGeometry(sat_a, sat_b)
             if (sat_a is not None and sat_b is not None)
             else None
         )
+        orbit_delay = geometry.delay_fn() if geometry is not None else None
         link = build_link(
             spec, sim, master_seed=self.master_seed, tracer=tracer,
-            propagation_delay=orbit_delay,
+            propagation_delay=orbit_delay, geometry=geometry,
         )
         stats = LinkStats(spec.name, link)
 

@@ -38,7 +38,11 @@ from ..core.endpoint import EndpointPair, build_endpoint_pair, resolve_protocol
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
 from ..simulator.engine import Simulator
-from ..simulator.errormodel import ErrorModelSpec, resolve_error_model
+from ..simulator.errormodel import (
+    ErrorModelSpec,
+    resolve_error_model,
+    resolve_link_error_models,
+)
 from ..simulator.link import DelaySpec, FullDuplexLink
 from ..simulator.rng import StreamRegistry, derive_seed
 from ..simulator.trace import Tracer
@@ -118,9 +122,14 @@ class LinkSpec:
 
     iframe_errors: ErrorModelSpec = None
     cframe_errors: ErrorModelSpec = None
+    reverse_iframe_errors: ErrorModelSpec = None
+    reverse_cframe_errors: ErrorModelSpec = None
     error_model: ErrorModelSpec = None
     """``error_model`` is the data-plane shorthand: equivalent to
     ``iframe_errors`` (mirrors :func:`repro.api.build_simulation`).
+    The ``reverse_*`` specs override the feedback direction only
+    (checkpoints/NAKs travelling receiver -> sender) and default to the
+    scenario's reverse fields, then to mirroring the forward direction.
     Prefer registry-style specs (name / ``(name, kwargs)`` / mapping)
     over instances when one ``LinkSpec`` stamps out many links —
     models are stateful, so each link must get a fresh instance."""
@@ -205,12 +214,17 @@ def build_link(
     master_seed: int = 0,
     tracer: Optional[Tracer] = None,
     propagation_delay: Optional[DelaySpec] = None,
+    geometry: Optional[Any] = None,
 ) -> FullDuplexLink:
     """Materialise *spec*'s physical link on *sim*.
 
     *propagation_delay* is a builder-supplied default (e.g. the orbit
     geometry's ``delay_fn`` between two satellite nodes); the spec's own
-    explicit ``propagation_delay`` still wins over it.
+    explicit ``propagation_delay`` still wins over it.  *geometry* is
+    the link's :class:`~repro.simulator.orbit.IsolatedLinkGeometry`
+    when both endpoints carry satellites; it is offered to the error-
+    model factories via the registry context, so geometry-aware models
+    (``"orbit-coupled"``) pick up the link's own orbit for free.
     """
     scenario = spec.resolved_scenario()
     bit_rate = spec.bit_rate if spec.bit_rate is not None else scenario.bit_rate
@@ -232,17 +246,37 @@ def build_link(
         if spec.cframe_errors is not None
         else scenario.cframe_error_model
     )
+    reverse_iframe_spec = (
+        spec.reverse_iframe_errors
+        if spec.reverse_iframe_errors is not None
+        else scenario.reverse_iframe_error_model
+    )
+    reverse_cframe_spec = (
+        spec.reverse_cframe_errors
+        if spec.reverse_cframe_errors is not None
+        else scenario.reverse_cframe_error_model
+    )
+    models = resolve_link_error_models(
+        iframe=iframe_spec,
+        cframe=cframe_spec,
+        reverse_iframe=reverse_iframe_spec,
+        reverse_cframe=reverse_cframe_spec,
+        iframe_ber=scenario.iframe_ber,
+        cframe_ber=scenario.cframe_ber,
+        reverse_iframe_ber=scenario.reverse_iframe_ber,
+        reverse_cframe_ber=scenario.reverse_cframe_ber,
+        bit_rate=bit_rate,
+        context={"geometry": geometry} if geometry is not None else None,
+    )
     return FullDuplexLink(
         sim,
         bit_rate=bit_rate,
         propagation_delay=delay,
         name=spec.name,
-        iframe_errors=resolve_error_model(
-            iframe_spec, ber=scenario.iframe_ber, bit_rate=bit_rate
-        ),
-        cframe_errors=resolve_error_model(
-            cframe_spec, ber=scenario.cframe_ber, bit_rate=bit_rate
-        ),
+        iframe_errors=models[0],
+        cframe_errors=models[1],
+        reverse_iframe_errors=models[2],
+        reverse_cframe_errors=models[3],
         streams=StreamRegistry(seed=spec.resolve_seed(master_seed)),
         tracer=tracer,
     )

@@ -117,23 +117,47 @@ class Impairments:
         *,
         jitter: float = 0.0,
         drop: Optional[float] = None,
+        direction: str = "forward",
     ) -> "Impairments":
         """The scenario's link conditions as wire impairments.
 
         *drop* is a plain probability shorthand for the
         ``"uniform-loss"`` model (``None``/0 means no loss).
+
+        ``direction="reverse"`` builds the feedback direction (receiver
+        -> sender, carrying checkpoints and NAKs) from the scenario's
+        ``reverse_*`` fields, each falling back to the forward value —
+        identical impairments unless the scenario declares an
+        asymmetric feedback channel.
         """
+        if direction not in ("forward", "reverse"):
+            raise ValueError(
+                f"direction must be 'forward' or 'reverse', got {direction!r}"
+            )
         drop_spec: ErrorModelSpec = None
         if drop:
             drop_spec = ("uniform-loss", {"probability": float(drop)})
+        iframe_errors = scenario.iframe_error_model
+        cframe_errors = scenario.cframe_error_model
+        iframe_ber = scenario.iframe_ber
+        cframe_ber = scenario.cframe_ber
+        if direction == "reverse":
+            if scenario.reverse_iframe_error_model is not None:
+                iframe_errors = scenario.reverse_iframe_error_model
+            if scenario.reverse_cframe_error_model is not None:
+                cframe_errors = scenario.reverse_cframe_error_model
+            if scenario.reverse_iframe_ber is not None:
+                iframe_ber = scenario.reverse_iframe_ber
+            if scenario.reverse_cframe_ber is not None:
+                cframe_ber = scenario.reverse_cframe_ber
         return cls(
             propagation_delay=scenario.one_way_delay,
             jitter=jitter,
             drop=drop_spec,
-            iframe_errors=scenario.iframe_error_model,
-            cframe_errors=scenario.cframe_error_model,
-            iframe_ber=scenario.iframe_ber,
-            cframe_ber=scenario.cframe_ber,
+            iframe_errors=iframe_errors,
+            cframe_errors=cframe_errors,
+            iframe_ber=iframe_ber,
+            cframe_ber=cframe_ber,
         )
 
     def with_(self, **changes: Any) -> "Impairments":

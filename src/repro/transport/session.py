@@ -229,14 +229,24 @@ async def open_loopback(
     tracer = tracer or Tracer()
     delivered = DeliveredList()
     impairments = Impairments.from_scenario(scenario, jitter=jitter, drop=drop)
+    reverse_impairments = Impairments.from_scenario(
+        scenario, jitter=jitter, drop=drop, direction="reverse",
+    )
     data_spec = error_model if error_model is not None else iframe_errors
     if data_spec is not None:
         impairments = impairments.with_(iframe_errors=data_spec)
+        # Explicit overrides mirror onto the feedback direction unless
+        # the scenario pins it (same precedence as the DES resolver).
+        if scenario.reverse_iframe_error_model is None:
+            reverse_impairments = reverse_impairments.with_(iframe_errors=data_spec)
     if cframe_errors is not None:
         impairments = impairments.with_(cframe_errors=cframe_errors)
+        if scenario.reverse_cframe_error_model is None:
+            reverse_impairments = reverse_impairments.with_(cframe_errors=cframe_errors)
     link = await UdpLink.open(
         clock, name=scenario.name, bit_rate=scenario.bit_rate,
-        impairments=impairments, seed=seed, tracer=tracer, host=host,
+        impairments=impairments, reverse_impairments=reverse_impairments,
+        seed=seed, tracer=tracer, host=host,
     )
     config = scenario.protocol_config(protocol, **(overrides or {}))
     endpoint_a, endpoint_b = build_endpoint_pair(
@@ -498,7 +508,11 @@ def _open_single_endpoint(
             outgoing_name=f"{scenario.name}.{outgoing}",
             incoming_name=f"{scenario.name}.{incoming}",
             bit_rate=scenario.bit_rate,
-            impairments=Impairments.from_scenario(scenario),
+            impairments=Impairments.from_scenario(
+                # A's outgoing datagrams ride the forward direction, B's
+                # the feedback (reverse) direction.
+                scenario, direction="forward" if role == "A" else "reverse",
+            ),
             streams=streams, tracer=tracer, **socket_kwargs,
         )
         config = scenario.protocol_config("lams", **(overrides or {}))

@@ -258,9 +258,14 @@ class SessionSupervisor:
         impairments = Impairments.from_scenario(
             self.scenario, jitter=self.jitter, drop=self.drop,
         )
+        reverse_impairments = Impairments.from_scenario(
+            self.scenario, jitter=self.jitter, drop=self.drop,
+            direction="reverse",
+        )
         link = await UdpLink.open(
             clock, name=self.scenario.name, bit_rate=self.scenario.bit_rate,
-            impairments=impairments, seed=self.seed, tracer=tracer,
+            impairments=impairments, reverse_impairments=reverse_impairments,
+            seed=self.seed, tracer=tracer,
             host=self.host,
         )
         base_name = link.name

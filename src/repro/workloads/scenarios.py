@@ -32,7 +32,11 @@ from ..faults.metrics import RecoveryMetrics
 from ..faults.plan import FaultPlan
 from ..hdlc.config import HdlcConfig
 from ..simulator.engine import Simulator
-from ..simulator.errormodel import ErrorModel, ErrorModelSpec, resolve_error_model
+from ..simulator.errormodel import (
+    ErrorModel,
+    ErrorModelSpec,
+    resolve_link_error_models,
+)
 from ..simulator.link import FullDuplexLink, LIGHT_SPEED_KM_S
 from ..simulator.rng import StreamRegistry
 from ..simulator.trace import Tracer
@@ -75,6 +79,15 @@ class LinkScenario:
     # stays asdict/JSON-clean for sweep cache keys.
     iframe_error_model: Optional[str] = None
     cframe_error_model: Optional[str] = None
+    # Asymmetric feedback channel: the reverse direction (receiver ->
+    # sender, carrying checkpoints and NAKs) defaults to mirroring the
+    # forward model/BER; any of these four decouples it, so checkpoint/
+    # NAK loss can be swept independently of the forward BER
+    # (Khosravirad & Viswanathan's feedback-error axis).
+    reverse_iframe_error_model: Optional[str] = None
+    reverse_cframe_error_model: Optional[str] = None
+    reverse_iframe_ber: Optional[float] = None
+    reverse_cframe_ber: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.bit_rate <= 0 or self.distance_km <= 0:
@@ -191,29 +204,47 @@ class LinkScenario:
         tracer: Optional[Tracer] = None,
         iframe_errors: Optional[ErrorModelSpec] = None,
         cframe_errors: Optional[ErrorModelSpec] = None,
+        reverse_iframe_errors: Optional[ErrorModelSpec] = None,
+        reverse_cframe_errors: Optional[ErrorModelSpec] = None,
     ) -> FullDuplexLink:
         """A live link with this scenario's rate/delay/error models.
 
-        *iframe_errors* / *cframe_errors* accept any
+        The ``*_errors`` arguments accept any
         :data:`~repro.simulator.errormodel.ErrorModelSpec` (instance,
         registered name, ``(name, kwargs)``, mapping) and default to the
-        scenario's ``iframe_error_model`` / ``cframe_error_model``
-        fields; everything resolves through the error-model registry
-        with the scenario's BER and bit rate as context.
+        scenario's ``*_error_model`` fields; everything resolves through
+        the error-model registry with the scenario's BER and bit rate as
+        context, one fresh instance per direction (see
+        :func:`~repro.simulator.errormodel.resolve_link_error_models`).
         """
+        models = resolve_link_error_models(
+            iframe=self.iframe_error_model if iframe_errors is None else iframe_errors,
+            cframe=self.cframe_error_model if cframe_errors is None else cframe_errors,
+            reverse_iframe=(
+                self.reverse_iframe_error_model
+                if reverse_iframe_errors is None
+                else reverse_iframe_errors
+            ),
+            reverse_cframe=(
+                self.reverse_cframe_error_model
+                if reverse_cframe_errors is None
+                else reverse_cframe_errors
+            ),
+            iframe_ber=self.iframe_ber,
+            cframe_ber=self.cframe_ber,
+            reverse_iframe_ber=self.reverse_iframe_ber,
+            reverse_cframe_ber=self.reverse_cframe_ber,
+            bit_rate=self.bit_rate,
+        )
         return FullDuplexLink(
             sim,
             bit_rate=self.bit_rate,
             propagation_delay=self.one_way_delay,
             name=self.name,
-            iframe_errors=resolve_error_model(
-                self.iframe_error_model if iframe_errors is None else iframe_errors,
-                ber=self.iframe_ber, bit_rate=self.bit_rate,
-            ),
-            cframe_errors=resolve_error_model(
-                self.cframe_error_model if cframe_errors is None else cframe_errors,
-                ber=self.cframe_ber, bit_rate=self.bit_rate,
-            ),
+            iframe_errors=models[0],
+            cframe_errors=models[1],
+            reverse_iframe_errors=models[2],
+            reverse_cframe_errors=models[3],
             streams=StreamRegistry(seed=seed),
             tracer=tracer,
         )
@@ -270,6 +301,8 @@ def build_simulation(
     overrides: Optional[dict] = None,
     iframe_errors: Optional[ErrorModelSpec] = None,
     cframe_errors: Optional[ErrorModelSpec] = None,
+    reverse_iframe_errors: Optional[ErrorModelSpec] = None,
+    reverse_cframe_errors: Optional[ErrorModelSpec] = None,
     error_model: Optional[ErrorModelSpec] = None,
     fault_plan: Optional[FaultPlan] = None,
     run_with_invariants: bool = False,
@@ -281,6 +314,11 @@ def build_simulation(
     endpoints are built through the unified pair-factory registry.  A
     is the sender, B the receiver; the unused halves stay down so
     one-way experiments see no reverse-direction chatter.
+
+    *reverse_iframe_errors* / *reverse_cframe_errors* override the
+    receiver->sender direction only (the feedback channel carrying
+    checkpoints and NAKs); they default to the scenario's reverse
+    fields and, failing that, mirror the forward direction.
 
     *error_model* is a shorthand :data:`ErrorModelSpec` for the data
     (I-frame) error process — ``"gilbert-elliott"``, ``("bernoulli",
@@ -320,6 +358,8 @@ def build_simulation(
         seed=seed,
         iframe_errors=iframe_errors,
         cframe_errors=cframe_errors,
+        reverse_iframe_errors=reverse_iframe_errors,
+        reverse_cframe_errors=reverse_cframe_errors,
         error_model=error_model,
         endpoint_a=EndpointSpec(receive=False),
         endpoint_b=EndpointSpec(deliver=delivered.append, send=False),

@@ -229,16 +229,26 @@ class TestBroadRobustness:
     )
     def test_lams_zero_loss_under_bursts(self, seed, mean_burst):
         sim = Simulator()
-        link = FullDuplexLink(
-            sim, bit_rate=RATE, propagation_delay=DELAY, name="ge",
-            iframe_errors=GilbertElliottChannel(
+        # One fresh Gilbert-Elliott instance per channel direction: the
+        # model's state trajectory requires FIFO frame times, which only
+        # holds within a single direction.
+        def ge_iframe():
+            return GilbertElliottChannel(
                 good_ber=1e-7, bad_ber=1e-3, mean_good=0.1,
                 mean_bad=mean_burst, bit_rate=RATE,
-            ),
-            cframe_errors=GilbertElliottChannel(
+            )
+
+        def ge_cframe():
+            return GilbertElliottChannel(
                 good_ber=1e-8, bad_ber=1e-4, mean_good=0.1,
                 mean_bad=mean_burst, bit_rate=RATE,
-            ),
+            )
+
+        link = FullDuplexLink(
+            sim, bit_rate=RATE, propagation_delay=DELAY, name="ge",
+            iframe_errors=ge_iframe(), cframe_errors=ge_cframe(),
+            reverse_iframe_errors=ge_iframe(),
+            reverse_cframe_errors=ge_cframe(),
             streams=StreamRegistry(seed=seed),
         )
         config = LamsDlcConfig(checkpoint_interval=0.005, cumulation_depth=5)
