@@ -44,7 +44,8 @@ import subprocess
 import time
 from typing import Any, Optional
 
-from .simulator.engine import Simulator
+from .core.config import _default_batch_window
+from .simulator.engine import Simulator, engine_backend
 
 __all__ = [
     "DEFAULT_HISTORY",
@@ -54,7 +55,10 @@ __all__ = [
     "bench_engine_dispatch",
     "bench_saturated",
     "bench_sweep_scale",
+    "compare_last_two",
     "machine_stamp",
+    "profile_hotpath_bench",
+    "read_history",
     "run_hotpath_bench",
     "write_baseline",
 ]
@@ -101,6 +105,7 @@ def bench_engine_dispatch(
                               int(0.95 * len(per_event_costs)))]
     return {
         "kind": "engine_dispatch",
+        "engine": engine_backend(),
         "events": dispatched,
         "batch": batch,
         "rounds": rounds,
@@ -147,6 +152,8 @@ def bench_saturated(
     frames = setup.link.forward.frames_sent + setup.link.reverse.frames_sent
     return {
         "kind": "saturated_throughput",
+        "engine": engine_backend(),
+        "batch_window": _default_batch_window(),
         "scenario": scenario,
         "protocol": protocol,
         "sim_duration": duration,
@@ -167,6 +174,7 @@ def bench_sweep_scale(
     protocol: str = "lams",
     jobs: tuple[int, ...] = (2, 4),
     chunksize: int = 0,
+    force_parallel: bool = False,
 ) -> dict[str, Any]:
     """Macro-benchmark the replication plane: points/sec through
     :func:`~repro.experiments.parallel.run_sweep`.
@@ -176,6 +184,14 @@ def bench_sweep_scale(
     count, asserting bit-identical results along the way, then measures
     a fully cache-hot re-run against a freshly opened sharded cache
     (the "1000 opens vs one index read" number, scaled down).
+
+    On a single-core host the pool cells only measure oversubscription
+    — workers time-slice one CPU, so "parallel" numbers look like
+    regressions that aren't there.  The parallel cells are therefore
+    skipped when ``os.cpu_count() <= 1`` (recorded under
+    ``parallel_skipped``) unless *force_parallel* is set, in which case
+    every cell is stamped ``forced_parallel: true`` so history readers
+    can discount them.
     """
     import shutil
     import tempfile
@@ -218,6 +234,12 @@ def bench_sweep_scale(
         },
         "parallel": [],
     }
+    single_core = (os.cpu_count() or 1) <= 1
+    if single_core and not force_parallel:
+        jobs = ()
+        result["parallel_skipped"] = (
+            "single-core host: pool cells would only measure oversubscription"
+        )
     for job_count in jobs:
         with SweepPool(job_count) as pool:
             # Warm the workers first so the measurement sees the steady
@@ -226,13 +248,16 @@ def bench_sweep_scale(
             parallel, wall = timed(
                 lambda: run_sweep(points, pool=pool, chunksize=chunksize)
             )
-        result["parallel"].append({
+        cell = {
             "jobs": job_count,
             "start_method": pool.start_method,
             "wall_seconds": wall,
             "points_per_sec": len(points) / wall if wall > 0 else float("inf"),
             "bit_identical_to_serial": parallel == serial,
-        })
+        }
+        if single_core:
+            cell["forced_parallel"] = True
+        result["parallel"].append(cell)
     tmpdir = tempfile.mkdtemp(prefix="bench-sweep-cache-")
     try:
         with ResultCache(tmpdir) as cache:
@@ -359,6 +384,7 @@ def run_hotpath_bench(
     constellation_links: tuple[int, ...] = (10, 100, 1000),
     constellation_duration: float = 0.2,
     include_constellation_scale: bool = True,
+    force_parallel: bool = False,
 ) -> dict[str, Any]:
     """Run micro + meso *repeats* times (plus one sweep-scale pass);
     report best-of plus all runs.
@@ -383,10 +409,15 @@ def run_hotpath_bench(
     best_micro = max(micro_runs, key=lambda run: run["events_per_sec"])
     best_meso = max(meso_runs, key=lambda run: run["events_per_sec"])
     payload = {
-        "schema": "repro.bench_hotpath/2",
+        "schema": "repro.bench_hotpath/3",
         "generated_unix_time": time.time(),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        # Which dispatch loop and sender batching produced these numbers
+        # — without the stamps, a backend or batch-window change reads
+        # as a mystery regression/improvement in the history.
+        "engine": engine_backend(),
+        "batch_window": _default_batch_window(),
         "repeats": repeats,
         "engine_dispatch": {
             "events_per_sec": best_micro["events_per_sec"],
@@ -404,7 +435,8 @@ def run_hotpath_bench(
     payload.update(machine_stamp())
     if include_sweep_scale:
         payload["sweep_scale"] = bench_sweep_scale(
-            seeds=sweep_seeds, duration=sweep_duration
+            seeds=sweep_seeds, duration=sweep_duration,
+            force_parallel=force_parallel,
         )
     if include_constellation_scale:
         payload["constellation_scale"] = bench_constellation_scale(
@@ -431,6 +463,8 @@ def append_history(
         "hostname": payload.get("hostname"),
         "cpu_count": payload.get("cpu_count"),
         "python": payload.get("python"),
+        "engine": payload.get("engine"),
+        "batch_window": payload.get("batch_window"),
         "engine_events_per_sec": payload.get(
             "engine_dispatch", {}).get("events_per_sec"),
         "saturated_events_per_sec": payload.get(
@@ -453,6 +487,139 @@ def append_history(
         json.dump(record, handle)
         handle.write("\n")
     return record
+
+
+def profile_hotpath_bench(
+    top_n: int = 25,
+    micro_events: int = 100_000,
+    duration: float = 1.0,
+    scenario: str = "nominal",
+    protocol: str = "lams",
+    seed: int = 1,
+    sweep_seeds: int = 8,
+    sweep_duration: float = 0.05,
+    include_sweep_scale: bool = True,
+    constellation_links: tuple[int, ...] = (10, 100),
+    constellation_duration: float = 0.2,
+    include_constellation_scale: bool = True,
+    **_ignored: Any,
+) -> dict[str, str]:
+    """Run each bench kind once under cProfile; return per-kind reports.
+
+    Each report is the top *top_n* functions by cumulative time —
+    "where does the wall clock actually go" per regime, which is the
+    question a regression surfaced by ``--compare`` immediately raises.
+    Profiled runs are NOT valid baselines (instrumentation overhead is
+    tens of percent), so nothing here writes ``BENCH_hotpath.json``.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    kinds: list[tuple[str, Any]] = [
+        ("engine_dispatch",
+         lambda: bench_engine_dispatch(total_events=micro_events)),
+        ("saturated_throughput",
+         lambda: bench_saturated(scenario=scenario, protocol=protocol,
+                                 duration=duration, seed=seed)),
+    ]
+    if include_sweep_scale:
+        kinds.append((
+            "sweep_scale",
+            lambda: bench_sweep_scale(seeds=sweep_seeds,
+                                      duration=sweep_duration),
+        ))
+    if include_constellation_scale:
+        kinds.append((
+            "constellation_scale",
+            lambda: bench_constellation_scale(
+                link_counts=constellation_links,
+                duration=constellation_duration, seed=seed),
+        ))
+    reports: dict[str, str] = {}
+    for kind, bench in kinds:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        bench()
+        profiler.disable()
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative").print_stats(top_n)
+        reports[kind] = stream.getvalue()
+    return reports
+
+
+def read_history(path: str = DEFAULT_HISTORY) -> list[dict[str, Any]]:
+    """All records of a ``BENCH_history.jsonl`` trajectory, oldest first."""
+    records: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: corrupt history record ({error})"
+                ) from None
+    return records
+
+
+def compare_last_two(
+    path: str = DEFAULT_HISTORY, threshold: float = 0.10
+) -> dict[str, Any]:
+    """Diff the newest two history records' throughput metrics.
+
+    Compares every ``*_per_sec`` metric present in both records (all
+    are higher-is-better) and flags changes beyond *threshold* as a
+    regression or improvement.  The result carries enough context —
+    commits, engine backends, batch windows, CPU counts — to judge
+    whether a delta is a code change or an apples-to-oranges pairing
+    (different backend, different machine).
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    records = read_history(path)
+    if len(records) < 2:
+        raise ValueError(
+            f"{path} holds {len(records)} record(s); "
+            "need at least two to compare"
+        )
+    old, new = records[-2], records[-1]
+    rows: list[dict[str, Any]] = []
+    for key in sorted(set(old) & set(new)):
+        if not key.endswith("_per_sec"):
+            continue
+        before, after = old[key], new[key]
+        if not isinstance(before, (int, float)) or not isinstance(after, (int, float)):
+            continue
+        if before <= 0:
+            continue
+        delta = (after - before) / before
+        rows.append({
+            "metric": key,
+            "old": before,
+            "new": after,
+            "delta": delta,
+            "regressed": delta <= -threshold,
+            "improved": delta >= threshold,
+        })
+    caveats = []
+    for field in ("engine", "batch_window", "hostname", "cpu_count", "python"):
+        if old.get(field) != new.get(field):
+            caveats.append(
+                f"{field} changed: {old.get(field)!r} -> {new.get(field)!r}"
+            )
+    return {
+        "old_commit": old.get("git_commit"),
+        "new_commit": new.get("git_commit"),
+        "threshold": threshold,
+        "rows": rows,
+        "regressions": [row for row in rows if row["regressed"]],
+        "improvements": [row for row in rows if row["improved"]],
+        "caveats": caveats,
+    }
 
 
 def write_baseline(

@@ -682,7 +682,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench_baseline(args: argparse.Namespace) -> int:
-    from .benchmark import run_hotpath_bench, write_baseline
+    from .benchmark import (
+        compare_last_two,
+        profile_hotpath_bench,
+        run_hotpath_bench,
+        write_baseline,
+    )
+
+    if args.compare:
+        try:
+            comparison = compare_last_two(args.history,
+                                          threshold=args.compare_threshold)
+        except (OSError, ValueError) as error:
+            print(f"bench-compare: {error}", file=sys.stderr)
+            return 2 if args.strict else 0
+        old = (comparison["old_commit"] or "unknown")[:12]
+        new = (comparison["new_commit"] or "unknown")[:12]
+        print(f"bench-compare: {old} -> {new} "
+              f"(threshold {comparison['threshold']:.0%})")
+        for caveat in comparison["caveats"]:
+            print(f"  note: {caveat}")
+        for row in comparison["rows"]:
+            marker = ("REGRESSED" if row["regressed"]
+                      else "improved" if row["improved"] else "ok")
+            print(f"  {row['metric']:<42} {row['old']:>14,.1f} -> "
+                  f"{row['new']:>14,.1f}  {row['delta']:+7.1%}  {marker}")
+        regressions = comparison["regressions"]
+        if regressions:
+            print(f"bench-compare: {len(regressions)} metric(s) regressed "
+                  f">= {comparison['threshold']:.0%}", file=sys.stderr)
+            return 1 if args.strict else 0
+        print("bench-compare: no regressions")
+        return 0
 
     if args.repeats < 1:
         print("error: --repeats must be >= 1", file=sys.stderr)
@@ -690,6 +721,34 @@ def _cmd_bench_baseline(args: argparse.Namespace) -> int:
     if args.duration <= 0:
         print("error: --duration must be positive", file=sys.stderr)
         return 2
+
+    if args.profile:
+        try:
+            reports = profile_hotpath_bench(
+                top_n=args.profile_top,
+                micro_events=args.micro_events,
+                duration=args.duration,
+                scenario=args.scenario,
+                protocol=args.protocol,
+                seed=args.seed,
+                sweep_seeds=args.sweep_seeds,
+                sweep_duration=args.sweep_duration,
+                include_sweep_scale=not args.skip_sweep_scale,
+                constellation_links=tuple(args.constellation_links)[:2],
+                constellation_duration=args.constellation_duration,
+                include_constellation_scale=not args.skip_constellation_scale,
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        for kind, report in reports.items():
+            print(f"===== profile: {kind} (top {args.profile_top} "
+                  f"by cumulative time) =====")
+            print(report)
+        print("profiled run: no baseline written "
+              "(instrumentation overhead invalidates the numbers)")
+        return 0
+
     try:
         payload = run_hotpath_bench(
             repeats=args.repeats,
@@ -704,6 +763,7 @@ def _cmd_bench_baseline(args: argparse.Namespace) -> int:
             constellation_links=tuple(args.constellation_links),
             constellation_duration=args.constellation_duration,
             include_constellation_scale=not args.skip_constellation_scale,
+            force_parallel=args.force_parallel,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -712,6 +772,8 @@ def _cmd_bench_baseline(args: argparse.Namespace) -> int:
     write_baseline(args.output, payload=payload, history_path=history)
     micro = payload["engine_dispatch"]
     meso = payload["saturated_throughput"]
+    print(f"engine={payload.get('engine')} "
+          f"batch_window={payload.get('batch_window')}")
     print(f"engine dispatch : {micro['events_per_sec']:,.0f} events/sec "
           f"(p50 {micro['per_event_p50_us']:.3f}us, "
           f"p95 {micro['per_event_p95_us']:.3f}us per event)")
@@ -729,6 +791,10 @@ def _cmd_bench_baseline(args: argparse.Namespace) -> int:
             line += (f"; cache-hot re-run {hot['wall_seconds'] * 1e3:,.1f} ms "
                      f"({hot['points_per_sec']:,.0f} points/sec)")
         print(line)
+        skipped = sweep.get("parallel_skipped")
+        if skipped:
+            print(f"sweep (E23)     : parallel cells skipped ({skipped}; "
+                  "--force-parallel overrides)")
     constellation = payload.get("constellation_scale")
     if constellation:
         for scale in constellation["scales"]:
@@ -1146,6 +1212,27 @@ def build_parser() -> argparse.ArgumentParser:
                               help="skip the constellation-scale benchmark")
     bench_parser.add_argument("--skip-sweep-scale", action="store_true",
                               help="omit the sweep_scale section")
+    bench_parser.add_argument("--force-parallel", action="store_true",
+                              help="run parallel sweep cells even on a "
+                                   "single-core host (skewed: they measure "
+                                   "pool oversubscription, not speedup)")
+    bench_parser.add_argument("--profile", action="store_true",
+                              help="run each bench kind under cProfile and "
+                                   "print hot functions instead of writing a "
+                                   "baseline")
+    bench_parser.add_argument("--profile-top", type=int, default=25,
+                              metavar="N",
+                              help="rows per profile report (with --profile)")
+    bench_parser.add_argument("--compare", action="store_true",
+                              help="diff the last two history records "
+                                   "instead of benchmarking")
+    bench_parser.add_argument("--compare-threshold", type=float, default=0.10,
+                              metavar="FRAC",
+                              help="relative slowdown that counts as a "
+                                   "regression (with --compare)")
+    bench_parser.add_argument("--strict", action="store_true",
+                              help="exit nonzero when --compare finds "
+                                   "regressions")
     bench_parser.set_defaults(handler=_cmd_bench_baseline)
 
     report_parser = subparsers.add_parser(

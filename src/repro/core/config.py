@@ -10,10 +10,30 @@ sizes Section 3.3 bounds.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
 __all__ = ["LamsDlcConfig"]
+
+
+def _default_batch_window() -> int:
+    """Default transmission-window batch size.
+
+    ``REPRO_BATCH_WINDOW`` overrides it per process (``0`` or ``1``
+    disables batching — every frame takes the scalar path), which is how
+    the differential tests pin both sides of the batched-vs-scalar
+    comparison without threading a parameter through every harness.
+    """
+    value = os.environ.get("REPRO_BATCH_WINDOW")
+    if value is None:
+        return 64
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_BATCH_WINDOW must be an integer, got {value!r}"
+        ) from None
 
 
 @dataclass
@@ -65,6 +85,16 @@ class LamsDlcConfig:
     send_buffer_capacity: Optional[int] = None
     receive_queue_capacity: Optional[int] = None
 
+    # -- transmission batching (performance, not protocol) ---------------------
+    batch_window: int = field(default_factory=_default_batch_window)
+    """Maximum frames the sender commits to the channel as one batched
+    window when the backlog allows (``send_burst``).  Purely a hot-path
+    optimisation: corruption verdicts are pre-drawn bulk but remain
+    bit-identical to scalar draws, and the window only engages at line
+    rate with no retransmissions queued.  ``0`` or ``1`` disables
+    batching (see also the ``REPRO_BATCH_WINDOW`` environment
+    variable, which sets the default)."""
+
     # -- flow control (Section 3.4) -------------------------------------------
     flow_control_enabled: bool = True
     piggyback_flow_control: bool = True
@@ -105,6 +135,8 @@ class LamsDlcConfig:
             raise ValueError("min_rate_fraction must be in (0, 1]")
         if self.receive_low_watermark > self.receive_high_watermark:
             raise ValueError("low watermark must not exceed high watermark")
+        if self.batch_window < 0:
+            raise ValueError("batch_window cannot be negative")
 
     # -- derived quantities ---------------------------------------------------
 

@@ -127,6 +127,14 @@ class LamsSender:
         self._iframe_bits = config.iframe_bits
         self._iframe_tx_time = config.iframe_bits / data_channel.bit_rate
         self._piggyback = config.piggyback_flow_control
+        # Batched transmission window: engaged only when the channel
+        # supports send_burst and the configured window allows > 1.
+        self._burst_send = (
+            getattr(data_channel, "send_burst", None)
+            if config.batch_window > 1
+            else None
+        )
+        self._batch_window = config.batch_window
 
         # Statistics.
         self.iframes_sent = 0
@@ -260,6 +268,19 @@ class LamsSender:
             self.retransmissions += 1
             self.retransmissions_by_cause[job.cause] += 1
         else:
+            # Batched window fast path: with a deep backlog, no
+            # retransmissions, and pacing at line rate, commit a whole
+            # window in one operation (see _send_window for the exact-
+            # equivalence argument).
+            flow = self.flow
+            if (
+                self._burst_send is not None
+                and len(self.buffer._pending) > 1
+                and (not flow.enabled or flow.rate_fraction >= 1.0)
+                and getattr(channel, "_is_up", True)
+            ):
+                self._send_window()
+                return
             packet, enqueue_time = self.buffer.pop_pending()
             self._transmit(payload=packet, enqueue_time=enqueue_time)
 
@@ -326,6 +347,92 @@ class LamsSender:
             )
         # Try to queue the next frame right behind this one only when
         # pacing is at line rate; otherwise the pacing timer drives it.
+
+    def _send_window(self) -> None:
+        """Commit up to ``batch_window`` new frames as one channel burst.
+
+        Per-frame state matches what ``k`` successive scalar
+        ``_transmit`` calls at the frames' departure instants would
+        record: sequence numbers allocate in the same order, each
+        outstanding record carries its own ``send_time`` and
+        ``expected_arrival``, and ``iframe_sent`` is emitted with the
+        per-frame departure stamp.  The single occupancy sample is
+        exact, not approximate — a first transmission moves one packet
+        from pending to outstanding, so the level never changes inside
+        the window (releases and accepts sample the stat at their own
+        event times in both modes).  Only the piggybacked Stop-Go bits
+        are evaluated at commit time rather than per departure — a
+        bounded divergence that exists only under bidirectional
+        traffic.
+        """
+        now = self.sim.now
+        buffer = self.buffer
+        pending = buffer._pending
+        channel = self.data_channel
+        tx_time = self._iframe_tx_time
+        bits = self._iframe_bits
+        fixed_delay = getattr(channel, "_fixed_delay", None)
+        piggyback = self._piggyback
+        provider = self.stop_go_provider
+        record_outstanding = buffer.record_outstanding
+        pop_pending = buffer.pop_pending
+        propagation_delay = channel.propagation_delay
+        trace_active = self.tracer.active
+        emit = self.tracer.emit
+        name = self.name
+        index = self._transmit_index
+        departure = now
+        seqs = self.seqspace.allocate_run(min(self._batch_window, len(pending)))
+        if not seqs:
+            # The next in-order number is still outstanding; raise the
+            # scalar path's SequenceExhausted (allocate fails loudly).
+            self.seqspace.allocate()
+            raise AssertionError("allocate() must raise after an empty run")
+        frames: list[IFrame] = []
+        for seq in seqs:
+            packet, enqueue_time = pop_pending()
+            frame = IFrame(
+                seq=seq,
+                payload=packet,
+                size_bits=bits,
+                transmit_index=index,
+                origin=-1,
+                stop_go=provider() if piggyback else False,
+            )
+            delay = fixed_delay
+            if delay is None:
+                delay = propagation_delay(departure)
+            record_outstanding(OutstandingFrame(
+                seq=seq,
+                payload=packet,
+                enqueue_time=enqueue_time,
+                send_time=departure,
+                expected_arrival=departure + tx_time + delay,
+                transmit_index=index,
+                retransmit_count=0,
+                first_send_time=departure,
+                origin=index,
+            ))
+            frames.append(frame)
+            if trace_active:
+                emit(departure, name, "iframe_sent", seq=seq, index=index, retx=0)
+            index += 1
+            departure += tx_time
+        self._transmit_index = index
+        k = len(frames)
+        stat = self._sendbuf_stat
+        if stat is None:
+            stat = self._sendbuf_stat = self.tracer.level_stat(
+                self._sendbuf_stat_name, start_time=now
+            )
+        stat.update(now, len(pending) + len(buffer._outstanding))
+        channel.send_burst(frames)
+        self.iframes_sent += k
+        flow = self.flow
+        self._next_allowed_send = (
+            now + k * tx_time / flow.rate_fraction if flow.enabled
+            else departure
+        )
 
     # -- piggybacked flow control -------------------------------------------------------
 

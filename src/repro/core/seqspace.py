@@ -105,6 +105,31 @@ class SequenceSpace:
         self.total_allocated += 1
         return candidate
 
+    def allocate_run(self, max_count: int) -> list[int]:
+        """Issue up to *max_count* consecutive numbers in one call.
+
+        Equivalent to repeated :meth:`allocate`, but stops short (no
+        exception) when the cursor meets a still-outstanding number —
+        the batched transmission window sends what it got and lets the
+        next scalar allocation raise :class:`SequenceExhausted`.
+        Returns the allocated numbers in issue order.
+        """
+        if max_count < 0:
+            raise ValueError("max_count cannot be negative")
+        outstanding = self._outstanding
+        candidate = self._next
+        modulus = self.modulus
+        run: list[int] = []
+        for _ in range(max_count):
+            if candidate in outstanding:
+                break
+            outstanding.add(candidate)
+            run.append(candidate)
+            candidate = (candidate + 1) % modulus
+        self._next = candidate
+        self.total_allocated += len(run)
+        return run
+
     def release(self, seq: int) -> None:
         """Return *seq* to the pool (frame resolved: acked or renumbered)."""
         try:

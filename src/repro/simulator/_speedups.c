@@ -1,0 +1,464 @@
+/* Compiled engine core: the Simulator.run dispatch loop in C.
+ *
+ * This is a line-for-line port of the pure-Python loop in engine.py —
+ * same heap discipline (heapq's sift algorithms on the same plain
+ * (time, sequence, callback, args) tuples), same inline Timer-expiry
+ * dispatch, same event accounting on every exit path — so the two
+ * backends are bit-identical by construction and the differential
+ * harness (tests/test_engine_parity.py) holds them to it.
+ *
+ * Contract with engine.py:
+ *
+ * - It operates on ``sim._heap`` as a plain Python list.  Hot call
+ *   sites across the repository push entries onto that list directly
+ *   (inlined heappush), and ``Simulator._compact`` mutates it in
+ *   place, so the list object identity is stable for the whole run.
+ * - ``sim._stopped`` is re-read every iteration (callbacks call
+ *   ``stop()``), ``sim.now`` is set per event to the entry's own time
+ *   object, and ``sim.event_count`` grows by the number of dispatched
+ *   events even when a callback raises.
+ * - The Timer fast path reads ``_generation``/``_running`` attributes
+ *   exactly like the pure loop; a stale expiry decrements
+ *   ``sim._stale_timers`` without any Python-level call.
+ *
+ * Build: ``python setup.py build_ext --inplace`` (see docs/TUNING.md,
+ * "Compiled core").  engine.py falls back to the pure loop when this
+ * module is absent.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+static PyObject *str_now;
+static PyObject *str__stopped;
+static PyObject *str__heap;
+static PyObject *str__stale_timers;
+static PyObject *str__generation;
+static PyObject *str__running;
+static PyObject *str__deadline;
+static PyObject *str_callback;
+static PyObject *str_event_count;
+
+/* -- heapq's sift algorithms on a list of tuples ---------------------- */
+
+/* Entry comparison specialised for (time: float, sequence: int, ...)
+ * tuples: compare the times as C doubles and break ties on the
+ * sequence numbers, falling back to the generic tuple comparison for
+ * anything unexpected (e.g. an integer time from schedule_at).  The
+ * result is identical to tuple < tuple — sequence numbers are unique,
+ * so comparison never reaches the callback fields — but skips the
+ * generic richcompare machinery that dominates heap cost.
+ */
+static inline int
+entry_lt(PyObject *a, PyObject *b)
+{
+    if (PyTuple_CheckExact(a) && PyTuple_CheckExact(b)
+        && PyTuple_GET_SIZE(a) == 4 && PyTuple_GET_SIZE(b) == 4) {
+        PyObject *ta = PyTuple_GET_ITEM(a, 0);
+        PyObject *tb = PyTuple_GET_ITEM(b, 0);
+        if (PyFloat_CheckExact(ta) && PyFloat_CheckExact(tb)) {
+            double da = PyFloat_AS_DOUBLE(ta);
+            double db = PyFloat_AS_DOUBLE(tb);
+            if (da < db)
+                return 1;
+            if (da > db)
+                return 0;
+            PyObject *sa = PyTuple_GET_ITEM(a, 1);
+            PyObject *sb = PyTuple_GET_ITEM(b, 1);
+            if (PyLong_CheckExact(sa) && PyLong_CheckExact(sb)) {
+                int overflow_a = 0, overflow_b = 0;
+                long la = PyLong_AsLongAndOverflow(sa, &overflow_a);
+                long lb = PyLong_AsLongAndOverflow(sb, &overflow_b);
+                if (!overflow_a && !overflow_b)
+                    return la < lb;
+            }
+        }
+    }
+    return PyObject_RichCompareBool(a, b, Py_LT);
+}
+
+static int
+siftdown(PyObject *heap, Py_ssize_t startpos, Py_ssize_t pos)
+{
+    PyObject *newitem = PyList_GET_ITEM(heap, pos);
+    Py_INCREF(newitem);
+    while (pos > startpos) {
+        Py_ssize_t parentpos = (pos - 1) >> 1;
+        PyObject *parent = PyList_GET_ITEM(heap, parentpos);
+        int cmp = entry_lt(newitem, parent);
+        if (cmp < 0) {
+            Py_DECREF(newitem);
+            return -1;
+        }
+        if (cmp == 0)
+            break;
+        Py_INCREF(parent);
+        if (PyList_SetItem(heap, pos, parent) < 0) {
+            Py_DECREF(newitem);
+            return -1;
+        }
+        pos = parentpos;
+    }
+    return PyList_SetItem(heap, pos, newitem);
+}
+
+static int
+siftup(PyObject *heap, Py_ssize_t pos)
+{
+    Py_ssize_t endpos = PyList_GET_SIZE(heap);
+    Py_ssize_t startpos = pos;
+    PyObject *newitem = PyList_GET_ITEM(heap, pos);
+    Py_INCREF(newitem);
+    Py_ssize_t childpos = 2 * pos + 1;
+    while (childpos < endpos) {
+        Py_ssize_t rightpos = childpos + 1;
+        if (rightpos < endpos) {
+            int cmp = entry_lt(PyList_GET_ITEM(heap, childpos),
+                               PyList_GET_ITEM(heap, rightpos));
+            if (cmp < 0) {
+                Py_DECREF(newitem);
+                return -1;
+            }
+            if (cmp == 0)
+                childpos = rightpos;
+        }
+        PyObject *child = PyList_GET_ITEM(heap, childpos);
+        Py_INCREF(child);
+        if (PyList_SetItem(heap, pos, child) < 0) {
+            Py_DECREF(newitem);
+            return -1;
+        }
+        pos = childpos;
+        childpos = 2 * pos + 1;
+    }
+    if (PyList_SetItem(heap, pos, newitem) < 0)
+        return -1;
+    return siftdown(heap, startpos, pos);
+}
+
+/* heappop: returns a new reference, or NULL on error. */
+static PyObject *
+heap_pop(PyObject *heap)
+{
+    Py_ssize_t n = PyList_GET_SIZE(heap);
+    PyObject *last = PyList_GET_ITEM(heap, n - 1);
+    Py_INCREF(last);
+    if (PyList_SetSlice(heap, n - 1, n, NULL) < 0) {
+        Py_DECREF(last);
+        return NULL;
+    }
+    if (n == 1)
+        return last;
+    PyObject *result = PyList_GET_ITEM(heap, 0);
+    Py_INCREF(result);
+    if (PyList_SetItem(heap, 0, last) < 0) {
+        Py_DECREF(result);
+        return NULL;
+    }
+    if (siftup(heap, 0) < 0) {
+        Py_DECREF(result);
+        return NULL;
+    }
+    return result;
+}
+
+/* heappush: steals nothing; 0 on success. */
+static int
+heap_push(PyObject *heap, PyObject *item)
+{
+    if (PyList_Append(heap, item) < 0)
+        return -1;
+    return siftdown(heap, 0, PyList_GET_SIZE(heap) - 1);
+}
+
+/* -- event-count accounting (runs on every exit path) ----------------- */
+
+static int
+add_event_count(PyObject *sim, long long processed)
+{
+    PyObject *count = PyObject_GetAttr(sim, str_event_count);
+    if (count == NULL)
+        return -1;
+    PyObject *delta = PyLong_FromLongLong(processed);
+    if (delta == NULL) {
+        Py_DECREF(count);
+        return -1;
+    }
+    PyObject *total = PyNumber_Add(count, delta);
+    Py_DECREF(count);
+    Py_DECREF(delta);
+    if (total == NULL)
+        return -1;
+    int result = PyObject_SetAttr(sim, str_event_count, total);
+    Py_DECREF(total);
+    return result;
+}
+
+static int
+adjust_stale_timers(PyObject *sim, long delta)
+{
+    PyObject *count = PyObject_GetAttr(sim, str__stale_timers);
+    if (count == NULL)
+        return -1;
+    PyObject *change = PyLong_FromLong(delta);
+    if (change == NULL) {
+        Py_DECREF(count);
+        return -1;
+    }
+    PyObject *total = PyNumber_Add(count, change);
+    Py_DECREF(count);
+    Py_DECREF(change);
+    if (total == NULL)
+        return -1;
+    int result = PyObject_SetAttr(sim, str__stale_timers, total);
+    Py_DECREF(total);
+    return result;
+}
+
+/* run_loop(sim, until, max_events, timer_sentinel, error_class) */
+static PyObject *
+run_loop(PyObject *module, PyObject *args)
+{
+    PyObject *sim, *until_obj, *max_events_obj, *sentinel, *exc_class;
+    if (!PyArg_ParseTuple(args, "OOOOO:run_loop", &sim, &until_obj,
+                          &max_events_obj, &sentinel, &exc_class))
+        return NULL;
+
+    int bounded = (until_obj != Py_None);
+    double until = 0.0;
+    if (bounded) {
+        until = PyFloat_AsDouble(until_obj);
+        if (until == -1.0 && PyErr_Occurred())
+            return NULL;
+    }
+    long long limit = -1;
+    if (max_events_obj != Py_None) {
+        limit = PyLong_AsLongLong(max_events_obj);
+        if (limit == -1 && PyErr_Occurred())
+            return NULL;
+    }
+
+    if (PyObject_SetAttr(sim, str__stopped, Py_False) < 0)
+        return NULL;
+    PyObject *heap = PyObject_GetAttr(sim, str__heap);
+    if (heap == NULL)
+        return NULL;
+    if (!PyList_Check(heap)) {
+        Py_DECREF(heap);
+        PyErr_SetString(PyExc_TypeError, "sim._heap must be a list");
+        return NULL;
+    }
+    /* Simulator is a plain-dict class and ``now``/``_stopped`` are plain
+     * instance attributes (engine.py documents this), so the loop reads
+     * and writes them through the instance dict directly — a large share
+     * of per-event cost at micro-benchmark scale. */
+    PyObject *simdict = PyObject_GetAttrString(sim, "__dict__");
+    if (simdict == NULL || !PyDict_Check(simdict)) {
+        Py_XDECREF(simdict);
+        Py_DECREF(heap);
+        if (!PyErr_Occurred())
+            PyErr_SetString(PyExc_TypeError, "sim must carry an instance dict");
+        return NULL;
+    }
+
+    long long processed = 0;
+    PyObject *ret = NULL;
+
+    while (PyList_GET_SIZE(heap) > 0) {
+        PyObject *stopped = PyDict_GetItemWithError(simdict, str__stopped);
+        if (stopped == NULL) {
+            if (PyErr_Occurred())
+                goto error;
+            stopped = Py_False;  /* attribute deleted: treat as not stopped */
+        }
+        int is_stopped = PyObject_IsTrue(stopped);
+        if (is_stopped < 0)
+            goto error;
+        if (is_stopped)
+            break;
+
+        PyObject *entry = heap_pop(heap);
+        if (entry == NULL)
+            goto error;
+        if (!PyTuple_Check(entry) || PyTuple_GET_SIZE(entry) != 4) {
+            Py_DECREF(entry);
+            PyErr_SetString(PyExc_TypeError,
+                            "heap entries must be (time, seq, callback, args) tuples");
+            goto error;
+        }
+        PyObject *when_obj = PyTuple_GET_ITEM(entry, 0);
+        double when = PyFloat_AsDouble(when_obj);
+        if (when == -1.0 && PyErr_Occurred()) {
+            Py_DECREF(entry);
+            goto error;
+        }
+        if (bounded && when > until) {
+            /* Past the horizon: push the entry back, clamp the clock. */
+            int r = heap_push(heap, entry);
+            Py_DECREF(entry);
+            if (r < 0)
+                goto error;
+            if (PyDict_SetItem(simdict, str_now, until_obj) < 0)
+                goto error;
+            Py_INCREF(until_obj);
+            ret = until_obj;
+            goto done;
+        }
+        if (PyDict_SetItem(simdict, str_now, when_obj) < 0) {
+            Py_DECREF(entry);
+            goto error;
+        }
+        PyObject *callback = PyTuple_GET_ITEM(entry, 2);
+        PyObject *cbargs = PyTuple_GET_ITEM(entry, 3);
+        if (callback == sentinel) {
+            /* Inline Timer-expiry dispatch. */
+            PyObject *timer = PyTuple_GET_ITEM(cbargs, 0);
+            PyObject *generation = PyTuple_GET_ITEM(cbargs, 1);
+            PyObject *cur_gen = PyObject_GetAttr(timer, str__generation);
+            if (cur_gen == NULL) {
+                Py_DECREF(entry);
+                goto error;
+            }
+            int live = PyObject_RichCompareBool(generation, cur_gen, Py_EQ);
+            Py_DECREF(cur_gen);
+            if (live < 0) {
+                Py_DECREF(entry);
+                goto error;
+            }
+            if (live) {
+                PyObject *running = PyObject_GetAttr(timer, str__running);
+                if (running == NULL) {
+                    Py_DECREF(entry);
+                    goto error;
+                }
+                live = PyObject_IsTrue(running);
+                Py_DECREF(running);
+                if (live < 0) {
+                    Py_DECREF(entry);
+                    goto error;
+                }
+            }
+            if (live) {
+                if (PyObject_SetAttr(timer, str__running, Py_False) < 0 ||
+                    PyObject_SetAttr(timer, str__deadline, Py_None) < 0) {
+                    Py_DECREF(entry);
+                    goto error;
+                }
+                PyObject *cb = PyObject_GetAttr(timer, str_callback);
+                if (cb == NULL) {
+                    Py_DECREF(entry);
+                    goto error;
+                }
+                PyObject *res = PyObject_CallNoArgs(cb);
+                Py_DECREF(cb);
+                if (res == NULL) {
+                    Py_DECREF(entry);
+                    goto error;
+                }
+                Py_DECREF(res);
+            } else {
+                if (adjust_stale_timers(sim, -1) < 0) {
+                    Py_DECREF(entry);
+                    goto error;
+                }
+            }
+        } else {
+            PyObject *res = PyObject_CallObject(callback, cbargs);
+            if (res == NULL) {
+                Py_DECREF(entry);
+                goto error;
+            }
+            Py_DECREF(res);
+        }
+        Py_DECREF(entry);
+        processed += 1;
+        if (limit >= 0 && processed >= limit) {
+            PyErr_Format(exc_class,
+                         "exceeded max_events=%lld (possible runaway simulation)",
+                         limit);
+            goto error;
+        }
+    }
+
+    /* Normal exit: clamp the clock to the horizon and return it. */
+    {
+        PyObject *now_obj = PyObject_GetAttr(sim, str_now);
+        if (now_obj == NULL)
+            goto error;
+        if (bounded) {
+            double now_val = PyFloat_AsDouble(now_obj);
+            if (now_val == -1.0 && PyErr_Occurred()) {
+                Py_DECREF(now_obj);
+                goto error;
+            }
+            if (now_val < until) {
+                Py_DECREF(now_obj);
+                if (PyDict_SetItem(simdict, str_now, until_obj) < 0)
+                    goto error;
+                Py_INCREF(until_obj);
+                now_obj = until_obj;
+            }
+        }
+        ret = now_obj;
+    }
+
+done:
+    if (add_event_count(sim, processed) < 0) {
+        Py_DECREF(simdict);
+        Py_DECREF(heap);
+        Py_XDECREF(ret);
+        return NULL;
+    }
+    Py_DECREF(simdict);
+    Py_DECREF(heap);
+    return ret;
+
+error:
+    {
+        /* The finally clause: count dispatched events even on failure. */
+        PyObject *ptype, *pvalue, *ptraceback;
+        PyErr_Fetch(&ptype, &pvalue, &ptraceback);
+        if (add_event_count(sim, processed) < 0)
+            PyErr_Clear();
+        PyErr_Restore(ptype, pvalue, ptraceback);
+    }
+    Py_DECREF(simdict);
+    Py_DECREF(heap);
+    return NULL;
+}
+
+static PyMethodDef speedups_methods[] = {
+    {"run_loop", run_loop, METH_VARARGS,
+     "Drain the event heap: C port of Simulator.run's dispatch loop."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef speedups_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro.simulator._speedups",
+    "Compiled engine core (see engine.py and docs/TUNING.md).",
+    -1,
+    speedups_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__speedups(void)
+{
+#define INTERN(var, name)                    \
+    do {                                     \
+        var = PyUnicode_InternFromString(name); \
+        if (var == NULL)                     \
+            return NULL;                     \
+    } while (0)
+    INTERN(str_now, "now");
+    INTERN(str__stopped, "_stopped");
+    INTERN(str__heap, "_heap");
+    INTERN(str__stale_timers, "_stale_timers");
+    INTERN(str__generation, "_generation");
+    INTERN(str__running, "_running");
+    INTERN(str__deadline, "_deadline");
+    INTERN(str_callback, "callback");
+    INTERN(str_event_count, "event_count");
+#undef INTERN
+    return PyModule_Create(&speedups_module);
+}

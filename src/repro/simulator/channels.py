@@ -264,6 +264,63 @@ class TraceReplayChannel:
             return False
         return bool(rng.random() < probability)
 
+    def draw_window(
+        self,
+        starts: list,
+        sizes: list,
+        rng: np.random.Generator,
+    ) -> list:
+        """Bulk verdicts for a FIFO window, bit-identical to scalar replay.
+
+        Frame mode slices the recorded decisions directly (zero RNG, the
+        replay invariant); BER mode resolves each frame's timeline
+        bucket, then settles all frames with nonzero probability from
+        one bulk uniform draw — ``Generator.random(k)`` yields the same
+        doubles as ``k`` scalar ``random()`` calls, and zero-probability
+        frames consume no draw, exactly as in :meth:`frame_error`.
+        """
+        n = len(sizes)
+        if self.mode == "frame":
+            cursor = self._cursor
+            if not self.strict_bits and cursor + n <= len(self._frames):
+                self._cursor = cursor + n
+                return [
+                    record[2] for record in self._frames[cursor : cursor + n]
+                ]
+            # Exhaustion / loop / strict-bits paths stay on the scalar
+            # kernel (they raise or wrap per frame).
+            frame_error = self.frame_error
+            return [
+                frame_error(start, bits, rng)
+                for start, bits in zip(starts, sizes)
+            ]
+        times = self._times
+        prob_cache = self._prob_cache
+        probabilities = []
+        drawing = 0
+        for start, bits in zip(starts, sizes):
+            index = bisect_right(times, start) - 1
+            if index < 0:
+                index = 0
+            probability = prob_cache.get((index, bits))
+            if probability is None:
+                probability = prob_cache[(index, bits)] = frame_error_probability(
+                    self._bers[index], bits
+                )
+            probabilities.append(probability)
+            if probability > 0.0:
+                drawing += 1
+        if not drawing:
+            return [False] * n
+        draws = rng.random(drawing)
+        verdicts = [False] * n
+        k = 0
+        for i, probability in enumerate(probabilities):
+            if probability > 0.0:
+                verdicts[i] = bool(draws.item(k) < probability)
+                k += 1
+        return verdicts
+
     def __repr__(self) -> str:
         return (
             f"TraceReplayChannel(mode={self.mode!r}, length={self.length}, "
@@ -288,6 +345,27 @@ class RecordingChannel:
         error = bool(self.inner.frame_error(start, bits, rng))
         self.records.append({"t": start, "bits": bits, "error": error})
         return error
+
+    def draw_window(
+        self,
+        starts: list,
+        sizes: list,
+        rng: np.random.Generator,
+    ) -> list:
+        """Delegate the bulk draw, recording every decision in order."""
+        inner_bulk = getattr(self.inner, "draw_window", None)
+        if inner_bulk is not None:
+            verdicts = inner_bulk(starts, sizes, rng)
+        else:
+            frame_error = self.inner.frame_error
+            verdicts = [
+                frame_error(start, bits, rng)
+                for start, bits in zip(starts, sizes)
+            ]
+        append = self.records.append
+        for start, bits, error in zip(starts, sizes, verdicts):
+            append({"t": start, "bits": bits, "error": bool(error)})
+        return verdicts
 
     def __repr__(self) -> str:
         return f"RecordingChannel({self.inner!r}, records={len(self.records)})"
@@ -458,6 +536,55 @@ class OrbitCoupledChannel:
         if probability == 0.0:
             return False
         return bool(rng.random() < probability)
+
+    def draw_window(
+        self,
+        starts: list,
+        sizes: list,
+        rng: np.random.Generator,
+    ) -> list:
+        """Bulk verdicts via the same bucketed geometry lookups.
+
+        Each frame resolves its probability exactly as
+        :meth:`frame_error` would (advancing the bucket cache in frame
+        order); frames with nonzero probability are then settled from
+        one bulk uniform draw — the same variates in the same order as
+        the scalar path, with zero-probability frames consuming none.
+        """
+        probabilities = []
+        drawing = 0
+        interval = self.update_interval
+        prob_get = self._prob_by_bits.get
+        for start, bits in zip(starts, sizes):
+            if interval > 0:
+                bucket = int(start // interval)
+                if bucket != self._bucket:
+                    self._bucket = bucket
+                    self._bucket_ber = self.instantaneous_ber(bucket * interval)
+                    self._prob_by_bits.clear()
+                probability = prob_get(bits)
+                if probability is None:
+                    probability = self._prob_by_bits[bits] = (
+                        frame_error_probability(self._bucket_ber, bits)
+                    )
+            else:
+                probability = frame_error_probability(
+                    self.instantaneous_ber(start), bits
+                )
+            probabilities.append(probability)
+            if probability > 0.0:
+                drawing += 1
+        n = len(probabilities)
+        if not drawing:
+            return [False] * n
+        draws = rng.random(drawing)
+        verdicts = [False] * n
+        k = 0
+        for i, probability in enumerate(probabilities):
+            if probability > 0.0:
+                verdicts[i] = bool(draws.item(k) < probability)
+                k += 1
+        return verdicts
 
     def __repr__(self) -> str:
         return (

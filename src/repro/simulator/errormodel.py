@@ -41,6 +41,7 @@ __all__ = [
     "register_error_model",
     "resolve_error_model",
     "resolve_link_error_models",
+    "scalar_draw_window",
 ]
 
 
@@ -62,7 +63,21 @@ def frame_error_probability(ber: float, bits: int) -> float:
 
 
 class ErrorModel(Protocol):
-    """Decides per-frame corruption for one channel direction."""
+    """Decides per-frame corruption for one channel direction.
+
+    Models may additionally implement the bulk API::
+
+        draw_window(starts, sizes, rng) -> list[bool]
+
+    returning the corruption verdict for each of a FIFO window of frames
+    (frame *i* starts at ``starts[i]`` and spans ``sizes[i]`` bits).  The
+    bulk path is an optimisation, never a semantic change: it must
+    consume exactly the same RNG variates in exactly the same order as
+    ``len(sizes)`` successive :meth:`frame_error` calls, so batched and
+    scalar runs stay bit-identical (enforced for every registered model
+    by ``tests/test_draw_window.py``).  Callers fall back to
+    :func:`scalar_draw_window` when the method is absent.
+    """
 
     def frame_error(self, start: float, bits: int, rng: np.random.Generator) -> bool:
         """True if a frame of *bits* bits transmitted at *start* is corrupted.
@@ -73,11 +88,36 @@ class ErrorModel(Protocol):
         ...
 
 
+def scalar_draw_window(
+    model: "ErrorModel",
+    starts: "list[float]",
+    sizes: "list[int]",
+    rng: np.random.Generator,
+) -> "list[bool]":
+    """Reference ``draw_window``: n scalar :meth:`frame_error` calls.
+
+    The fallback for models that predate the bulk API — and, by
+    definition, the oracle every native ``draw_window`` must match.
+    """
+    frame_error = model.frame_error
+    return [
+        frame_error(start, bits, rng) for start, bits in zip(starts, sizes)
+    ]
+
+
 class PerfectChannel:
     """Error-free channel: every frame arrives intact."""
 
     def frame_error(self, start: float, bits: int, rng: np.random.Generator) -> bool:
         return False
+
+    def draw_window(
+        self,
+        starts: "list[float]",
+        sizes: "list[int]",
+        rng: np.random.Generator,
+    ) -> "list[bool]":
+        return [False] * len(sizes)
 
     def __repr__(self) -> str:
         return "PerfectChannel()"
@@ -128,6 +168,76 @@ class BernoulliChannel:
             index = 0
         entry[1] = index + 1
         return entry[2].item(index) < probability
+
+    def draw_window(
+        self,
+        starts: "list[float]",
+        sizes: "list[int]",
+        rng: np.random.Generator,
+    ) -> "list[bool]":
+        """Bulk verdicts for a FIFO window, bit-identical to scalar draws.
+
+        Variates come from the same per-generator buffer as
+        :meth:`frame_error`, consumed in the same order; the only
+        difference is that the threshold compare runs as one (or a few)
+        numpy slice operations instead of ``n`` ``.item()`` calls.
+        Zero-probability frames consume no draw, exactly as in the
+        scalar path.
+        """
+        prob_get = self._prob_by_bits.get
+        probabilities = []
+        drawing = 0
+        for bits in sizes:
+            probability = prob_get(bits)
+            if probability is None:
+                probability = self._prob_by_bits[bits] = frame_error_probability(
+                    self.ber, bits
+                )
+            probabilities.append(probability)
+            if probability > 0.0:
+                drawing += 1
+        n = len(probabilities)
+        if not drawing:
+            return [False] * n
+        for entry in self._draws:
+            if entry[0] is rng:
+                break
+        else:
+            entry = [rng, 0, rng.random(512)]
+            self._draws.append(entry)
+        index = entry[1]
+        buffer = entry[2]
+        # Dominant case: every frame in the window draws at the same
+        # probability (equal-size I-frames) — compare whole buffer
+        # slices against one threshold.
+        first = probabilities[0]
+        if drawing == n and all(p == first for p in probabilities):
+            verdicts: list[bool] = []
+            remaining = n
+            while remaining:
+                if index >= 512:
+                    buffer = entry[2] = rng.random(512)
+                    index = 0
+                take = min(remaining, 512 - index)
+                verdicts.extend(
+                    (buffer[index : index + take] < first).tolist()
+                )
+                index += take
+                remaining -= take
+            entry[1] = index
+            return verdicts
+        # Mixed window: per-frame consumption, skipping p == 0 frames.
+        verdicts = [False] * n
+        for i, probability in enumerate(probabilities):
+            if probability == 0.0:
+                continue
+            if index >= 512:
+                buffer = entry[2] = rng.random(512)
+                index = 0
+            verdicts[i] = buffer.item(index) < probability
+            index += 1
+        entry[1] = index
+        return verdicts
 
     def __repr__(self) -> str:
         return f"BernoulliChannel(ber={self.ber:g})"
@@ -242,6 +352,27 @@ class GilbertElliottChannel:
         if probability <= 0.0:
             return False
         return bool(rng.random() < probability)
+
+    def draw_window(
+        self,
+        starts: "list[float]",
+        sizes: "list[int]",
+        rng: np.random.Generator,
+    ) -> "list[bool]":
+        """Bulk verdicts, bit-identical to scalar draws by construction.
+
+        The state trajectory interleaves ``rng.exponential`` sojourn
+        draws with the per-frame acceptance draw, and which draws happen
+        depends on the state reached so far — so there is no variate
+        reordering that keeps the stream identical.  The window
+        therefore steps frames in order with the scalar kernel; the
+        saving is the per-frame call overhead above this method, not the
+        draws themselves.
+        """
+        frame_error = self.frame_error
+        return [
+            frame_error(start, bits, rng) for start, bits in zip(starts, sizes)
+        ]
 
     def __repr__(self) -> str:
         return (

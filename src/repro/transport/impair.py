@@ -66,6 +66,16 @@ class UniformLossModel:
     def frame_error(self, start: float, bits: int, rng: np.random.Generator) -> bool:
         return bool(self.probability and rng.random() < self.probability)
 
+    def draw_window(self, starts, sizes, rng: np.random.Generator) -> list[bool]:
+        """Bulk draws, bit-identical to scalar: ``Generator.random(n)``
+        yields the same variates as n successive ``random()`` calls, and
+        a zero probability draws nothing either way."""
+        if not self.probability:
+            return [False] * len(sizes)
+        probability = self.probability
+        draws = rng.random(len(sizes))
+        return [bool(draws.item(k) < probability) for k in range(len(sizes))]
+
     def __repr__(self) -> str:
         return f"UniformLossModel(p={self.probability:g})"
 
